@@ -1,0 +1,92 @@
+//! Criterion benchmarks of the core conflict-detection algorithms.
+//!
+//! These measure the status oracle's *functional* hot path — the critical
+//! section whose cost decides Figure 5's saturation points: commit-request
+//! processing under SI (Algorithm 1), WSI (Algorithm 2), and the
+//! memory-bounded Algorithm 3 variants, plus the read-only fast path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use wsi_core::{CommitRequest, IsolationLevel, RowId, StatusOracleCore};
+
+/// A pre-generated batch of commit requests mimicking the §6.3 complex
+/// workload: ~5 reads + ~5 writes uniform over 20 M rows.
+fn requests(oracle: &mut StatusOracleCore, count: usize, seed: u64) -> Vec<CommitRequest> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let ts = oracle.begin();
+            let reads: Vec<RowId> = (0..rng.gen_range(0..=10))
+                .map(|_| RowId(rng.gen_range(0..20_000_000)))
+                .collect();
+            let writes: Vec<RowId> = (0..rng.gen_range(0..=10))
+                .map(|_| RowId(rng.gen_range(0..20_000_000)))
+                .collect();
+            CommitRequest::new(ts, reads, writes)
+        })
+        .collect()
+}
+
+fn bench_commit_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_commit");
+    group.throughput(Throughput::Elements(1));
+    for (name, level, capacity) in [
+        ("si_unbounded", IsolationLevel::Snapshot, None),
+        ("wsi_unbounded", IsolationLevel::WriteSnapshot, None),
+        ("si_bounded_1m", IsolationLevel::Snapshot, Some(1 << 20)),
+        (
+            "wsi_bounded_1m",
+            IsolationLevel::WriteSnapshot,
+            Some(1 << 20),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let mut oracle = match capacity {
+                Some(cap) => StatusOracleCore::bounded(level, cap),
+                None => StatusOracleCore::unbounded(level),
+            };
+            let reqs = requests(&mut oracle, 10_000, 42);
+            let mut i = 0;
+            b.iter(|| {
+                let req = reqs[i % reqs.len()].clone();
+                i += 1;
+                std::hint::black_box(oracle.commit(req))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_only_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_read_only");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("wsi_read_only_commit", |b| {
+        let mut oracle = StatusOracleCore::unbounded(IsolationLevel::WriteSnapshot);
+        let starts: Vec<_> = (0..100_000).map(|_| oracle.begin()).collect();
+        let mut i = 0;
+        b.iter(|| {
+            let ts = starts[i % starts.len()];
+            i += 1;
+            std::hint::black_box(oracle.commit(CommitRequest::read_only(ts)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_begin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_begin");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("begin", |b| {
+        let mut oracle = StatusOracleCore::unbounded(IsolationLevel::WriteSnapshot);
+        b.iter(|| std::hint::black_box(oracle.begin()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_commit_throughput,
+    bench_read_only_fast_path,
+    bench_begin
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! One Criterion bench per paper figure, on shrunk configurations.
+//!
+//! `cargo bench` therefore exercises every experiment's code path and tracks
+//! simulation-host performance regressions. The *publication-scale* runs —
+//! full client sweeps, full durations — live in the `figures` binary
+//! (`cargo run -p wsi-bench --release --bin figures`), whose output is
+//! recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wsi_cluster::{ClusterConfig, Runner};
+use wsi_core::IsolationLevel;
+use wsi_sim::SimTime;
+use wsi_workload::{KeyDistribution, Mix};
+
+fn shrunk_hbase(dist: KeyDistribution, mix: Mix) -> ClusterConfig {
+    let mut cfg = ClusterConfig::hbase(IsolationLevel::WriteSnapshot, 20, dist, mix, 42);
+    cfg.warmup = SimTime::from_secs(1);
+    cfg.measure = SimTime::from_secs(3);
+    cfg
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_sims");
+    group.sample_size(10);
+
+    group.bench_function("m1_microbench_path", |b| {
+        b.iter(|| {
+            let mut cfg = ClusterConfig::hbase(
+                IsolationLevel::WriteSnapshot,
+                1,
+                KeyDistribution::Uniform,
+                Mix::Complex,
+                42,
+            );
+            cfg.warmup = SimTime::from_secs(1);
+            cfg.measure = SimTime::from_secs(3);
+            std::hint::black_box(Runner::new(cfg).run().ops)
+        });
+    });
+
+    group.bench_function("fig5_oracle_stress_point", |b| {
+        b.iter(|| {
+            let mut cfg = ClusterConfig::fig5(IsolationLevel::WriteSnapshot, 4, 42);
+            cfg.warmup = SimTime::from_ms(200);
+            cfg.measure = SimTime::from_ms(800);
+            std::hint::black_box(Runner::new(cfg).run().tps)
+        });
+    });
+
+    group.bench_function("fig6_uniform_point", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                Runner::new(shrunk_hbase(KeyDistribution::Uniform, Mix::Complex))
+                    .run()
+                    .tps,
+            )
+        });
+    });
+
+    group.bench_function("fig7_fig8_zipfian_point", |b| {
+        b.iter(|| {
+            let r = Runner::new(shrunk_hbase(KeyDistribution::Zipfian, Mix::Mixed)).run();
+            std::hint::black_box((r.tps, r.abort_rate))
+        });
+    });
+
+    group.bench_function("fig9_fig10_latest_point", |b| {
+        b.iter(|| {
+            let r = Runner::new(shrunk_hbase(KeyDistribution::ZipfianLatest, Mix::Mixed)).run();
+            std::hint::black_box((r.tps, r.abort_rate))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the history-analysis tooling: parsing, oracle
+//! replay, DSG construction, and cycle detection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use wsi_core::IsolationLevel;
+use wsi_history::{accept, dsg, serialize, History, Op, TxnId};
+
+/// Builds a random history of `txns` transactions over `items` items.
+fn random_history(txns: u32, items: u32, seed: u64) -> History {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ops = Vec::new();
+    let mut live: Vec<u32> = Vec::new();
+    let mut next = 1u32;
+    while next <= txns || !live.is_empty() {
+        // Start a new transaction or advance a live one.
+        if next <= txns && (live.len() < 4 || rng.gen_bool(0.3)) {
+            live.push(next);
+            next += 1;
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let pick = rng.gen_range(0..live.len());
+        let t = TxnId(live[pick]);
+        match rng.gen_range(0..4) {
+            0 => ops.push(Op::Read(t, format!("i{}", rng.gen_range(0..items)))),
+            1 => ops.push(Op::Write(t, format!("i{}", rng.gen_range(0..items)))),
+            _ => {
+                ops.push(Op::Commit(t));
+                live.remove(pick);
+            }
+        }
+    }
+    History::new(ops)
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let text = random_history(100, 10, 1).to_string();
+    let mut group = c.benchmark_group("history_parse");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("parse_100_txns", |b| {
+        b.iter(|| std::hint::black_box(text.parse::<History>().unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("history_replay");
+    for txns in [50u32, 200] {
+        let h = random_history(txns, 10, 2);
+        group.throughput(Throughput::Elements(u64::from(txns)));
+        for level in [IsolationLevel::Snapshot, IsolationLevel::WriteSnapshot] {
+            group.bench_with_input(BenchmarkId::new(level.short_name(), txns), &h, |b, h| {
+                b.iter(|| std::hint::black_box(accept::replay(h, level)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_dsg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("history_dsg");
+    for txns in [20u32, 80] {
+        let h = random_history(txns, 8, 3);
+        group.bench_with_input(BenchmarkId::new("build_and_check", txns), &h, |b, h| {
+            b.iter(|| std::hint::black_box(dsg::is_serializable(h)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_serial_construction(c: &mut Criterion) {
+    let h = random_history(100, 10, 4);
+    let mut group = c.benchmark_group("history_serialize");
+    group.bench_function("serial_h_100_txns", |b| {
+        b.iter(|| std::hint::black_box(serialize::serial(&h)));
+    });
+    group.bench_function("equivalence_100_txns", |b| {
+        let s = serialize::serial(&h);
+        b.iter(|| std::hint::black_box(serialize::equivalent(&h, &s)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_replay,
+    bench_dsg,
+    bench_serial_construction
+);
+criterion_main!(benches);

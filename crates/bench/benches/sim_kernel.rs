@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the simulation kernel: these bound how much
+//! virtual time per wall-clock second the figure harness can chew through.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use wsi_sim::{EventQueue, ScrambledZipfian, SimRng, SimTime, Station, Zipfian};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_event_queue");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("schedule_pop_interleaved", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut i = 0u64;
+        // Keep a standing population of ~1000 events.
+        for _ in 0..1000 {
+            q.schedule_after(SimTime(i % 997 + 1), i);
+            i += 1;
+        }
+        b.iter(|| {
+            let (_, e) = q.pop().expect("population maintained");
+            q.schedule_after(SimTime(e % 997 + 1), e);
+            std::hint::black_box(e)
+        });
+    });
+    group.finish();
+}
+
+fn bench_station(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_station");
+    group.throughput(Throughput::Elements(1));
+    for servers in [1usize, 8] {
+        group.bench_function(format!("submit_{servers}_servers"), |b| {
+            let mut s = Station::new(servers);
+            let mut now = SimTime::ZERO;
+            b.iter(|| {
+                now += SimTime(3);
+                std::hint::black_box(s.submit(now, SimTime(5)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_generators");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("zipfian_20m", |b| {
+        let mut z = Zipfian::new(20_000_000);
+        let mut rng = SimRng::new(1);
+        b.iter(|| std::hint::black_box(z.next(&mut rng)));
+    });
+    group.bench_function("scrambled_zipfian_20m", |b| {
+        let mut z = ScrambledZipfian::new(20_000_000);
+        let mut rng = SimRng::new(2);
+        b.iter(|| std::hint::black_box(z.next(&mut rng)));
+    });
+    group.bench_function("uniform_draw", |b| {
+        let mut rng = SimRng::new(3);
+        b.iter(|| std::hint::black_box(rng.below(20_000_000)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_station, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion benchmarks of the embedded store: lock-free SI/WSI commits vs
+//! the Percolator lock-based baseline, read paths, and GC.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use wsi_core::IsolationLevel;
+use wsi_store::{percolator::PercolatorDb, Db, DbOptions};
+
+fn key(i: u64) -> Vec<u8> {
+    format!("row{i:08}").into_bytes()
+}
+
+fn bench_lockfree_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_commit");
+    group.throughput(Throughput::Elements(1));
+    for (name, level) in [
+        ("si", IsolationLevel::Snapshot),
+        ("wsi", IsolationLevel::WriteSnapshot),
+    ] {
+        group.bench_function(format!("lockfree_{name}_rmw_5rows"), |b| {
+            let db = Db::open(DbOptions::new(level));
+            let mut rng = SmallRng::seed_from_u64(7);
+            b.iter(|| {
+                let mut t = db.begin();
+                for _ in 0..5 {
+                    let k = key(rng.gen_range(0..1_000_000));
+                    let _ = t.get(&k);
+                    t.put(&k, b"value");
+                }
+                std::hint::black_box(t.commit().ok())
+            });
+        });
+    }
+    group.bench_function("percolator_si_rmw_5rows", |b| {
+        let db = PercolatorDb::open();
+        let mut rng = SmallRng::seed_from_u64(7);
+        b.iter(|| {
+            let mut t = db.begin();
+            for _ in 0..5 {
+                let k = key(rng.gen_range(0..1_000_000));
+                let _ = t.get(&k);
+                t.put(&k, b"value");
+            }
+            std::hint::black_box(t.commit().ok())
+        });
+    });
+    group.finish();
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_read");
+    group.throughput(Throughput::Elements(1));
+    let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot));
+    let mut seed = db.begin();
+    for i in 0..100_000u64 {
+        seed.put(&key(i), b"value");
+    }
+    seed.commit().unwrap();
+    group.bench_function("snapshot_get", |b| {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut t = db.begin();
+        b.iter(|| {
+            let k = key(rng.gen_range(0..100_000));
+            std::hint::black_box(t.get(&k))
+        });
+    });
+    group.bench_function("read_only_txn_10_gets", |b| {
+        let mut rng = SmallRng::seed_from_u64(10);
+        b.iter(|| {
+            let mut t = db.begin();
+            for _ in 0..10 {
+                let k = key(rng.gen_range(0..100_000));
+                std::hint::black_box(t.get(&k));
+            }
+            t.commit().unwrap()
+        });
+    });
+    group.bench_function("scan_100", |b| {
+        let mut t = db.begin();
+        b.iter(|| std::hint::black_box(t.scan(b"row00050000", None, 100)));
+    });
+    group.finish();
+}
+
+fn bench_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_gc");
+    group.bench_function("gc_10k_superseded_versions", |b| {
+        b.iter_batched(
+            || {
+                let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot));
+                for round in 0..10 {
+                    let mut t = db.begin();
+                    for i in 0..1_000u64 {
+                        t.put(&key(i), format!("v{round}").as_bytes());
+                    }
+                    t.commit().unwrap();
+                }
+                db
+            },
+            |db| std::hint::black_box(db.gc()),
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lockfree_commit, bench_reads, bench_gc);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation: WAL batching factor (paper Appendix A).
+//!
+//! "With a batching factor of 10, BookKeeper is able to persist data of
+//! 200K TPS." This bench sweeps the batch-size trigger and measures the
+//! ledger's record throughput and achieved batching factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wsi_wal::{BatchPolicy, Ledger, LedgerConfig, TxnLogRecord};
+
+fn commit_record(i: u64) -> bytes::Bytes {
+    wsi_wal::encode_record(&TxnLogRecord::Commit {
+        start_ts: i,
+        commit_ts: i + 1,
+        write_rows: vec![i; 10], // the paper's 10-rows-per-txn average
+    })
+}
+
+fn bench_batch_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_batching");
+    group.throughput(Throughput::Elements(1));
+    for max_bytes in [0usize, 256, 1024, 4096, 16_384] {
+        group.bench_with_input(
+            BenchmarkId::new("append_flush", max_bytes),
+            &max_bytes,
+            |b, &max_bytes| {
+                let mut ledger = Ledger::open(LedgerConfig {
+                    replicas: 3,
+                    ack_quorum: 2,
+                    batch: BatchPolicy {
+                        max_bytes,
+                        max_delay_us: 5_000,
+                    },
+                });
+                let mut i = 0u64;
+                b.iter(|| {
+                    ledger.append(commit_record(i), i);
+                    i += 1;
+                    // Size-triggered group commit (time trigger not exercised:
+                    // `now` advances 1 µs per record).
+                    std::hint::black_box(ledger.maybe_flush(i).unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_recovery");
+    for records in [1_000u64, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("recover", records),
+            &records,
+            |b, &records| {
+                let mut ledger = Ledger::open(LedgerConfig::default_replicated());
+                for i in 0..records {
+                    ledger.append(commit_record(i), i);
+                    ledger.maybe_flush(i).unwrap();
+                }
+                ledger.flush(records).unwrap();
+                b.iter(|| std::hint::black_box(ledger.recover().len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_sweep, bench_recovery);
+criterion_main!(benches);

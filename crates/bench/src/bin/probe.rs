@@ -1,0 +1,51 @@
+//! Calibration probe: prints full run diagnostics for a few configurations.
+//!
+//! Not part of the figure harness; useful when re-tuning the latency model.
+//!
+//! ```text
+//! cargo run -p wsi-bench --release --bin probe -- <clients> <dist> <mix> [rows] [warm_s] [measure_s]
+//! ```
+
+use wsi_cluster::{ClusterConfig, Runner};
+use wsi_core::IsolationLevel;
+use wsi_sim::SimTime;
+use wsi_workload::{KeyDistribution, Mix};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let clients: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(40);
+    let dist = match args.get(1).map(String::as_str) {
+        Some("zipf") => KeyDistribution::Zipfian,
+        Some("latest") => KeyDistribution::ZipfianLatest,
+        _ => KeyDistribution::Uniform,
+    };
+    let mix = match args.get(2).map(String::as_str) {
+        Some("mixed") => Mix::Mixed,
+        _ => Mix::Complex,
+    };
+    let rows: u64 = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000_000);
+    let warm: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let measure: u64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(40);
+
+    let mut cfg = ClusterConfig::hbase(IsolationLevel::WriteSnapshot, clients, dist, mix, 1);
+    cfg.workload.rows = rows;
+    cfg.warmup = SimTime::from_secs(warm);
+    cfg.measure = SimTime::from_secs(measure);
+    let r = Runner::new(cfg).run();
+    println!(
+        "clients={clients} dist={dist:?} mix={mix:?} rows={rows}\n  tps={:.1} latency={:.1}ms p99={:.1}ms abort={:.3}\n  cache_hit={:.3} oracle_cpu={:.3}\n  ops: start={:.2}ms read={:.2}ms write={:.2}ms commit={:.2}ms",
+        r.tps,
+        r.mean_latency_ms,
+        r.p99_latency_ms,
+        r.abort_rate,
+        r.cache_hit_rate,
+        r.oracle_cpu_utilization,
+        r.ops.start_ms,
+        r.ops.read_ms,
+        r.ops.write_ms,
+        r.ops.commit_ms
+    );
+}

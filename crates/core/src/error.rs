@@ -1,0 +1,189 @@
+//! Errors and commit outcomes.
+
+use std::fmt;
+
+use crate::{row::RowId, ts::Timestamp};
+
+/// Convenient alias for results in this workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Why the status oracle refused to commit a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// Snapshot isolation: a concurrent committed transaction already wrote
+    /// one of this transaction's *written* rows (write-write conflict,
+    /// Algorithm 1 line 2).
+    WriteWriteConflict {
+        /// The row on which the conflict was detected.
+        row: RowId,
+        /// The conflicting committed transaction's commit timestamp.
+        committed_at: Timestamp,
+    },
+    /// Write-snapshot isolation: a concurrent committed transaction wrote one
+    /// of this transaction's *read* rows (read-write conflict, Algorithm 2
+    /// line 2).
+    ReadWriteConflict {
+        /// The row on which the conflict was detected.
+        row: RowId,
+        /// The conflicting committed transaction's commit timestamp.
+        committed_at: Timestamp,
+    },
+    /// Memory-bounded oracle (Algorithm 3 line 8): the row was not resident
+    /// in `lastCommit` and the transaction's start timestamp predates
+    /// `T_max`, so a conflict cannot be ruled out. Pessimistic — the
+    /// transaction might have been conflict-free.
+    TmaxExceeded {
+        /// The transaction's start timestamp.
+        start_ts: Timestamp,
+        /// The oracle's `T_max` at the time of the check.
+        t_max: Timestamp,
+    },
+    /// The client requested the abort (e.g. an application-level rollback or
+    /// a failed Percolator lock acquisition relayed to the oracle).
+    ClientRequested,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::WriteWriteConflict { row, committed_at } => {
+                write!(
+                    f,
+                    "write-write conflict on {row} (committed at {committed_at})"
+                )
+            }
+            AbortReason::ReadWriteConflict { row, committed_at } => {
+                write!(
+                    f,
+                    "read-write conflict on {row} (committed at {committed_at})"
+                )
+            }
+            AbortReason::TmaxExceeded { start_ts, t_max } => write!(
+                f,
+                "conflict state evicted: start {start_ts} predates T_max {t_max}"
+            ),
+            AbortReason::ClientRequested => write!(f, "abort requested by client"),
+        }
+    }
+}
+
+/// The status oracle's decision on a commit request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// The transaction committed with the given commit timestamp.
+    Committed(Timestamp),
+    /// The transaction aborted.
+    Aborted(AbortReason),
+}
+
+impl CommitOutcome {
+    /// Returns `true` if the outcome is a commit.
+    #[inline]
+    pub fn is_committed(&self) -> bool {
+        matches!(self, CommitOutcome::Committed(_))
+    }
+
+    /// Returns `true` if the outcome is an abort.
+    #[inline]
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, CommitOutcome::Aborted(_))
+    }
+
+    /// Returns the commit timestamp, if committed.
+    #[inline]
+    pub fn commit_ts(&self) -> Option<Timestamp> {
+        match self {
+            CommitOutcome::Committed(ts) => Some(*ts),
+            CommitOutcome::Aborted(_) => None,
+        }
+    }
+
+    /// Returns the abort reason, if aborted.
+    #[inline]
+    pub fn abort_reason(&self) -> Option<AbortReason> {
+        match self {
+            CommitOutcome::Committed(_) => None,
+            CommitOutcome::Aborted(r) => Some(*r),
+        }
+    }
+
+    /// Converts the outcome into a `Result`, mapping aborts to
+    /// [`Error::Aborted`].
+    pub fn into_result(self) -> Result<Timestamp> {
+        match self {
+            CommitOutcome::Committed(ts) => Ok(ts),
+            CommitOutcome::Aborted(reason) => Err(Error::Aborted(reason)),
+        }
+    }
+}
+
+/// Errors surfaced by the core state machine and its embedders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The transaction aborted at commit time.
+    Aborted(AbortReason),
+    /// An operation referenced a transaction the oracle does not know
+    /// (already garbage-collected, never begun, or double-committed).
+    UnknownTransaction(Timestamp),
+    /// An operation was attempted on a transaction that already finished.
+    TransactionFinished(Timestamp),
+    /// The underlying write-ahead log rejected a write (e.g. all replicas
+    /// failed); the commit decision must not be exposed.
+    WalUnavailable(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Aborted(reason) => write!(f, "transaction aborted: {reason}"),
+            Error::UnknownTransaction(ts) => write!(f, "unknown transaction {ts}"),
+            Error::TransactionFinished(ts) => {
+                write!(f, "transaction {ts} has already committed or aborted")
+            }
+            Error::WalUnavailable(msg) => write!(f, "write-ahead log unavailable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        let c = CommitOutcome::Committed(Timestamp(9));
+        assert!(c.is_committed());
+        assert!(!c.is_aborted());
+        assert_eq!(c.commit_ts(), Some(Timestamp(9)));
+        assert_eq!(c.abort_reason(), None);
+        assert_eq!(c.into_result(), Ok(Timestamp(9)));
+
+        let a = CommitOutcome::Aborted(AbortReason::ClientRequested);
+        assert!(a.is_aborted());
+        assert_eq!(a.commit_ts(), None);
+        assert_eq!(
+            a.into_result(),
+            Err(Error::Aborted(AbortReason::ClientRequested))
+        );
+    }
+
+    #[test]
+    fn display_messages_name_the_row() {
+        let r = AbortReason::ReadWriteConflict {
+            row: RowId(5),
+            committed_at: Timestamp(12),
+        };
+        let s = r.to_string();
+        assert!(s.contains("row:5"));
+        assert!(s.contains("ts:12"));
+        assert!(s.contains("read-write"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::UnknownTransaction(Timestamp(1)));
+    }
+}

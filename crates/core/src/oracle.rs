@@ -1,0 +1,742 @@
+//! The status-oracle state machine: Algorithms 1, 2, and 3.
+//!
+//! [`StatusOracleCore`] is the single-threaded core shared by every
+//! embedding in this workspace. It issues start timestamps, decides commit
+//! requests by running the paper's conflict-detection algorithms against a
+//! [`LastCommitTable`], and maintains the [`CommitTable`] that readers use to
+//! resolve snapshot visibility.
+//!
+//! One state machine serves both isolation levels because Algorithms 1 and 2
+//! differ in exactly one place: which row set is checked against
+//! `lastCommit` — the *write* set under snapshot isolation (write-write
+//! conflicts) or the *read* set under write-snapshot isolation (read-write
+//! conflicts). Both record the write set after a successful commit.
+//! Constructing the oracle with a bounded table turns either algorithm into
+//! its memory-bounded Algorithm 3 variant with `T_max` pessimistic aborts.
+
+use crate::{
+    commit_table::{CommitTable, TxnStatus},
+    error::{AbortReason, CommitOutcome},
+    lastcommit::{BoundedLastCommit, LastCommitTable, Probe, UnboundedLastCommit},
+    policy::IsolationLevel,
+    row::{RowId, RowRange},
+    ts::{Timestamp, TimestampSource},
+};
+
+/// A commit request, as sent by a client to the status oracle.
+///
+/// Under snapshot isolation only `write_rows` matters and clients may leave
+/// `read_rows` empty (Algorithm 1); under write-snapshot isolation both sets
+/// are submitted (Algorithm 2). Read-only transactions submit both sets
+/// empty and always commit without any oracle computation (§5.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitRequest {
+    /// The transaction's start timestamp, as issued by [`StatusOracleCore::begin`].
+    pub start_ts: Timestamp,
+    /// Identifiers of all rows the transaction read (`R_r`).
+    pub read_rows: Vec<RowId>,
+    /// Identifiers of all rows the transaction modified (`R_w`).
+    pub write_rows: Vec<RowId>,
+    /// Compact, over-approximated read ranges (§5.2): an analytical
+    /// transaction that scanned row ranges submits them here instead of
+    /// enumerating millions of read rows. Checked only under
+    /// write-snapshot isolation; over-approximation can add aborts but
+    /// never admits a conflicting commit.
+    pub read_ranges: Vec<RowRange>,
+}
+
+impl CommitRequest {
+    /// Creates a commit request.
+    pub fn new(start_ts: Timestamp, read_rows: Vec<RowId>, write_rows: Vec<RowId>) -> Self {
+        CommitRequest {
+            start_ts,
+            read_rows,
+            write_rows,
+            read_ranges: Vec::new(),
+        }
+    }
+
+    /// Attaches compact read ranges (§5.2 analytical transactions).
+    #[must_use]
+    pub fn with_read_ranges(mut self, ranges: Vec<RowRange>) -> Self {
+        self.read_ranges = ranges;
+        self
+    }
+
+    /// Creates a read-only commit request (both sets empty).
+    pub fn read_only(start_ts: Timestamp) -> Self {
+        CommitRequest::new(start_ts, Vec::new(), Vec::new())
+    }
+
+    /// Returns `true` if the transaction performed no writes.
+    ///
+    /// Read-only transactions are exempt from conflict checking and never
+    /// abort (§4.1, condition 3 of the read-write conflict definition).
+    #[inline]
+    pub fn is_read_only(&self) -> bool {
+        self.write_rows.is_empty()
+    }
+}
+
+/// Counters describing the oracle's activity, used by benchmarks and by the
+/// simulator's CPU cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Transactions started.
+    pub begins: u64,
+    /// Write transactions committed.
+    pub commits: u64,
+    /// Read-only transactions committed (fast path, no conflict check).
+    pub read_only_commits: u64,
+    /// Aborts due to a write-write conflict.
+    pub ww_aborts: u64,
+    /// Aborts due to a read-write conflict.
+    pub rw_aborts: u64,
+    /// Pessimistic aborts due to `T_max` (Algorithm 3 only).
+    pub tmax_aborts: u64,
+    /// Aborts explicitly requested by clients.
+    pub client_aborts: u64,
+    /// `lastCommit` probes performed (memory items loaded for checking).
+    pub rows_checked: u64,
+    /// `lastCommit` records written (memory items loaded for updating).
+    pub rows_recorded: u64,
+    /// Range probes performed for analytical read sets (§5.2).
+    pub ranges_checked: u64,
+}
+
+impl OracleStats {
+    /// Total aborts of write transactions for any reason.
+    pub fn total_aborts(&self) -> u64 {
+        self.ww_aborts + self.rw_aborts + self.tmax_aborts + self.client_aborts
+    }
+
+    /// Abort rate over decided write transactions (0 when none decided).
+    pub fn abort_rate(&self) -> f64 {
+        let decided = self.commits + self.total_aborts();
+        if decided == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / decided as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Table {
+    Unbounded(UnboundedLastCommit),
+    Bounded(BoundedLastCommit),
+}
+
+impl Table {
+    fn probe(&self, row: RowId) -> Probe {
+        match self {
+            Table::Unbounded(t) => t.probe(row),
+            Table::Bounded(t) => t.probe(row),
+        }
+    }
+
+    fn record(&mut self, row: RowId, ts: Timestamp) {
+        match self {
+            Table::Unbounded(t) => t.record(row, ts),
+            Table::Bounded(t) => t.record(row, ts),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Table::Unbounded(t) => t.len(),
+            Table::Bounded(t) => t.len(),
+        }
+    }
+
+    fn probe_range(&self, range: RowRange) -> Probe {
+        match self {
+            Table::Unbounded(t) => t.probe_range(range.start, range.end),
+            Table::Bounded(t) => t.probe_range(range.start, range.end),
+        }
+    }
+}
+
+/// The status oracle's deterministic, single-threaded state machine.
+///
+/// Embedders serialize access (a mutex in `wsi-store`, the event loop in
+/// `wsi-oracle`); the paper's implementation likewise "executes the conflict
+/// detection algorithm in a critical section" (§6.3).
+///
+/// # Example: write skew is admitted by SI and refused by WSI
+///
+/// ```
+/// use wsi_core::{CommitRequest, IsolationLevel, RowId, StatusOracleCore};
+///
+/// let (x, y) = (RowId(1), RowId(2));
+/// for (level, expect_both_commit) in [
+///     (IsolationLevel::Snapshot, true),
+///     (IsolationLevel::WriteSnapshot, false),
+/// ] {
+///     let mut o = StatusOracleCore::unbounded(level);
+///     let t1 = o.begin();
+///     let t2 = o.begin();
+///     // History 2: r1[x] r1[y] r2[x] r2[y] w1[x] w2[y] c1 c2.
+///     let c1 = o.commit(CommitRequest::new(t1, vec![x, y], vec![x]));
+///     let c2 = o.commit(CommitRequest::new(t2, vec![x, y], vec![y]));
+///     assert!(c1.is_committed());
+///     assert_eq!(c2.is_committed(), expect_both_commit);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StatusOracleCore {
+    level: IsolationLevel,
+    ts: TimestampSource,
+    last_commit: Table,
+    commit_table: CommitTable,
+    stats: OracleStats,
+}
+
+impl StatusOracleCore {
+    /// Creates an oracle with an unbounded `lastCommit` table
+    /// (Algorithm 1 for [`IsolationLevel::Snapshot`], Algorithm 2 for
+    /// [`IsolationLevel::WriteSnapshot`]).
+    pub fn unbounded(level: IsolationLevel) -> Self {
+        StatusOracleCore {
+            level,
+            ts: TimestampSource::new(),
+            last_commit: Table::Unbounded(UnboundedLastCommit::new()),
+            commit_table: CommitTable::new(),
+            stats: OracleStats::default(),
+        }
+    }
+
+    /// Creates an oracle whose `lastCommit` table retains at most `capacity`
+    /// rows, evicting with `T_max` tracking (Algorithm 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(level: IsolationLevel, capacity: usize) -> Self {
+        StatusOracleCore {
+            level,
+            ts: TimestampSource::new(),
+            last_commit: Table::Bounded(BoundedLastCommit::with_capacity(capacity)),
+            commit_table: CommitTable::new(),
+            stats: OracleStats::default(),
+        }
+    }
+
+    /// The isolation level this oracle enforces.
+    #[inline]
+    pub fn level(&self) -> IsolationLevel {
+        self.level
+    }
+
+    /// Issues a start timestamp for a new transaction.
+    pub fn begin(&mut self) -> Timestamp {
+        self.stats.begins += 1;
+        self.ts.next()
+    }
+
+    /// Decides a commit request (Algorithms 1–3).
+    ///
+    /// Read-only requests commit immediately: the paper shows a read-only
+    /// transaction is equivalent to one shifted to its start point
+    /// (Figure 3), so it needs no commit timestamp and no conflict check; the
+    /// returned outcome carries the transaction's start timestamp.
+    ///
+    /// For write transactions the configured row set is probed against
+    /// `lastCommit`; on success a fresh commit timestamp is issued, the write
+    /// set is recorded, and the commit is registered in the commit table. On
+    /// conflict the transaction is registered as aborted.
+    pub fn commit(&mut self, req: CommitRequest) -> CommitOutcome {
+        if req.is_read_only() {
+            // §5.1: both sets are submitted empty; the oracle commits without
+            // performing any computation for the transaction.
+            self.stats.read_only_commits += 1;
+            return CommitOutcome::Committed(req.start_ts);
+        }
+        match self.check(&req) {
+            Ok(()) => CommitOutcome::Committed(self.commit_unchecked(&req)),
+            Err(reason) => self.register_abort(req.start_ts, reason),
+        }
+    }
+
+    /// Runs the conflict check of Algorithms 1–3 **without mutating state**.
+    ///
+    /// Embedders that must persist the commit decision to a write-ahead log
+    /// *before* exposing it split the commit into `check` +
+    /// [`StatusOracleCore::commit_unchecked`], logging in between while the
+    /// critical section is held. The commit timestamp the subsequent
+    /// `commit_unchecked` will assign is `self.last_issued_ts().next()`.
+    ///
+    /// Read-only requests trivially pass.
+    pub fn check(&mut self, req: &CommitRequest) -> std::result::Result<(), AbortReason> {
+        if req.is_read_only() {
+            return Ok(());
+        }
+        let check_rows: &[RowId] = match self.level {
+            IsolationLevel::Snapshot => &req.write_rows,
+            IsolationLevel::WriteSnapshot => &req.read_rows,
+        };
+        for &row in check_rows {
+            self.stats.rows_checked += 1;
+            match self.last_commit.probe(row) {
+                Probe::Resident(last) if last > req.start_ts => {
+                    return Err(match self.level {
+                        IsolationLevel::Snapshot => AbortReason::WriteWriteConflict {
+                            row,
+                            committed_at: last,
+                        },
+                        IsolationLevel::WriteSnapshot => AbortReason::ReadWriteConflict {
+                            row,
+                            committed_at: last,
+                        },
+                    });
+                }
+                Probe::Resident(_) | Probe::NeverWritten => {}
+                Probe::MaybeEvicted { t_max } if t_max > req.start_ts => {
+                    // Algorithm 3, line 8: the row's state was evicted and a
+                    // conflict cannot be ruled out — abort pessimistically.
+                    return Err(AbortReason::TmaxExceeded {
+                        start_ts: req.start_ts,
+                        t_max,
+                    });
+                }
+                Probe::MaybeEvicted { .. } => {}
+            }
+        }
+        if self.level == IsolationLevel::WriteSnapshot {
+            for &range in &req.read_ranges {
+                self.stats.ranges_checked += 1;
+                match self.last_commit.probe_range(range) {
+                    Probe::Resident(last) if last > req.start_ts => {
+                        return Err(AbortReason::ReadWriteConflict {
+                            // The range probe cannot name the single row; the
+                            // range start identifies the conflicting scan.
+                            row: range.start,
+                            committed_at: last,
+                        });
+                    }
+                    Probe::MaybeEvicted { t_max } if t_max > req.start_ts => {
+                        return Err(AbortReason::TmaxExceeded {
+                            start_ts: req.start_ts,
+                            t_max,
+                        });
+                    }
+                    Probe::Resident(_) | Probe::NeverWritten | Probe::MaybeEvicted { .. } => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits a request that [`StatusOracleCore::check`] already admitted:
+    /// issues the commit timestamp, records the write set in `lastCommit`,
+    /// and registers the commit.
+    ///
+    /// Calling this without a passing `check` under the same critical
+    /// section violates the isolation guarantee; it is public (not
+    /// `unsafe` — memory safety is unaffected) for the WAL-interposing
+    /// embedders described on `check`.
+    pub fn commit_unchecked(&mut self, req: &CommitRequest) -> Timestamp {
+        let commit_ts = self.ts.next();
+        for &row in &req.write_rows {
+            self.stats.rows_recorded += 1;
+            self.last_commit.record(row, commit_ts);
+        }
+        self.commit_table.record_commit(req.start_ts, commit_ts);
+        self.stats.commits += 1;
+        commit_ts
+    }
+
+    /// Registers a conflict abort decided externally via
+    /// [`StatusOracleCore::check`], keeping statistics and the commit table
+    /// consistent with the [`StatusOracleCore::commit`] path.
+    pub fn abort_checked(&mut self, start_ts: Timestamp, reason: AbortReason) {
+        let _ = self.register_abort(start_ts, reason);
+    }
+
+    /// Registers a client-requested abort (application rollback, client
+    /// crash detected by recovery, etc.).
+    pub fn abort(&mut self, start_ts: Timestamp) {
+        self.stats.client_aborts += 1;
+        self.commit_table.record_abort(start_ts);
+    }
+
+    fn register_abort(&mut self, start_ts: Timestamp, reason: AbortReason) -> CommitOutcome {
+        match reason {
+            AbortReason::WriteWriteConflict { .. } => self.stats.ww_aborts += 1,
+            AbortReason::ReadWriteConflict { .. } => self.stats.rw_aborts += 1,
+            AbortReason::TmaxExceeded { .. } => self.stats.tmax_aborts += 1,
+            AbortReason::ClientRequested => self.stats.client_aborts += 1,
+        }
+        self.commit_table.record_abort(start_ts);
+        CommitOutcome::Aborted(reason)
+    }
+
+    /// Queries a transaction's status (§2.2 reader-side visibility support).
+    pub fn status(&self, start_ts: Timestamp) -> TxnStatus {
+        self.commit_table.status(start_ts)
+    }
+
+    /// Read access to the commit table, e.g. to snapshot a client replica.
+    pub fn commit_table(&self) -> &CommitTable {
+        &self.commit_table
+    }
+
+    /// Current `T_max` (always [`Timestamp::ZERO`] for unbounded oracles).
+    pub fn t_max(&self) -> Timestamp {
+        match &self.last_commit {
+            Table::Unbounded(_) => Timestamp::ZERO,
+            Table::Bounded(t) => t.t_max(),
+        }
+    }
+
+    /// Number of rows resident in `lastCommit`.
+    pub fn resident_rows(&self) -> usize {
+        self.last_commit.len()
+    }
+
+    /// The most recently issued timestamp.
+    pub fn last_issued_ts(&self) -> Timestamp {
+        self.ts.last_issued()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> OracleStats {
+        self.stats
+    }
+
+    /// Re-applies a committed transaction during WAL recovery.
+    ///
+    /// Restores the `lastCommit` rows, the commit-table entry, and advances
+    /// the timestamp counter past `commit_ts` so no timestamp is ever
+    /// reissued. Recovery replays records in WAL order, which is commit
+    /// order, so `lastCommit` ends in the same state as before the crash.
+    pub fn replay_commit(&mut self, start_ts: Timestamp, commit_ts: Timestamp, rows: &[RowId]) {
+        self.ts.advance_to(commit_ts);
+        for &row in rows {
+            self.last_commit.record(row, commit_ts);
+        }
+        self.commit_table.record_commit(start_ts, commit_ts);
+    }
+
+    /// Re-applies an aborted transaction during WAL recovery.
+    pub fn replay_abort(&mut self, start_ts: Timestamp) {
+        self.ts.advance_to(start_ts);
+        self.commit_table.record_abort(start_ts);
+    }
+
+    /// Advances the timestamp counter past `bound` without recording any
+    /// transaction — the recovery action for a timestamp-reservation WAL
+    /// record (§6.2): timestamps up to the persisted bound may have been
+    /// issued before the crash and must never be reissued.
+    pub fn advance_timestamps(&mut self, bound: Timestamp) {
+        self.ts.advance_to(bound);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(ids: &[u64]) -> Vec<RowId> {
+        ids.iter().map(|&i| RowId(i)).collect()
+    }
+
+    #[test]
+    fn si_first_committer_wins_on_ww_conflict() {
+        // Algorithm 1 "commits the transaction for which the commit request
+        // is received sooner".
+        let mut o = StatusOracleCore::unbounded(IsolationLevel::Snapshot);
+        let t1 = o.begin();
+        let t2 = o.begin();
+        assert!(o
+            .commit(CommitRequest::new(t1, vec![], rows(&[7])))
+            .is_committed());
+        let out = o.commit(CommitRequest::new(t2, vec![], rows(&[7])));
+        assert_eq!(
+            out.abort_reason(),
+            Some(AbortReason::WriteWriteConflict {
+                row: RowId(7),
+                committed_at: Timestamp(3),
+            })
+        );
+    }
+
+    #[test]
+    fn si_allows_disjoint_writes() {
+        let mut o = StatusOracleCore::unbounded(IsolationLevel::Snapshot);
+        let t1 = o.begin();
+        let t2 = o.begin();
+        assert!(o
+            .commit(CommitRequest::new(t1, rows(&[1]), rows(&[2])))
+            .is_committed());
+        // Write skew: t2 read row 2 (now stale) but writes only row 1.
+        assert!(o
+            .commit(CommitRequest::new(t2, rows(&[2]), rows(&[1])))
+            .is_committed());
+    }
+
+    #[test]
+    fn wsi_aborts_on_rw_conflict() {
+        let mut o = StatusOracleCore::unbounded(IsolationLevel::WriteSnapshot);
+        let t1 = o.begin();
+        let t2 = o.begin();
+        assert!(o
+            .commit(CommitRequest::new(t1, rows(&[1]), rows(&[2])))
+            .is_committed());
+        let out = o.commit(CommitRequest::new(t2, rows(&[2]), rows(&[1])));
+        assert!(matches!(
+            out.abort_reason(),
+            Some(AbortReason::ReadWriteConflict { row: RowId(2), .. })
+        ));
+    }
+
+    #[test]
+    fn wsi_allows_blind_write_overlap() {
+        // History 4: r1[x] w2[x] w1[x] c1 c2 — SI aborts one, WSI commits
+        // both because neither writes into the other's read set in the
+        // rw-temporal window.
+        let mut o = StatusOracleCore::unbounded(IsolationLevel::WriteSnapshot);
+        let t1 = o.begin();
+        let t2 = o.begin();
+        // t1 read x before any commit; t2 blind-writes x.
+        assert!(o
+            .commit(CommitRequest::new(t1, rows(&[1]), rows(&[1])))
+            .is_committed());
+        // t2 has an empty read set: nothing to conflict on.
+        assert!(o
+            .commit(CommitRequest::new(t2, vec![], rows(&[1])))
+            .is_committed());
+    }
+
+    #[test]
+    fn si_aborts_blind_write_overlap() {
+        let mut o = StatusOracleCore::unbounded(IsolationLevel::Snapshot);
+        let t1 = o.begin();
+        let t2 = o.begin();
+        assert!(o
+            .commit(CommitRequest::new(t1, rows(&[1]), rows(&[1])))
+            .is_committed());
+        assert!(o
+            .commit(CommitRequest::new(t2, vec![], rows(&[1])))
+            .is_aborted());
+    }
+
+    #[test]
+    fn read_only_txns_never_abort_and_cost_nothing() {
+        for level in [IsolationLevel::Snapshot, IsolationLevel::WriteSnapshot] {
+            let mut o = StatusOracleCore::unbounded(level);
+            let t1 = o.begin();
+            let t2 = o.begin();
+            // A write transaction commits, modifying a row t2 read.
+            assert!(o
+                .commit(CommitRequest::new(t1, vec![], rows(&[1])))
+                .is_committed());
+            // t2 is read-only over that same row: still commits, and the
+            // oracle performed no conflict probes for it.
+            let before = o.stats().rows_checked;
+            let out = o.commit(CommitRequest::new(t2, rows(&[1]), vec![]));
+            assert!(out.is_committed());
+            assert_eq!(o.stats().rows_checked, before);
+            assert_eq!(o.stats().read_only_commits, 1);
+        }
+    }
+
+    #[test]
+    fn non_overlapping_transactions_commit_sequentially() {
+        let mut o = StatusOracleCore::unbounded(IsolationLevel::WriteSnapshot);
+        for _ in 0..100 {
+            let t = o.begin();
+            assert!(o
+                .commit(CommitRequest::new(t, rows(&[1]), rows(&[1])))
+                .is_committed());
+        }
+        assert_eq!(o.stats().commits, 100);
+        assert_eq!(o.stats().total_aborts(), 0);
+    }
+
+    #[test]
+    fn commit_timestamps_are_issued_in_decision_order() {
+        let mut o = StatusOracleCore::unbounded(IsolationLevel::WriteSnapshot);
+        let t1 = o.begin();
+        let t2 = o.begin();
+        let c2 = o
+            .commit(CommitRequest::new(t2, vec![], rows(&[2])))
+            .commit_ts()
+            .unwrap();
+        let c1 = o
+            .commit(CommitRequest::new(t1, vec![], rows(&[1])))
+            .commit_ts()
+            .unwrap();
+        assert!(c2 < c1, "first decided commit gets the smaller timestamp");
+        assert!(c2 > t2 && c1 > t1);
+    }
+
+    #[test]
+    fn bounded_oracle_tmax_aborts_old_transactions() {
+        let mut o = StatusOracleCore::bounded(IsolationLevel::WriteSnapshot, 2);
+        let old = o.begin();
+        // Enough commits to evict everything the old txn might care about.
+        for i in 10..20u64 {
+            let t = o.begin();
+            assert!(o
+                .commit(CommitRequest::new(t, vec![], rows(&[i])))
+                .is_committed());
+        }
+        assert!(o.t_max() > Timestamp::ZERO);
+        // `old` reads a row nobody ever wrote; resident info is gone, so the
+        // oracle must pessimistically abort (Algorithm 3 line 8).
+        let out = o.commit(CommitRequest::new(old, rows(&[999]), rows(&[1000])));
+        assert!(matches!(
+            out.abort_reason(),
+            Some(AbortReason::TmaxExceeded { .. })
+        ));
+        assert_eq!(o.stats().tmax_aborts, 1);
+    }
+
+    #[test]
+    fn bounded_oracle_commits_recent_transactions() {
+        let mut o = StatusOracleCore::bounded(IsolationLevel::WriteSnapshot, 4);
+        for i in 0..100u64 {
+            let t = o.begin();
+            // Recent transaction: starts after all evictions that could
+            // matter, so T_max < start and it commits.
+            assert!(o
+                .commit(CommitRequest::new(t, rows(&[i]), rows(&[i])))
+                .is_committed());
+        }
+        assert_eq!(o.stats().tmax_aborts, 0);
+    }
+
+    #[test]
+    fn bounded_never_admits_what_unbounded_refuses() {
+        // Deterministic interleaving check; the proptest version lives in
+        // tests/ and randomizes schedules.
+        let mut u = StatusOracleCore::unbounded(IsolationLevel::WriteSnapshot);
+        let mut b = StatusOracleCore::bounded(IsolationLevel::WriteSnapshot, 2);
+        let schedule: Vec<(u64, u64)> = (0..50).map(|i| (i % 7, (i * 3) % 7)).collect();
+        let mut pending_u = Vec::new();
+        let mut pending_b = Vec::new();
+        for (i, &(r, w)) in schedule.iter().enumerate() {
+            pending_u.push((u.begin(), r, w));
+            pending_b.push((b.begin(), r, w));
+            if i % 3 == 2 {
+                for ((ts_u, r, w), (ts_b, _, _)) in pending_u.drain(..).zip(pending_b.drain(..)) {
+                    let out_u = u.commit(CommitRequest::new(ts_u, rows(&[r]), rows(&[w])));
+                    let out_b = b.commit(CommitRequest::new(ts_b, rows(&[r]), rows(&[w])));
+                    if out_u.is_aborted() {
+                        assert!(out_b.is_aborted(), "bounded admitted a refused commit");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replay_reconstructs_conflict_state() {
+        let mut o = StatusOracleCore::unbounded(IsolationLevel::WriteSnapshot);
+        let t1 = o.begin();
+        let t2 = o.begin(); // concurrent reader, still in flight at crash time
+        let c1 = o
+            .commit(CommitRequest::new(t1, vec![], rows(&[7])))
+            .commit_ts()
+            .unwrap();
+
+        // Fresh oracle recovers from the "WAL".
+        let mut r = StatusOracleCore::unbounded(IsolationLevel::WriteSnapshot);
+        r.replay_commit(t1, c1, &rows(&[7]));
+        assert_eq!(r.status(t1), TxnStatus::Committed(c1));
+        assert!(r.last_issued_ts() >= c1);
+
+        // The in-flight transaction that read row 7 before the recovered
+        // commit aborts, exactly as it would have pre-crash.
+        let out = r.commit(CommitRequest::new(t2, rows(&[7]), rows(&[8])));
+        assert!(out.is_aborted());
+    }
+
+    #[test]
+    fn abort_rate_stat() {
+        let mut o = StatusOracleCore::unbounded(IsolationLevel::Snapshot);
+        let t1 = o.begin();
+        let t2 = o.begin();
+        assert!(o
+            .commit(CommitRequest::new(t1, vec![], rows(&[1])))
+            .is_committed());
+        assert!(o
+            .commit(CommitRequest::new(t2, vec![], rows(&[1])))
+            .is_aborted());
+        assert!((o.stats().abort_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_read_set_detects_conflicts() {
+        let mut o = StatusOracleCore::unbounded(IsolationLevel::WriteSnapshot);
+        let scanner = o.begin();
+        let writer = o.begin();
+        // A writer commits into row 500 during the scanner's lifetime.
+        assert!(o
+            .commit(CommitRequest::new(writer, vec![], rows(&[500])))
+            .is_committed());
+        // The analytical scanner read rows [0, 1000) as a compact range.
+        let req = CommitRequest::new(scanner, vec![], rows(&[2000]))
+            .with_read_ranges(vec![crate::RowRange::new(0, 1000)]);
+        let out = o.commit(req);
+        assert!(matches!(
+            out.abort_reason(),
+            Some(AbortReason::ReadWriteConflict { .. })
+        ));
+        assert_eq!(o.stats().ranges_checked, 1);
+    }
+
+    #[test]
+    fn range_read_set_passes_when_untouched() {
+        let mut o = StatusOracleCore::unbounded(IsolationLevel::WriteSnapshot);
+        let scanner = o.begin();
+        let writer = o.begin();
+        assert!(o
+            .commit(CommitRequest::new(writer, vec![], rows(&[5000])))
+            .is_committed());
+        let req = CommitRequest::new(scanner, vec![], rows(&[6000]))
+            .with_read_ranges(vec![crate::RowRange::new(0, 1000)]);
+        assert!(o.commit(req).is_committed());
+    }
+
+    #[test]
+    fn range_read_set_over_approximates() {
+        // The writer's row was *not* read by the scan, but the compact
+        // range covers it: the abort is unnecessary yet safe (§5.2 names
+        // exactly this trade-off).
+        let mut o = StatusOracleCore::unbounded(IsolationLevel::WriteSnapshot);
+        let scanner = o.begin();
+        let writer = o.begin();
+        assert!(o
+            .commit(CommitRequest::new(writer, vec![], rows(&[999])))
+            .is_committed());
+        let req = CommitRequest::new(scanner, vec![], rows(&[2000]))
+            .with_read_ranges(vec![crate::RowRange::new(0, 1000)]);
+        assert!(o.commit(req).is_aborted());
+    }
+
+    #[test]
+    fn ranges_ignored_under_snapshot_isolation() {
+        // SI checks write-write conflicts only; read ranges don't apply.
+        let mut o = StatusOracleCore::unbounded(IsolationLevel::Snapshot);
+        let scanner = o.begin();
+        let writer = o.begin();
+        assert!(o
+            .commit(CommitRequest::new(writer, vec![], rows(&[500])))
+            .is_committed());
+        let req = CommitRequest::new(scanner, vec![], rows(&[2000]))
+            .with_read_ranges(vec![crate::RowRange::new(0, 1000)]);
+        assert!(o.commit(req).is_committed());
+        assert_eq!(o.stats().ranges_checked, 0);
+    }
+
+    #[test]
+    fn client_abort_is_recorded() {
+        let mut o = StatusOracleCore::unbounded(IsolationLevel::WriteSnapshot);
+        let t = o.begin();
+        o.abort(t);
+        assert_eq!(o.status(t), TxnStatus::Aborted);
+        assert_eq!(o.stats().client_aborts, 1);
+    }
+}

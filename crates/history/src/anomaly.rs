@@ -1,0 +1,250 @@
+//! Detectors for the classic isolation anomalies (§3.2).
+//!
+//! Two families of anomalies appear in the paper:
+//!
+//! * The **ANSI anomalies** — dirty read, fuzzy read — are interleaving
+//!   phenomena of single-version execution; any snapshot-reading system
+//!   avoids them by construction ("this is independent of the particular
+//!   conflict detection mechanism", §3.2). Their detectors here scan the
+//!   raw operation order, which is useful for analyzing lock-based or
+//!   single-version schedules and for demonstrating on examples *why*
+//!   MVCC executions never produce them.
+//! * The **MVCC anomalies** — lost update and write skew — are defined over
+//!   snapshot semantics and transaction overlap, and are exactly what the
+//!   write-write/read-write conflict rules target.
+
+use std::collections::BTreeSet;
+
+use crate::ops::{History, Op};
+
+/// Dirty read: some transaction reads an item after another transaction
+/// wrote it and before that writer commits or aborts (ANSI P1).
+pub fn has_dirty_read(history: &History) -> bool {
+    let ops = history.ops();
+    for (i, op) in ops.iter().enumerate() {
+        let Op::Write(writer, item) = op else {
+            continue;
+        };
+        // Find the writer's termination.
+        let end = ops[i..]
+            .iter()
+            .position(|o| matches!(o, Op::Commit(t) | Op::Abort(t) if t == writer))
+            .map(|p| i + p)
+            .unwrap_or(ops.len());
+        if ops[i + 1..end]
+            .iter()
+            .any(|o| matches!(o, Op::Read(reader, it) if reader != writer && it == item))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Fuzzy (non-repeatable) read: a transaction reads an item twice and a
+/// concurrent transaction's committed write to that item falls between the
+/// two reads (ANSI P2).
+pub fn has_fuzzy_read(history: &History) -> bool {
+    let ops = history.ops();
+    for (i, first) in ops.iter().enumerate() {
+        let Op::Read(reader, item) = first else {
+            continue;
+        };
+        let reader_end = ops[i..]
+            .iter()
+            .position(|o| matches!(o, Op::Commit(t) | Op::Abort(t) if t == reader))
+            .map(|p| i + p)
+            .unwrap_or(ops.len());
+        for (j, mid) in ops.iter().enumerate().take(reader_end).skip(i + 1) {
+            let Op::Write(writer, it) = mid else {
+                continue;
+            };
+            if writer == reader || it != item {
+                continue;
+            }
+            let writer_committed_by = ops[j..reader_end]
+                .iter()
+                .position(|o| matches!(o, Op::Commit(t) if t == writer))
+                .map(|p| j + p);
+            let Some(commit_at) = writer_committed_by else {
+                continue;
+            };
+            if ops[commit_at..reader_end]
+                .iter()
+                .any(|o| matches!(o, Op::Read(r, it2) if r == reader && it2 == item))
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Lost update under snapshot semantics: committed transactions `i ≠ j`
+/// both write `x`, `j` read `x` from a snapshot that excludes `i`'s commit,
+/// and `j` commits after `i` — so `j`'s version supersedes `i`'s without
+/// having seen it (the paper's History 3; History 4's blind write is
+/// correctly *not* flagged).
+pub fn has_lost_update(history: &History) -> bool {
+    let committed = history.committed();
+    for &i in &committed {
+        let Some(ci) = history.commit_pos(i) else {
+            continue;
+        };
+        for &j in &committed {
+            if i == j {
+                continue;
+            }
+            let (Some(sj), Some(cj)) = (history.start_pos(j), history.commit_pos(j)) else {
+                continue;
+            };
+            if !(sj < ci && ci < cj) {
+                continue; // i must commit during j's lifetime
+            }
+            let wi: BTreeSet<_> = history.write_set(i).into_iter().collect();
+            let wj: BTreeSet<_> = history.write_set(j).into_iter().collect();
+            for x in wi.intersection(&wj) {
+                // `j`'s read of `x` only observes *database* state if it
+                // precedes `j`'s own first write of `x`; a later read
+                // returns the buffered own-write (read-your-writes), making
+                // `j`'s overwrite blind — History 4, not a lost update.
+                let j_read = history
+                    .ops()
+                    .iter()
+                    .position(|op| matches!(op, Op::Read(t, it) if *t == j && it == x));
+                let j_write = history
+                    .ops()
+                    .iter()
+                    .position(|op| matches!(op, Op::Write(t, it) if *t == j && it == x));
+                if let (Some(r), Some(w)) = (j_read, j_write) {
+                    if r < w {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Write skew under snapshot semantics: concurrent committed transactions
+/// with disjoint write sets that each read something the other writes (the
+/// paper's History 1/2 shape, violating constraints spanning both items).
+pub fn has_write_skew(history: &History) -> bool {
+    let committed = history.committed();
+    for (a, &i) in committed.iter().enumerate() {
+        for &j in committed.iter().skip(a + 1) {
+            let (Some(si), Some(ci)) = (history.start_pos(i), history.commit_pos(i)) else {
+                continue;
+            };
+            let (Some(sj), Some(cj)) = (history.start_pos(j), history.commit_pos(j)) else {
+                continue;
+            };
+            if !(si < cj && sj < ci) {
+                continue; // must be concurrent
+            }
+            let wi: BTreeSet<_> = history.write_set(i).into_iter().collect();
+            let wj: BTreeSet<_> = history.write_set(j).into_iter().collect();
+            if !wi.is_disjoint(&wj) {
+                continue; // write-write overlap is not *skew*
+            }
+            let ri: BTreeSet<_> = history.read_set(i).into_iter().collect();
+            let rj: BTreeSet<_> = history.read_set(j).into_iter().collect();
+            if ri.intersection(&wj).next().is_some() && rj.intersection(&wi).next().is_some() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Every anomaly detected in a history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnomalyReport {
+    /// ANSI P1 over the raw interleaving.
+    pub dirty_read: bool,
+    /// ANSI P2 over the raw interleaving.
+    pub fuzzy_read: bool,
+    /// Snapshot-semantics lost update.
+    pub lost_update: bool,
+    /// Snapshot-semantics write skew.
+    pub write_skew: bool,
+}
+
+/// Runs every detector.
+pub fn analyze(history: &History) -> AnomalyReport {
+    AnomalyReport {
+        dirty_read: has_dirty_read(history),
+        fuzzy_read: has_fuzzy_read(history),
+        lost_update: has_lost_update(history),
+        write_skew: has_write_skew(history),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+
+    fn h(s: &str) -> History {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn dirty_read_detected() {
+        assert!(has_dirty_read(&h("w1[x] r2[x] c1 c2")));
+        assert!(has_dirty_read(&h("w1[x] r2[x] a1 c2"))); // reading a doomed write
+        assert!(!has_dirty_read(&h("w1[x] c1 r2[x] c2")));
+        assert!(!has_dirty_read(&h("w1[x] r1[x] c1"))); // own read is fine
+    }
+
+    #[test]
+    fn fuzzy_read_detected() {
+        assert!(has_fuzzy_read(&h("r1[x] w2[x] c2 r1[x] c1")));
+        // Writer does not commit between the reads: not (yet) fuzzy.
+        assert!(!has_fuzzy_read(&h("r1[x] w2[x] r1[x] c1 c2")));
+        // Single read: nothing to be non-repeatable about.
+        assert!(!has_fuzzy_read(&h("r1[x] w2[x] c2 c1")));
+    }
+
+    #[test]
+    fn lost_update_on_h3_not_h4() {
+        assert!(has_lost_update(&examples::h3()));
+        assert!(
+            !has_lost_update(&examples::h4()),
+            "blind write is not a lost update (paper §3.2)"
+        );
+        assert!(!has_lost_update(&examples::h5()));
+    }
+
+    #[test]
+    fn write_skew_on_h1_and_h2_only() {
+        assert!(has_write_skew(&examples::h1()));
+        assert!(has_write_skew(&examples::h2()));
+        assert!(!has_write_skew(&examples::h3())); // overlap is write-write
+        assert!(!has_write_skew(&examples::h4()));
+        assert!(!has_write_skew(&examples::h6())); // one-directional read-write
+    }
+
+    #[test]
+    fn serial_histories_have_no_anomalies() {
+        for hist in [examples::h5(), examples::h7()] {
+            let report = analyze(&hist);
+            assert_eq!(report, AnomalyReport::default(), "in {hist}");
+        }
+    }
+
+    #[test]
+    fn uncommitted_overwriter_is_not_lost_update() {
+        assert!(!has_lost_update(&h("r1[x] r2[x] w2[x] w1[x] c1")));
+    }
+
+    #[test]
+    fn read_own_write_is_a_blind_overwrite_not_lost_update() {
+        // t2 writes x, then reads it back (own write), then commits after a
+        // concurrent committed writer: shape of History 4, not History 3.
+        assert!(!has_lost_update(&h("w2[x] w1[x] c1 r2[x] c2")));
+        // But a genuine stale read before the own write still counts.
+        assert!(has_lost_update(&h("r2[x] w1[x] c1 w2[x] c2")));
+    }
+}

@@ -1,0 +1,94 @@
+//! The paper's example histories (Section 3 and 4).
+
+use crate::ops::History;
+
+fn parse(s: &str) -> History {
+    s.parse().expect("example histories are well-formed")
+}
+
+/// History 1: `r1[x] r2[y] w1[y] w2[x] c1 c2` — admitted by snapshot
+/// isolation (no write-write overlap) but not serializable.
+pub fn h1() -> History {
+    parse("r1[x] r2[y] w1[y] w2[x] c1 c2")
+}
+
+/// History 2: `r1[x] r1[y] r2[x] r2[y] w1[x] w2[y] c1 c2` — *write skew*:
+/// with constraint `x + y > 0` and `x = y = 1`, both transactions validate
+/// the constraint and decrement, leaving `x = y = 0`.
+pub fn h2() -> History {
+    parse("r1[x] r1[y] r2[x] r2[y] w1[x] w2[y] c1 c2")
+}
+
+/// History 3: `r1[x] r2[x] w2[x] w1[x] c1 c2` — *lost update*: txn2's
+/// version is computed from a stale read, so txn1's committed update is
+/// lost. Prevented by both SI (write-write) and WSI (read-write).
+pub fn h3() -> History {
+    parse("r1[x] r2[x] w2[x] w1[x] c1 c2")
+}
+
+/// History 4: `r1[x] w2[x] w1[x] c1 c2` — txn2 writes x *blindly* (no
+/// read), so no update is lost; the history is serializable (equivalent to
+/// [`h5`]), yet snapshot isolation unnecessarily aborts it.
+pub fn h4() -> History {
+    parse("r1[x] w2[x] w1[x] c1 c2")
+}
+
+/// History 5: `r1[x] w1[x] c1 w2[x] c2` — the serial equivalent of
+/// [`h4`].
+pub fn h5() -> History {
+    parse("r1[x] w1[x] c1 w2[x] c2")
+}
+
+/// History 6: `r1[x] r2[z] w2[x] w1[y] c2 c1` — serializable (equivalent
+/// to [`h7`]) yet prevented by write-snapshot isolation: txn2 commits
+/// during txn1's lifetime and writes into txn1's read set.
+pub fn h6() -> History {
+    parse("r1[x] r2[z] w2[x] w1[y] c2 c1")
+}
+
+/// History 7: `r1[x] w1[y] c1 r2[z] w2[x] c2` — the serial equivalent of
+/// [`h6`].
+pub fn h7() -> History {
+    parse("r1[x] w1[y] c1 r2[z] w2[x] c2")
+}
+
+/// All seven example histories with their paper numbers.
+pub fn all() -> Vec<(u32, History)> {
+    vec![
+        (1, h1()),
+        (2, h2()),
+        (3, h3()),
+        (4, h4()),
+        (5, h5()),
+        (6, h6()),
+        (7, h7()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn examples_match_paper_text() {
+        assert_eq!(h1().to_string(), "r1[x] r2[y] w1[y] w2[x] c1 c2");
+        assert_eq!(
+            h2().to_string(),
+            "r1[x] r1[y] r2[x] r2[y] w1[x] w2[y] c1 c2"
+        );
+        assert_eq!(h3().to_string(), "r1[x] r2[x] w2[x] w1[x] c1 c2");
+        assert_eq!(h4().to_string(), "r1[x] w2[x] w1[x] c1 c2");
+        assert_eq!(h5().to_string(), "r1[x] w1[x] c1 w2[x] c2");
+        assert_eq!(h6().to_string(), "r1[x] r2[z] w2[x] w1[y] c2 c1");
+        assert_eq!(h7().to_string(), "r1[x] w1[y] c1 r2[z] w2[x] c2");
+        assert_eq!(all().len(), 7);
+    }
+
+    #[test]
+    fn serial_examples_are_serial() {
+        assert!(h5().is_serial());
+        assert!(h7().is_serial());
+        assert!(!h4().is_serial());
+        assert!(!h6().is_serial());
+    }
+}

@@ -1,0 +1,304 @@
+//! The history notation: operations, histories, parsing, printing.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+
+/// A transaction label within a history (`1` in `r1[x]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u32);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+/// One operation in a history.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `rN[item]` — transaction `N` reads `item`.
+    Read(TxnId, String),
+    /// `wN[item]` — transaction `N` writes `item`.
+    Write(TxnId, String),
+    /// `cN` — transaction `N` commits.
+    Commit(TxnId),
+    /// `aN` — transaction `N` aborts.
+    Abort(TxnId),
+}
+
+impl Op {
+    /// The transaction this operation belongs to.
+    pub fn txn(&self) -> TxnId {
+        match self {
+            Op::Read(t, _) | Op::Write(t, _) | Op::Commit(t) | Op::Abort(t) => *t,
+        }
+    }
+
+    /// The item touched, for read/write operations.
+    pub fn item(&self) -> Option<&str> {
+        match self {
+            Op::Read(_, i) | Op::Write(_, i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read(t, i) => write!(f, "r{}[{}]", t.0, i),
+            Op::Write(t, i) => write!(f, "w{}[{}]", t.0, i),
+            Op::Commit(t) => write!(f, "c{}", t.0),
+            Op::Abort(t) => write!(f, "a{}", t.0),
+        }
+    }
+}
+
+/// Errors from [`History::from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The offending token.
+    pub token: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse {:?}: {}", self.token, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A linear ordering of transaction operations (Berenson et al. notation).
+///
+/// # Example
+///
+/// ```
+/// use wsi_history::History;
+///
+/// let h: History = "r1[x] r2[y] w1[y] w2[x] c1 c2".parse().unwrap();
+/// assert_eq!(h.ops().len(), 6);
+/// assert_eq!(h.to_string(), "r1[x] r2[y] w1[y] w2[x] c1 c2");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct History {
+    ops: Vec<Op>,
+}
+
+impl History {
+    /// Creates a history from operations.
+    pub fn new(ops: Vec<Op>) -> Self {
+        History { ops }
+    }
+
+    /// The operations in order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// All transaction ids appearing, in ascending order.
+    pub fn txns(&self) -> Vec<TxnId> {
+        let set: BTreeSet<TxnId> = self.ops.iter().map(Op::txn).collect();
+        set.into_iter().collect()
+    }
+
+    /// Transactions with a commit operation.
+    pub fn committed(&self) -> Vec<TxnId> {
+        let set: BTreeSet<TxnId> = self
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Commit(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Position of a transaction's first operation (its logical start).
+    pub fn start_pos(&self, txn: TxnId) -> Option<usize> {
+        self.ops.iter().position(|op| op.txn() == txn)
+    }
+
+    /// Position of a transaction's commit, if it commits.
+    pub fn commit_pos(&self, txn: TxnId) -> Option<usize> {
+        self.ops
+            .iter()
+            .position(|op| matches!(op, Op::Commit(t) if *t == txn))
+    }
+
+    /// Items read by `txn` before its commit/abort, in first-read order.
+    pub fn read_set(&self, txn: TxnId) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for op in &self.ops {
+            if let Op::Read(t, item) = op {
+                if *t == txn && seen.insert(item.clone()) {
+                    out.push(item.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Items written by `txn`, in first-write order.
+    pub fn write_set(&self, txn: TxnId) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for op in &self.ops {
+            if let Op::Write(t, item) = op {
+                if *t == txn && seen.insert(item.clone()) {
+                    out.push(item.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if `txn` performed no writes.
+    pub fn is_read_only(&self, txn: TxnId) -> bool {
+        self.write_set(txn).is_empty()
+    }
+
+    /// Returns `true` if the history is *serial*: transactions do not
+    /// interleave (every transaction's operations form a contiguous block).
+    pub fn is_serial(&self) -> bool {
+        let mut finished: BTreeSet<TxnId> = BTreeSet::new();
+        let mut current: Option<TxnId> = None;
+        for op in &self.ops {
+            let t = op.txn();
+            if finished.contains(&t) {
+                return false; // resumed after another txn ran
+            }
+            match current {
+                Some(c) if c == t => {}
+                Some(c) => {
+                    finished.insert(c);
+                    current = Some(t);
+                }
+                None => current = Some(t),
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for History {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut ops = Vec::new();
+        for token in s.split_whitespace() {
+            ops.push(parse_op(token)?);
+        }
+        Ok(History { ops })
+    }
+}
+
+fn parse_op(token: &str) -> Result<Op, ParseError> {
+    let err = |message: &str| ParseError {
+        token: token.to_string(),
+        message: message.to_string(),
+    };
+    let mut chars = token.chars();
+    let kind = chars.next().ok_or_else(|| err("empty token"))?;
+    let rest: String = chars.collect();
+    match kind {
+        'r' | 'w' => {
+            let open = rest.find('[').ok_or_else(|| err("expected `[`"))?;
+            if !rest.ends_with(']') {
+                return Err(err("expected trailing `]`"));
+            }
+            let id: u32 = rest[..open]
+                .parse()
+                .map_err(|_| err("bad transaction number"))?;
+            let item = &rest[open + 1..rest.len() - 1];
+            if item.is_empty() {
+                return Err(err("empty item"));
+            }
+            let txn = TxnId(id);
+            Ok(if kind == 'r' {
+                Op::Read(txn, item.to_string())
+            } else {
+                Op::Write(txn, item.to_string())
+            })
+        }
+        'c' | 'a' => {
+            let id: u32 = rest.parse().map_err(|_| err("bad transaction number"))?;
+            Ok(if kind == 'c' {
+                Op::Commit(TxnId(id))
+            } else {
+                Op::Abort(TxnId(id))
+            })
+        }
+        _ => Err(err("operations are r/w/c/a")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_print_roundtrip() {
+        let text = "r1[x] r2[y] w1[y] w2[x] c1 c2";
+        let h: History = text.parse().unwrap();
+        assert_eq!(h.to_string(), text);
+    }
+
+    #[test]
+    fn parse_multi_digit_and_multi_char() {
+        let h: History = "r12[foo] w12[bar_baz] c12".parse().unwrap();
+        assert_eq!(h.txns(), vec![TxnId(12)]);
+        assert_eq!(h.read_set(TxnId(12)), vec!["foo".to_string()]);
+        assert_eq!(h.write_set(TxnId(12)), vec!["bar_baz".to_string()]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("x1[y]".parse::<History>().is_err());
+        assert!("r[y]".parse::<History>().is_err());
+        assert!("r1[]".parse::<History>().is_err());
+        assert!("r1 x".parse::<History>().is_err());
+        assert!("c".parse::<History>().is_err());
+    }
+
+    #[test]
+    fn sets_and_positions() {
+        let h: History = "r1[x] r2[y] w1[y] w1[y] c1 c2".parse().unwrap();
+        assert_eq!(h.read_set(TxnId(1)), vec!["x".to_string()]);
+        assert_eq!(h.write_set(TxnId(1)), vec!["y".to_string()]); // deduped
+        assert_eq!(h.start_pos(TxnId(2)), Some(1));
+        assert_eq!(h.commit_pos(TxnId(2)), Some(5));
+        assert!(h.is_read_only(TxnId(2)));
+        assert!(!h.is_read_only(TxnId(1)));
+        assert_eq!(h.committed(), vec![TxnId(1), TxnId(2)]);
+    }
+
+    #[test]
+    fn serial_detection() {
+        let serial: History = "r1[x] w1[y] c1 r2[z] w2[x] c2".parse().unwrap();
+        assert!(serial.is_serial());
+        let interleaved: History = "r1[x] r2[z] w1[y] c1 c2".parse().unwrap();
+        assert!(!interleaved.is_serial());
+        // Returning to an earlier transaction after another ran: not serial.
+        let resumed: History = "r1[x] r2[z] c2 w1[y] c1".parse().unwrap();
+        assert!(!resumed.is_serial());
+        assert!(History::default().is_serial());
+    }
+}

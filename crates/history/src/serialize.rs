@@ -1,0 +1,171 @@
+//! The paper's `serial(h)` construction and history equivalence (§4.2).
+//!
+//! Theorem 1 proves write-snapshot isolation serializable by exhibiting, for
+//! every admitted history `h`, an equivalent serial history `serial(h)`
+//! built by:
+//!
+//! 1. keeping the commit order of write transactions;
+//! 2. keeping the order of operations inside each transaction;
+//! 3. moving all operations of a read-only transaction to right after its
+//!    start;
+//! 4. moving all operations of a write transaction to right before its
+//!    commit.
+//!
+//! [`serial`] performs that construction; [`equivalent`] checks the paper's
+//! equivalence criterion — same transactions, same reads-from relation
+//! (hence the same read values), and the same final version of every item.
+//! The `theorem1` integration/property tests verify that for randomly
+//! generated WSI-admitted histories, `serial(h)` is serial and equivalent.
+
+use std::collections::BTreeMap;
+
+use crate::dsg::reads_from;
+use crate::ops::{History, TxnId};
+
+/// Builds `serial(h)` per §4.2. Aborted and in-flight transactions are
+/// excluded ("their modifications are not read by other transactions").
+pub fn serial(history: &History) -> History {
+    // Anchor of each committed transaction: write transactions sort at their
+    // commit position, read-only transactions at their start position.
+    let mut anchored: Vec<(usize, TxnId)> = history
+        .committed()
+        .into_iter()
+        .map(|t| {
+            let anchor = if history.is_read_only(t) {
+                history.start_pos(t).expect("committed txn has ops")
+            } else {
+                history.commit_pos(t).expect("committed txn commits")
+            };
+            (anchor, t)
+        })
+        .collect();
+    anchored.sort_unstable();
+
+    let mut ops = Vec::with_capacity(history.ops().len());
+    for (_, txn) in anchored {
+        for op in history.ops() {
+            if op.txn() == txn {
+                ops.push(op.clone());
+            }
+        }
+    }
+    History::new(ops)
+}
+
+/// The final committed version of each item: the committed writer with the
+/// greatest commit position (`None` entries never occur — items with no
+/// committed writer are simply absent).
+pub fn final_versions(history: &History) -> BTreeMap<String, TxnId> {
+    let mut out: BTreeMap<String, (usize, TxnId)> = BTreeMap::new();
+    for txn in history.committed() {
+        let Some(commit) = history.commit_pos(txn) else {
+            continue;
+        };
+        for item in history.write_set(txn) {
+            let entry = out.entry(item).or_insert((commit, txn));
+            if commit > entry.0 {
+                *entry = (commit, txn);
+            }
+        }
+    }
+    out.into_iter().map(|(k, (_, t))| (k, t)).collect()
+}
+
+/// Checks the paper's equivalence criterion between two histories: "two
+/// histories are equivalent if they include the same transactions and
+/// produce the same output" — operationalized as: the same committed
+/// transactions, the same reads-from relation (every transaction reads the
+/// same values), and the same final version of every item.
+pub fn equivalent(a: &History, b: &History) -> bool {
+    a.committed() == b.committed()
+        && reads_from(a) == reads_from(b)
+        && final_versions(a) == final_versions(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{accept, examples};
+    use wsi_core::IsolationLevel;
+
+    #[test]
+    fn serial_of_h4_is_h5() {
+        // The paper presents H5 as the serial equivalent of H4.
+        let s = serial(&examples::h4());
+        assert!(s.is_serial());
+        assert_eq!(s, examples::h5());
+        assert!(equivalent(&examples::h4(), &examples::h5()));
+    }
+
+    #[test]
+    fn h6_equivalent_to_h7_but_not_to_its_commit_order_serialization() {
+        // The paper shows H6 is serializable by exhibiting H7 — a serial
+        // history that reorders the *commits* (t1 before t2). The §4.2
+        // construction preserves commit order, so serial(H6) puts t2 first
+        // and is NOT equivalent (t1's read of x would see t2's write): this
+        // is exactly why WSI, whose guarantee is commit-order
+        // serializability, unnecessarily rejects H6 (§4.3).
+        assert!(equivalent(&examples::h6(), &examples::h7()));
+        let s = serial(&examples::h6());
+        assert!(s.is_serial());
+        assert_eq!(s.to_string(), "r2[z] w2[x] c2 r1[x] w1[y] c1");
+        assert!(!equivalent(&examples::h6(), &s));
+    }
+
+    #[test]
+    fn h2_not_equivalent_to_its_serialization() {
+        // Write skew: shifting operations changes what the transactions
+        // read, so the construction does NOT yield an equivalent history —
+        // which is exactly why SI's admission of H2 breaks serializability.
+        let h2 = examples::h2();
+        let s = serial(&h2);
+        assert!(s.is_serial());
+        assert!(!equivalent(&h2, &s));
+    }
+
+    #[test]
+    fn read_only_txn_anchored_at_start() {
+        // t2 is read-only and starts before t1 commits; in serial(h) it must
+        // run first so it still sees the initial versions.
+        let h: History = "r2[x] w1[x] c1 r2[y] c2".parse().unwrap();
+        assert!(accept::accepts(&h, IsolationLevel::WriteSnapshot));
+        let s = serial(&h);
+        assert!(s.is_serial());
+        assert_eq!(s.to_string(), "r2[x] r2[y] c2 w1[x] c1");
+        assert!(equivalent(&h, &s));
+    }
+
+    #[test]
+    fn write_txns_ordered_by_commit() {
+        let h: History = "w2[b] w1[a] c2 c1".parse().unwrap();
+        let s = serial(&h);
+        assert_eq!(s.to_string(), "w2[b] c2 w1[a] c1");
+    }
+
+    #[test]
+    fn final_versions_tracks_commit_order() {
+        let h = examples::h4(); // w2 commits after w1
+        let fv = final_versions(&h);
+        assert_eq!(fv["x"], TxnId(2));
+    }
+
+    #[test]
+    fn aborted_txns_are_dropped() {
+        let h: History = "r1[x] w1[x] a1 w2[x] c2".parse().unwrap();
+        let s = serial(&h);
+        assert_eq!(s.to_string(), "w2[x] c2");
+    }
+
+    #[test]
+    fn theorem1_on_all_wsi_admitted_examples() {
+        // For every paper example WSI admits, serial(h) is serial and
+        // equivalent — the constructive heart of Theorem 1.
+        for (n, h) in examples::all() {
+            if accept::accepts(&h, IsolationLevel::WriteSnapshot) {
+                let s = serial(&h);
+                assert!(s.is_serial(), "serial(H{n}) must be serial");
+                assert!(equivalent(&h, &s), "serial(H{n}) must be equivalent");
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests of the data-tier model: routing coverage, cache behavior
+//! against a reference LRU, and version storage against a naive model.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use wsi_core::Timestamp;
+use wsi_kvstore::{BlockCache, DataCluster, RegionStore, Routing, ServerConfig, VersionFate};
+use wsi_sim::SimRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every row routes to exactly one in-range server, under both policies.
+    #[test]
+    fn routing_is_total_and_in_range(
+        servers in 1usize..40,
+        rows in 1u64..100_000,
+        samples in prop::collection::vec(any::<u64>(), 1..50),
+    ) {
+        for routing in [Routing::Range, Routing::Hash] {
+            let c = DataCluster::with_routing(
+                servers,
+                rows,
+                ServerConfig::paper_default(),
+                &SimRng::new(1),
+                routing,
+            );
+            for &s in &samples {
+                let region = c.region_for(s % (rows * 2)); // incl. out-of-range
+                prop_assert!(region.0 < servers);
+            }
+        }
+    }
+
+    /// The block cache agrees with a straightforward reference LRU.
+    #[test]
+    fn cache_matches_reference_lru(
+        capacity in 1usize..16,
+        accesses in prop::collection::vec(0u64..32, 1..200),
+    ) {
+        let mut cache = BlockCache::new(capacity);
+        let mut reference: Vec<u64> = Vec::new(); // most recent at the back
+        for &block in &accesses {
+            let expect_hit = reference.contains(&block);
+            let hit = cache.access(block);
+            prop_assert_eq!(hit, expect_hit, "block {}", block);
+            reference.retain(|&b| b != block);
+            reference.push(block);
+            if reference.len() > capacity {
+                reference.remove(0);
+            }
+        }
+        prop_assert_eq!(cache.len(), reference.len());
+    }
+
+    /// RegionStore snapshot reads agree with a naive full-scan model.
+    #[test]
+    fn region_store_matches_naive_model(
+        // (row, writer_start, commits_at_delta or abort)
+        versions in prop::collection::vec(
+            (0u64..6, 1u64..50, prop::option::of(1u64..20)),
+            1..40,
+        ),
+        reader_start in 1u64..100,
+    ) {
+        let mut store = RegionStore::new();
+        // One writer per start timestamp: the oracle never reuses a start
+        // timestamp, so a start maps to exactly one transaction fate.
+        let mut seen = std::collections::HashSet::new();
+        let mut commit_seen = std::collections::HashSet::new();
+        let mut table: Vec<(u64, u64, Option<u64>)> = Vec::new();
+        for &(row, start, commit_delta) in &versions {
+            // The oracle issues start and commit timestamps from one
+            // monotonic counter: no two transactions share either.
+            let commit = commit_delta.map(|d| start + d);
+            if let Some(c) = commit {
+                if !commit_seen.insert(c) || seen.contains(&c) {
+                    continue;
+                }
+            }
+            if seen.insert(start) && !commit_seen.contains(&start) {
+                store.put(row, Timestamp(start), Bytes::from(format!("{row}@{start}")));
+                table.push((row, start, commit));
+            }
+        }
+        let lookup = |ts: Timestamp| {
+            table
+                .iter()
+                .find(|&&(_, s, _)| Timestamp(s) == ts)
+                .map(|&(_, _, commit)| match commit {
+                    Some(c) => VersionFate::Committed(Timestamp(c)),
+                    None => VersionFate::Aborted,
+                })
+                .unwrap_or(VersionFate::Pending)
+        };
+        for row in 0..6u64 {
+            // Naive model: the committed version with the largest commit
+            // timestamp strictly below the reader snapshot.
+            let expected = table
+                .iter()
+                .filter(|&&(r, _, c)| r == row && c.is_some())
+                .filter(|&&(_, _, c)| c.unwrap() < reader_start)
+                .max_by_key(|&&(_, _, c)| c.unwrap())
+                .map(|&(r, s, _)| format!("{r}@{s}"));
+            let actual = store
+                .get(row, Timestamp(reader_start), &lookup)
+                .map(|b| String::from_utf8(b.to_vec()).unwrap());
+            prop_assert_eq!(actual, expected, "row {}", row);
+        }
+    }
+
+    /// Reads and writes never complete before their arrival, and timing is
+    /// deterministic for equal seeds.
+    #[test]
+    fn server_timing_is_causal_and_deterministic(
+        ops in prop::collection::vec((any::<bool>(), 0u64..1000, 0u64..50_000), 1..60,),
+    ) {
+        let run = || {
+            let mut c = DataCluster::new(
+                4,
+                1000,
+                ServerConfig::paper_default(),
+                &SimRng::new(9),
+            );
+            let mut sorted = ops.clone();
+            sorted.sort_by_key(|&(_, _, t)| t);
+            let mut outs = Vec::new();
+            for &(is_read, row, at) in &sorted {
+                let now = wsi_sim::SimTime(at);
+                let done = if is_read {
+                    c.read(row, now).done
+                } else {
+                    c.write(row, now, false)
+                };
+                assert!(done >= now);
+                outs.push(done);
+            }
+            outs
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

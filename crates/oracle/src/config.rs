@@ -1,0 +1,111 @@
+//! Status-oracle configuration.
+
+use wsi_core::IsolationLevel;
+use wsi_sim::SimTime;
+use wsi_wal::{BatchPolicy, LedgerConfig};
+
+/// Tunables of the status-oracle server model.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleConfig {
+    /// Isolation level: which row set the critical section checks.
+    pub level: IsolationLevel,
+    /// `lastCommit` residency bound (`None` = unbounded, Algorithms 1–2;
+    /// `Some(NR)` = Algorithm 3 with `T_max`).
+    pub last_commit_capacity: Option<usize>,
+    /// Fixed critical-section cost per commit request (dispatch, queues,
+    /// commit-table insert).
+    pub base_request: SimTime,
+    /// Cost of loading/updating one `lastCommit` memory item. SI touches
+    /// `|R_w|` items (check and update hit the same, already-cached ones);
+    /// WSI touches `|R_r| + |R_w|` — the paper’s “twice the memory items”.
+    pub per_item_load: SimTime,
+    /// Critical-section cost of issuing a start timestamp (served from the
+    /// reserved batch, no persistence).
+    pub start_request: SimTime,
+    /// Latency of one replicated WAL batch write (BookKeeper quorum write).
+    /// Dominates the 4.1 ms commit latency of §6.2.
+    pub wal_write: SimTime,
+    /// Concurrent WAL writes in flight (BookKeeper pipelining); with
+    /// `wal_write` this bounds WAL throughput at `depth / wal_write`.
+    pub wal_pipeline: usize,
+    /// Batch triggers: size or time since the last trigger (Appendix A).
+    pub batch: BatchPolicy,
+    /// Timestamps reserved per WAL reservation record (§6.2: "thousands").
+    pub ts_reservation: u64,
+    /// Replication shape of the ledger.
+    pub ledger: LedgerConfig,
+}
+
+impl OracleConfig {
+    /// Parameters calibrated to the paper's Figure 5 and §6.2 numbers:
+    /// SI saturates near 104 K TPS and WSI near 92 K on the complex
+    /// workload (≈5 reads + 5 writes per transaction), lone-commit latency
+    /// ≈ 4.1 ms, start-timestamp latency dominated by the network.
+    pub fn paper_default(level: IsolationLevel) -> Self {
+        OracleConfig {
+            level,
+            last_commit_capacity: None,
+            base_request: SimTime::from_us(8),
+            per_item_load: SimTime::from_us(0), // sub-µs: see per_item_load_ns
+            start_request: SimTime::from_us(1),
+            wal_write: SimTime::from_ms_f64(4.0),
+            wal_pipeline: 80,
+            batch: BatchPolicy::paper_default(),
+            ts_reservation: 10_000,
+            ledger: LedgerConfig {
+                replicas: 2, // the paper's deployment: 2 BookKeeper machines
+                ack_quorum: 2,
+                batch: BatchPolicy::paper_default(),
+            },
+        }
+    }
+
+    /// Per-item load cost in nanoseconds (sub-microsecond granularity that
+    /// [`SimTime`] cannot express directly; the request cost is rounded to
+    /// microseconds only after summing).
+    pub fn per_item_load_ns(&self) -> u64 {
+        if self.per_item_load.as_us() > 0 {
+            self.per_item_load.as_us() * 1_000
+        } else {
+            260 // calibrated default: 0.26 µs per memory item
+        }
+    }
+
+    /// Critical-section time of a commit request that loads `items` memory
+    /// items.
+    pub fn commit_service(&self, items: usize) -> SimTime {
+        let ns = self.base_request.as_us() * 1_000 + self.per_item_load_ns() * items as u64;
+        SimTime::from_us(ns.div_ceil(1_000).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_cost_scales_with_items() {
+        let cfg = OracleConfig::paper_default(IsolationLevel::WriteSnapshot);
+        let si_like = cfg.commit_service(5);
+        let wsi_like = cfg.commit_service(10);
+        assert!(wsi_like > si_like);
+        // Calibration sanity: the 10-item request costs ≈ 10.6 µs, i.e.
+        // ≈ 94 K requests/s on one core.
+        assert!((9..=12).contains(&wsi_like.as_us()), "{wsi_like}");
+        assert!((9..=11).contains(&si_like.as_us()), "{si_like}");
+    }
+
+    #[test]
+    fn explicit_per_item_cost_overrides_default() {
+        let mut cfg = OracleConfig::paper_default(IsolationLevel::Snapshot);
+        cfg.per_item_load = SimTime::from_us(2);
+        assert_eq!(cfg.per_item_load_ns(), 2_000);
+        assert_eq!(cfg.commit_service(10), SimTime::from_us(28));
+    }
+
+    #[test]
+    fn zero_items_still_costs_base() {
+        let cfg = OracleConfig::paper_default(IsolationLevel::Snapshot);
+        assert_eq!(cfg.commit_service(0), SimTime::from_us(8));
+    }
+}

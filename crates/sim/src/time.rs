@@ -1,0 +1,130 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in microseconds since simulation start.
+///
+/// Microsecond resolution comfortably covers the paper's scales: the finest
+/// modeled latency is the status oracle's per-row memory probe (tens of
+/// nanoseconds, aggregated per request to ≥ 1 µs) and the coarsest is the
+/// 38.8 ms disk read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from whole microseconds.
+    pub const fn from_us(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    /// Constructs from whole milliseconds.
+    pub const fn from_ms(ms: u64) -> SimTime {
+        SimTime(ms * 1_000)
+    }
+
+    /// Constructs from whole seconds.
+    pub const fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Constructs from fractional milliseconds (e.g. the paper's 38.8 ms
+    /// random-read latency), rounding to the nearest microsecond.
+    pub fn from_ms_f64(ms: f64) -> SimTime {
+        debug_assert!(ms >= 0.0, "durations are non-negative");
+        SimTime((ms * 1_000.0).round() as u64)
+    }
+
+    /// The raw microsecond count.
+    pub const fn as_us(self) -> u64 {
+        self.0
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("time went backwards"))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_ms(5).as_us(), 5_000);
+        assert_eq!(SimTime::from_secs(2).as_us(), 2_000_000);
+        assert_eq!(SimTime::from_ms_f64(38.8).as_us(), 38_800);
+        assert_eq!(SimTime::from_ms_f64(1.13).as_us(), 1_130);
+        assert!((SimTime(2_500).as_ms_f64() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime(100) + SimTime(50);
+        assert_eq!(a, SimTime(150));
+        assert_eq!(a - SimTime(150), SimTime::ZERO);
+        assert_eq!(SimTime(10).saturating_sub(SimTime(20)), SimTime::ZERO);
+        let mut b = SimTime(1);
+        b += SimTime(2);
+        assert_eq!(b, SimTime(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn sub_underflow_panics() {
+        let _ = SimTime(1) - SimTime(2);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimTime(12).to_string(), "12us");
+        assert_eq!(SimTime(1_500).to_string(), "1.500ms");
+        assert_eq!(SimTime(2_500_000).to_string(), "2.500s");
+    }
+}

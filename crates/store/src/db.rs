@@ -1,0 +1,477 @@
+//! The embedded transactional database handle.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use wsi_core::{
+    hash_row_key, CommitRequest, IsolationLevel, OracleStats, RowId, StatusOracleCore, Timestamp,
+};
+use wsi_wal::{Ledger, LedgerConfig};
+
+use crate::{
+    commit_index::CommitIndex,
+    error::{Error, Result},
+    mvcc::{GcStats, MvccStore},
+    record::{self, StoreRecord},
+    snapshot::Snapshot,
+    txn::Transaction,
+};
+
+/// When commit decisions are persisted to the write-ahead log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// No WAL at all; a crash loses everything. Fastest; right for caches
+    /// and for simulations that model durability elsewhere.
+    None,
+    /// Commit records are appended to the WAL and flushed in batches (the
+    /// paper's Appendix A policy: 1 KB or 5 ms). A commit may be
+    /// acknowledged up to one batch window before it is durable — the group
+    /// commit trade-off.
+    Batched,
+    /// Every commit is flushed to a write quorum before it is acknowledged.
+    Sync,
+}
+
+/// Configuration of an embedded [`Db`].
+#[derive(Debug, Clone)]
+pub struct DbOptions {
+    /// Which conflicts abort transactions: write-write
+    /// ([`IsolationLevel::Snapshot`]) or read-write
+    /// ([`IsolationLevel::WriteSnapshot`], serializable).
+    pub isolation: IsolationLevel,
+    /// WAL persistence mode.
+    pub durability: Durability,
+    /// If set, bound the oracle's `lastCommit` table to this many resident
+    /// rows (Algorithm 3 with `T_max`); `None` keeps exact state.
+    pub last_commit_capacity: Option<usize>,
+    /// WAL replication/batching shape (ignored under [`Durability::None`]).
+    pub wal: LedgerConfig,
+}
+
+impl DbOptions {
+    /// Sensible defaults: the requested isolation level, no WAL, exact
+    /// conflict state.
+    pub fn new(isolation: IsolationLevel) -> Self {
+        DbOptions {
+            isolation,
+            durability: Durability::None,
+            last_commit_capacity: None,
+            wal: LedgerConfig::local_sync(),
+        }
+    }
+
+    /// Enables synchronous durability with the given ledger shape.
+    pub fn durable(mut self, wal: LedgerConfig) -> Self {
+        self.durability = Durability::Sync;
+        self.wal = wal;
+        self
+    }
+
+    /// Enables batched (group-commit) durability with the given ledger shape.
+    pub fn durable_batched(mut self, wal: LedgerConfig) -> Self {
+        self.durability = Durability::Batched;
+        self.wal = wal;
+        self
+    }
+
+    /// Bounds the `lastCommit` table (Algorithm 3).
+    pub fn bounded_last_commit(mut self, capacity: usize) -> Self {
+        self.last_commit_capacity = Some(capacity);
+        self
+    }
+}
+
+/// State guarded by the manager's critical section — the embedded
+/// equivalent of the status oracle's single-threaded commit loop (§6.3).
+pub(crate) struct Manager {
+    pub(crate) oracle: StatusOracleCore,
+    /// Start timestamps of in-flight transactions, with a refcount (the
+    /// same timestamp cannot recur, but a map keeps removal O(log n)).
+    pub(crate) active: BTreeMap<Timestamp, ()>,
+    pub(crate) wal: Option<Ledger>,
+}
+
+/// Aggregate database statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbStats {
+    /// Oracle activity counters (commits, aborts by reason, probes).
+    pub oracle: OracleStats,
+    /// Transactions currently in flight.
+    pub active_transactions: usize,
+    /// Keys with at least one stored version.
+    pub keys: usize,
+    /// Total stored versions.
+    pub versions: usize,
+}
+
+pub(crate) struct DbInner {
+    pub(crate) options: DbOptions,
+    pub(crate) mvcc: MvccStore,
+    pub(crate) index: CommitIndex,
+    pub(crate) manager: Mutex<Manager>,
+    epoch: Instant,
+}
+
+impl DbInner {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+/// An embedded, thread-safe, multi-version transactional key-value store.
+///
+/// `Db` is a cheap handle (an `Arc` internally); clone it into as many
+/// threads as needed. Transactions are optimistic: reads never block, writes
+/// buffer locally, and conflicts surface at [`Transaction::commit`] as
+/// [`Error::Aborted`], after which the transaction's effects are fully
+/// rolled back and the caller may retry.
+///
+/// # Example
+///
+/// ```
+/// use wsi_core::IsolationLevel;
+/// use wsi_store::{Db, DbOptions};
+///
+/// let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot));
+///
+/// let mut t = db.begin();
+/// t.put(b"k", b"v1");
+/// t.commit().unwrap();
+///
+/// let mut r = db.begin();
+/// assert_eq!(r.get(b"k").as_deref(), Some(&b"v1"[..]));
+/// ```
+#[derive(Clone)]
+pub struct Db {
+    pub(crate) inner: Arc<DbInner>,
+}
+
+impl Db {
+    /// Opens an empty database.
+    pub fn open(options: DbOptions) -> Db {
+        let oracle = match options.last_commit_capacity {
+            Some(cap) => StatusOracleCore::bounded(options.isolation, cap),
+            None => StatusOracleCore::unbounded(options.isolation),
+        };
+        let wal = match options.durability {
+            Durability::None => None,
+            _ => Some(Ledger::open(options.wal)),
+        };
+        Db {
+            inner: Arc::new(DbInner {
+                options,
+                mvcc: MvccStore::new(),
+                index: CommitIndex::new(),
+                manager: Mutex::new(Manager {
+                    oracle,
+                    active: BTreeMap::new(),
+                    wal,
+                }),
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// Rebuilds a database from a recovered write-ahead log.
+    ///
+    /// `ledger` is the surviving replicated log (see
+    /// [`Db::wal_snapshot`]); committed transactions are replayed in commit
+    /// order, aborted ones are registered, and in-flight transactions are
+    /// (correctly) forgotten — their writes never reached the log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] if a log record fails to decode.
+    pub fn recover(options: DbOptions, ledger: Ledger) -> Result<Db> {
+        let payloads = ledger.recover();
+        let db = Db::open(options);
+        {
+            let mut m = db.inner.manager.lock();
+            m.wal = Some(ledger);
+            for payload in &payloads {
+                match record::decode(payload)? {
+                    StoreRecord::Commit {
+                        start_ts,
+                        commit_ts,
+                        writes,
+                    } => {
+                        let rows: Vec<RowId> =
+                            writes.iter().map(|(k, _)| hash_row_key(k)).collect();
+                        let keys: Vec<Bytes> = writes.iter().map(|(k, _)| k.clone()).collect();
+                        db.inner.mvcc.insert_versions(start_ts, writes);
+                        db.inner.mvcc.stamp_commit(start_ts, commit_ts, keys.iter());
+                        db.inner.index.record_commit(start_ts, commit_ts);
+                        m.oracle.replay_commit(start_ts, commit_ts, &rows);
+                    }
+                    StoreRecord::Abort { start_ts } => {
+                        db.inner.index.record_abort(start_ts);
+                        m.oracle.replay_abort(start_ts);
+                    }
+                }
+            }
+        }
+        Ok(db)
+    }
+
+    /// Begins a transaction reading from the current snapshot.
+    pub fn begin(&self) -> Transaction {
+        Transaction::new(Arc::clone(&self.inner), self.begin_ts())
+    }
+
+    /// Takes a read-only [`Snapshot`] of the current state: shared-reference
+    /// reads, no conflict tracking, never aborts.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::new(Arc::clone(&self.inner), self.begin_ts())
+    }
+
+    fn begin_ts(&self) -> Timestamp {
+        let mut m = self.inner.manager.lock();
+        let ts = m.oracle.begin();
+        m.active.insert(ts, ());
+        ts
+    }
+
+    /// Runs `body` in a transaction, retrying on conflict aborts.
+    ///
+    /// The body may be invoked multiple times (write buffers are fresh each
+    /// attempt), so it must be idempotent apart from its transactional
+    /// effects. Non-conflict errors — including errors returned by `body`
+    /// itself — abort the loop. At most `max_retries` retries are attempted
+    /// before the last conflict error is returned.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use wsi_core::IsolationLevel;
+    /// use wsi_store::{Db, DbOptions};
+    ///
+    /// let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot));
+    /// db.run(16, |t| {
+    ///     let n: u64 = t
+    ///         .get(b"counter")
+    ///         .map(|v| String::from_utf8_lossy(&v).parse().unwrap())
+    ///         .unwrap_or(0);
+    ///     t.put(b"counter", (n + 1).to_string().as_bytes());
+    ///     Ok(())
+    /// })
+    /// .unwrap();
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Whatever `body` returns, [`Error::Aborted`] once retries are
+    /// exhausted, or any non-retryable commit failure.
+    pub fn run<T>(
+        &self,
+        max_retries: usize,
+        mut body: impl FnMut(&mut Transaction) -> Result<T>,
+    ) -> Result<T> {
+        let mut attempts = 0;
+        loop {
+            let mut txn = self.begin();
+            let value = match body(&mut txn) {
+                Ok(v) => v,
+                Err(e) => {
+                    txn.rollback();
+                    return Err(e);
+                }
+            };
+            match txn.commit() {
+                Ok(_) => return Ok(value),
+                Err(e @ Error::Aborted(_)) if attempts < max_retries => {
+                    attempts += 1;
+                    let _ = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The isolation level this database enforces.
+    pub fn isolation(&self) -> IsolationLevel {
+        self.inner.options.isolation
+    }
+
+    /// Commits a transaction's buffered effects. Called by
+    /// [`Transaction::commit`].
+    pub(crate) fn commit_txn(
+        &self,
+        start_ts: Timestamp,
+        read_rows: Vec<RowId>,
+        writes: BTreeMap<Bytes, Option<Bytes>>,
+    ) -> Result<Timestamp> {
+        if writes.is_empty() {
+            // Read-only fast path (§5.1): no conflict check, no WAL record,
+            // no commit-table entry; never aborts.
+            let mut m = self.inner.manager.lock();
+            let outcome = m.oracle.commit(CommitRequest::read_only(start_ts));
+            m.active.remove(&start_ts);
+            return Ok(outcome.commit_ts().expect("read-only always commits"));
+        }
+
+        // Apply the writes as invisible versions before entering the
+        // critical section (the Omid scheme: data reaches the store tagged
+        // with the start timestamp; visibility is flipped by the commit
+        // table).
+        let write_list: Vec<(Bytes, Option<Bytes>)> =
+            writes.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let keys: Vec<Bytes> = writes.keys().cloned().collect();
+        let write_rows: Vec<RowId> = keys.iter().map(|k| hash_row_key(k)).collect();
+        self.inner
+            .mvcc
+            .insert_versions(start_ts, write_list.clone());
+
+        let req = CommitRequest::new(start_ts, read_rows, write_rows);
+        let now_us = self.inner.now_us();
+        let decision: Result<Timestamp> = {
+            let mut m = self.inner.manager.lock();
+            match m.oracle.check(&req) {
+                Ok(()) => {
+                    // Persist the decision before mutating oracle state, so a
+                    // WAL failure can still roll the transaction back.
+                    let commit_ts = m.oracle.last_issued_ts().next();
+                    if let Err(e) =
+                        self.log_commit(&mut m, start_ts, commit_ts, &write_list, now_us)
+                    {
+                        m.active.remove(&start_ts);
+                        Err(e)
+                    } else {
+                        let actual = m.oracle.commit_unchecked(&req);
+                        debug_assert_eq!(actual, commit_ts);
+                        self.inner.index.record_commit(start_ts, actual);
+                        m.active.remove(&start_ts);
+                        Ok(actual)
+                    }
+                }
+                Err(reason) => {
+                    m.oracle.abort_checked(start_ts, reason);
+                    self.inner.index.record_abort(start_ts);
+                    if let Some(wal) = m.wal.as_mut() {
+                        // Abort records are never flush-critical: an
+                        // unrecovered abort record leaves the txn pending,
+                        // which is equally invisible.
+                        wal.append(record::encode(&StoreRecord::Abort { start_ts }), now_us);
+                    }
+                    m.active.remove(&start_ts);
+                    Err(Error::Aborted(reason))
+                }
+            }
+        };
+
+        if decision.is_err() {
+            // Roll back the invisible versions outside the critical section.
+            self.inner.mvcc.remove_versions(start_ts, keys.iter());
+        } else if let Ok(commit_ts) = decision {
+            // Optimization, not correctness: stamp commit timestamps onto the
+            // versions so readers skip the commit-index lookup (§2.2's
+            // "written back into the database" option).
+            self.inner
+                .mvcc
+                .stamp_commit(start_ts, commit_ts, keys.iter());
+        }
+        decision
+    }
+
+    fn log_commit(
+        &self,
+        m: &mut Manager,
+        start_ts: Timestamp,
+        commit_ts: Timestamp,
+        writes: &[(Bytes, Option<Bytes>)],
+        now_us: u64,
+    ) -> Result<()> {
+        let Some(wal) = m.wal.as_mut() else {
+            return Ok(());
+        };
+        wal.append(
+            record::encode(&StoreRecord::Commit {
+                start_ts,
+                commit_ts,
+                writes: writes.to_vec(),
+            }),
+            now_us,
+        );
+        match self.inner.options.durability {
+            Durability::Sync => {
+                wal.flush(now_us)?;
+            }
+            Durability::Batched => {
+                wal.maybe_flush(now_us)?;
+            }
+            Durability::None => {}
+        }
+        Ok(())
+    }
+
+    /// Rolls back an unfinished transaction. Called by
+    /// [`Transaction::rollback`] and on drop.
+    pub(crate) fn rollback_txn(&self, start_ts: Timestamp) {
+        let mut m = self.inner.manager.lock();
+        if m.active.remove(&start_ts).is_some() {
+            m.oracle.abort(start_ts);
+            self.inner.index.record_abort(start_ts);
+        }
+        // Buffered writes never touched the store before commit, so there is
+        // nothing to remove from the version chains.
+    }
+
+    /// Flushes any batched WAL records (group-commit tail).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a quorum loss from the ledger.
+    pub fn flush_wal(&self) -> Result<()> {
+        let now_us = self.inner.now_us();
+        let mut m = self.inner.manager.lock();
+        if let Some(wal) = m.wal.as_mut() {
+            wal.flush(now_us)?;
+        }
+        Ok(())
+    }
+
+    /// Returns a point-in-time clone of the write-ahead log, emulating the
+    /// surviving replicated storage after a crash of this process. Feed it
+    /// to [`Db::recover`].
+    pub fn wal_snapshot(&self) -> Option<Ledger> {
+        self.inner.manager.lock().wal.clone()
+    }
+
+    /// Garbage-collects versions below the low-water mark (the minimum start
+    /// timestamp among active transactions) and prunes the commit index.
+    pub fn gc(&self) -> GcStats {
+        let watermark = {
+            let m = self.inner.manager.lock();
+            m.active
+                .keys()
+                .next()
+                .copied()
+                .unwrap_or_else(|| m.oracle.last_issued_ts().next())
+        };
+        let stats = self.inner.mvcc.gc(watermark, &self.inner.index);
+        self.inner.index.prune_below(watermark);
+        stats
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> DbStats {
+        let m = self.inner.manager.lock();
+        DbStats {
+            oracle: m.oracle.stats(),
+            active_transactions: m.active.len(),
+            keys: self.inner.mvcc.key_count(),
+            versions: self.inner.mvcc.version_count(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Db")
+            .field("isolation", &self.inner.options.isolation)
+            .field("durability", &self.inner.options.durability)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,67 @@
+//! An embedded, thread-safe, multi-version transactional key-value store
+//! with pluggable isolation.
+//!
+//! This crate packages the paper's design — a multi-version data store plus
+//! a centralized, lock-free conflict-checking oracle — as a library. Pick
+//! the isolation level at open time:
+//!
+//! * [`wsi_core::IsolationLevel::Snapshot`] — classic snapshot isolation
+//!   (write-write conflict detection, Algorithm 1). Fast, but admits write
+//!   skew.
+//! * [`wsi_core::IsolationLevel::WriteSnapshot`] — write-snapshot isolation
+//!   (read-write conflict detection, Algorithm 2). **Serializable** at
+//!   comparable cost; read-only transactions never abort.
+//!
+//! A Percolator-style *lock-based* snapshot-isolation engine
+//! ([`percolator::PercolatorDb`]) is included as the paper's §2.1 baseline,
+//! chiefly to demonstrate the failure mode the lock-free design avoids:
+//! locks stranded by a crashed client block other writers until cleanup.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wsi_core::IsolationLevel;
+//! use wsi_store::{Db, DbOptions};
+//!
+//! let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot));
+//!
+//! // Writer.
+//! let mut t = db.begin();
+//! t.put(b"accounts/alice", b"100");
+//! t.put(b"accounts/bob", b"100");
+//! t.commit().unwrap();
+//!
+//! // Concurrent read-modify-write transactions: under write-snapshot
+//! // isolation the loser of the race aborts instead of silently producing
+//! // write skew.
+//! let mut t1 = db.begin();
+//! let mut t2 = db.begin();
+//! let alice = t1.get(b"accounts/alice").unwrap();
+//! let bob = t2.get(b"accounts/bob").unwrap();
+//! t1.put(b"accounts/alice", &alice); // pretend we computed a new balance
+//! t2.put(b"accounts/bob", &bob);
+//! t1.commit().unwrap();
+//! t2.commit().unwrap(); // disjoint rows: no conflict
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod commit_index;
+mod db;
+mod error;
+mod mvcc;
+pub mod percolator;
+mod record;
+mod snapshot;
+pub mod ssi_db;
+mod txn;
+
+pub use commit_index::CommitIndex;
+pub use db::{Db, DbOptions, DbStats, Durability};
+pub use error::{Error, Result};
+pub use mvcc::{GcStats, MvccStore, SnapshotRead, VersionResolver};
+pub use record::StoreRecord;
+pub use snapshot::Snapshot;
+pub use txn::Transaction;

@@ -1,0 +1,569 @@
+//! The multi-version storage layer.
+//!
+//! "Multi-version databases maintain multiple versions for the data and add
+//! the new data as a new version instead of rewriting the old data. This
+//! enables the transactions to read from an arbitrary snapshot of the
+//! database" (§4). This module is that substrate: an ordered map from keys
+//! to *version chains*, where each version is tagged with the **start
+//! timestamp of its writer** (the Omid scheme — uncommitted data goes into
+//! the main store, invisible until the writer's commit is published in the
+//! commit table).
+//!
+//! Visibility is resolved through a caller-supplied [`VersionResolver`]: a
+//! version is readable in a snapshot `T_s` if its writer committed with
+//! `T_c < T_s` (§2.2). Versions carry a cached `committed_at` stamp, filled
+//! in by the garbage collector, so old versions stay resolvable after the
+//! commit table has been pruned.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use wsi_core::{Timestamp, TxnStatus};
+
+/// Resolves the fate of the transaction that wrote a version.
+///
+/// Implemented by the transaction manager's commit index; injected so this
+/// layer stays independent of concurrency-control policy.
+pub trait VersionResolver {
+    /// Status of the transaction that started at `writer_start`.
+    fn resolve(&self, writer_start: Timestamp) -> TxnStatus;
+}
+
+impl<F: Fn(Timestamp) -> TxnStatus> VersionResolver for F {
+    fn resolve(&self, writer_start: Timestamp) -> TxnStatus {
+        self(writer_start)
+    }
+}
+
+/// One version of a key's value.
+#[derive(Debug, Clone)]
+pub(crate) struct Version {
+    /// Start timestamp of the writing transaction (the version tag).
+    pub writer_start: Timestamp,
+    /// `None` encodes a tombstone (the transaction deleted the key).
+    pub value: Option<Bytes>,
+    /// Commit timestamp, once known and stamped (by the GC, or eagerly by
+    /// the committer). `None` means "consult the commit table".
+    pub committed_at: Option<Timestamp>,
+}
+
+/// All versions of one key, ordered by ascending `writer_start`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VersionChain {
+    pub versions: Vec<Version>,
+}
+
+impl VersionChain {
+    fn insert(&mut self, version: Version) {
+        // Writers are concurrent, so insertion is not always at the tail;
+        // binary-search for the slot to keep the chain sorted.
+        match self
+            .versions
+            .binary_search_by_key(&version.writer_start, |v| v.writer_start)
+        {
+            Ok(i) => self.versions[i] = version, // same txn overwrote its own write
+            Err(i) => self.versions.insert(i, version),
+        }
+    }
+
+    fn remove(&mut self, writer_start: Timestamp) -> bool {
+        match self
+            .versions
+            .binary_search_by_key(&writer_start, |v| v.writer_start)
+        {
+            Ok(i) => {
+                self.versions.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Finds the value visible in snapshot `reader_start`: among versions
+    /// whose writer committed with `T_c < reader_start`, the one with the
+    /// largest commit timestamp.
+    fn read<R: VersionResolver + ?Sized>(
+        &self,
+        reader_start: Timestamp,
+        resolver: &R,
+    ) -> Option<&Version> {
+        let mut best: Option<(&Version, Timestamp)> = None;
+        // Newest writers are at the tail, but writer-start order is not
+        // commit order, so every version must be considered.
+        for v in &self.versions {
+            let commit_ts = match v.committed_at {
+                Some(ts) => Some(ts),
+                None => resolver.resolve(v.writer_start).commit_ts(),
+            };
+            let Some(commit_ts) = commit_ts else {
+                continue; // pending or aborted writer
+            };
+            if commit_ts < reader_start && best.is_none_or(|(_, b)| commit_ts > b) {
+                best = Some((v, commit_ts));
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+}
+
+/// Result of a snapshot read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotRead {
+    /// A committed value is visible.
+    Value(Bytes),
+    /// The key is visibly deleted (tombstone) or has never been written in
+    /// this snapshot.
+    Absent,
+}
+
+impl SnapshotRead {
+    /// Converts into `Option`, mapping `Absent` to `None`.
+    pub fn into_option(self) -> Option<Bytes> {
+        match self {
+            SnapshotRead::Value(v) => Some(v),
+            SnapshotRead::Absent => None,
+        }
+    }
+}
+
+/// Counters describing GC activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Versions dropped because a newer committed version is below the
+    /// watermark.
+    pub versions_dropped: u64,
+    /// Versions whose `committed_at` stamp was filled in.
+    pub versions_stamped: u64,
+    /// Versions of aborted transactions removed.
+    pub aborted_removed: u64,
+    /// Keys whose chains became empty and were removed.
+    pub keys_removed: u64,
+}
+
+/// The concurrent multi-version key space.
+///
+/// A single ordered map under a readers-writer lock: snapshot reads and
+/// scans take the shared lock (the dominant operation mix — the paper's
+/// workloads are ≥50 % reads), while commit application, abort cleanup, and
+/// GC take the exclusive lock briefly.
+#[derive(Debug, Default)]
+pub struct MvccStore {
+    map: RwLock<BTreeMap<Bytes, VersionChain>>,
+}
+
+impl MvccStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts an (invisible) version for `key`, tagged with its writer's
+    /// start timestamp. `value = None` writes a tombstone.
+    pub fn insert_version(&self, key: Bytes, writer_start: Timestamp, value: Option<Bytes>) {
+        let mut map = self.map.write();
+        map.entry(key).or_default().insert(Version {
+            writer_start,
+            value,
+            committed_at: None,
+        });
+    }
+
+    /// Inserts a batch of versions under one lock acquisition (commit apply).
+    pub fn insert_versions<I>(&self, writer_start: Timestamp, writes: I)
+    where
+        I: IntoIterator<Item = (Bytes, Option<Bytes>)>,
+    {
+        let mut map = self.map.write();
+        for (key, value) in writes {
+            map.entry(key).or_default().insert(Version {
+                writer_start,
+                value,
+                committed_at: None,
+            });
+        }
+    }
+
+    /// Stamps the commit timestamp onto a writer's versions (eager variant
+    /// of the §2.2 "written back into the database" option).
+    pub fn stamp_commit<'a, I>(&self, writer_start: Timestamp, commit_ts: Timestamp, keys: I)
+    where
+        I: IntoIterator<Item = &'a Bytes>,
+    {
+        let mut map = self.map.write();
+        for key in keys {
+            if let Some(chain) = map.get_mut(key) {
+                if let Ok(i) = chain
+                    .versions
+                    .binary_search_by_key(&writer_start, |v| v.writer_start)
+                {
+                    chain.versions[i].committed_at = Some(commit_ts);
+                }
+            }
+        }
+    }
+
+    /// Removes a writer's versions (abort cleanup).
+    pub fn remove_versions<'a, I>(&self, writer_start: Timestamp, keys: I)
+    where
+        I: IntoIterator<Item = &'a Bytes>,
+    {
+        let mut map = self.map.write();
+        for key in keys {
+            if let Some(chain) = map.get_mut(key) {
+                chain.remove(writer_start);
+                if chain.versions.is_empty() {
+                    map.remove(key);
+                }
+            }
+        }
+    }
+
+    /// Reads `key` in the snapshot `reader_start`.
+    pub fn read<R: VersionResolver + ?Sized>(
+        &self,
+        key: &[u8],
+        reader_start: Timestamp,
+        resolver: &R,
+    ) -> SnapshotRead {
+        let map = self.map.read();
+        match map.get(key).and_then(|c| c.read(reader_start, resolver)) {
+            Some(v) => match &v.value {
+                Some(bytes) => SnapshotRead::Value(bytes.clone()),
+                None => SnapshotRead::Absent, // tombstone
+            },
+            None => SnapshotRead::Absent,
+        }
+    }
+
+    /// Scans `[start, end)` in the snapshot, returning visible key/value
+    /// pairs in key order. Tombstoned keys are omitted.
+    pub fn scan<R: VersionResolver + ?Sized>(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        reader_start: Timestamp,
+        resolver: &R,
+        limit: usize,
+    ) -> Vec<(Bytes, Bytes)> {
+        let map = self.map.read();
+        let upper = match end {
+            Some(e) => Bound::Excluded(e),
+            None => Bound::Unbounded,
+        };
+        let mut out = Vec::new();
+        for (key, chain) in map.range::<[u8], _>((Bound::Included(start), upper)) {
+            if out.len() >= limit {
+                break;
+            }
+            if let Some(v) = chain.read(reader_start, resolver) {
+                if let Some(bytes) = &v.value {
+                    out.push((key.clone(), bytes.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of keys with at least one version.
+    pub fn key_count(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Total number of stored versions (for GC tests and memory accounting).
+    pub fn version_count(&self) -> usize {
+        self.map.read().values().map(|c| c.versions.len()).sum()
+    }
+
+    /// Garbage-collects versions no active or future snapshot can read.
+    ///
+    /// `watermark` must be ≤ the minimum start timestamp of any active
+    /// transaction. For each key the newest committed version with
+    /// `T_c < watermark` is retained (it is the visible version for the
+    /// oldest possible snapshot); committed versions older than it are
+    /// dropped, aborted versions are dropped, and surviving committed
+    /// versions get their `committed_at` stamp so the commit table can be
+    /// pruned afterwards.
+    pub fn gc<R: VersionResolver + ?Sized>(&self, watermark: Timestamp, resolver: &R) -> GcStats {
+        let mut stats = GcStats::default();
+        let mut map = self.map.write();
+        map.retain(|_, chain| {
+            // Pass 1: resolve and stamp; collect fates.
+            let mut newest_old_commit: Option<Timestamp> = None;
+            let mut fates: Vec<Option<Timestamp>> = Vec::with_capacity(chain.versions.len());
+            let mut aborted: Vec<bool> = Vec::with_capacity(chain.versions.len());
+            for v in &mut chain.versions {
+                let status = match v.committed_at {
+                    Some(ts) => TxnStatus::Committed(ts),
+                    None => resolver.resolve(v.writer_start),
+                };
+                match status {
+                    TxnStatus::Committed(ts) => {
+                        if v.committed_at.is_none() {
+                            v.committed_at = Some(ts);
+                            stats.versions_stamped += 1;
+                        }
+                        fates.push(Some(ts));
+                        aborted.push(false);
+                        if ts < watermark && newest_old_commit.is_none_or(|b| ts > b) {
+                            newest_old_commit = Some(ts);
+                        }
+                    }
+                    TxnStatus::Aborted => {
+                        fates.push(None);
+                        aborted.push(true);
+                    }
+                    TxnStatus::Pending => {
+                        fates.push(None);
+                        aborted.push(false);
+                    }
+                }
+            }
+            // Pass 2: retain pending versions, committed versions at or above
+            // the per-key keep bound, and drop the rest.
+            let mut i = 0;
+            chain.versions.retain(|_| {
+                let keep = if aborted[i] {
+                    stats.aborted_removed += 1;
+                    false
+                } else {
+                    match fates[i] {
+                        None => true, // pending: must keep
+                        Some(ts) => {
+                            let keep = newest_old_commit.is_none_or(|bound| ts >= bound);
+                            if !keep {
+                                stats.versions_dropped += 1;
+                            }
+                            keep
+                        }
+                    }
+                };
+                i += 1;
+                keep
+            });
+            if chain.versions.is_empty() {
+                stats.keys_removed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    /// A resolver backed by a closure table for tests.
+    fn table(entries: &[(u64, TxnStatus)]) -> impl VersionResolver + '_ {
+        move |ts: Timestamp| {
+            entries
+                .iter()
+                .find(|(s, _)| Timestamp(*s) == ts)
+                .map(|(_, st)| *st)
+                .unwrap_or(TxnStatus::Pending)
+        }
+    }
+
+    #[test]
+    fn uncommitted_versions_are_invisible() {
+        let store = MvccStore::new();
+        store.insert_version(b("k"), Timestamp(1), Some(b("v")));
+        let r = table(&[]);
+        assert_eq!(store.read(b"k", Timestamp(100), &r), SnapshotRead::Absent);
+    }
+
+    #[test]
+    fn committed_version_visible_after_commit_ts() {
+        let store = MvccStore::new();
+        store.insert_version(b("k"), Timestamp(1), Some(b("v")));
+        let r = table(&[(1, TxnStatus::Committed(Timestamp(2)))]);
+        assert_eq!(
+            store.read(b"k", Timestamp(3), &r),
+            SnapshotRead::Value(b("v"))
+        );
+        // Snapshot at exactly the commit timestamp: not visible (strict <).
+        assert_eq!(store.read(b"k", Timestamp(2), &r), SnapshotRead::Absent);
+    }
+
+    #[test]
+    fn reader_picks_version_by_commit_order_not_start_order() {
+        // Writer A starts first (ts 1) but commits last (ts 6); writer B
+        // starts second (ts 2), commits first (ts 3). A snapshot at 10 must
+        // see A's value because commit order decides.
+        let store = MvccStore::new();
+        store.insert_version(b("k"), Timestamp(1), Some(b("from-A")));
+        store.insert_version(b("k"), Timestamp(2), Some(b("from-B")));
+        let r = table(&[
+            (1, TxnStatus::Committed(Timestamp(6))),
+            (2, TxnStatus::Committed(Timestamp(3))),
+        ]);
+        assert_eq!(
+            store.read(b"k", Timestamp(10), &r),
+            SnapshotRead::Value(b("from-A"))
+        );
+        // A snapshot between the commits sees B's value.
+        assert_eq!(
+            store.read(b"k", Timestamp(5), &r),
+            SnapshotRead::Value(b("from-B"))
+        );
+    }
+
+    #[test]
+    fn aborted_versions_are_skipped() {
+        let store = MvccStore::new();
+        store.insert_version(b("k"), Timestamp(1), Some(b("old")));
+        store.insert_version(b("k"), Timestamp(3), Some(b("doomed")));
+        let r = table(&[
+            (1, TxnStatus::Committed(Timestamp(2))),
+            (3, TxnStatus::Aborted),
+        ]);
+        assert_eq!(
+            store.read(b"k", Timestamp(10), &r),
+            SnapshotRead::Value(b("old"))
+        );
+    }
+
+    #[test]
+    fn tombstone_hides_key() {
+        let store = MvccStore::new();
+        store.insert_version(b("k"), Timestamp(1), Some(b("v")));
+        store.insert_version(b("k"), Timestamp(3), None);
+        let r = table(&[
+            (1, TxnStatus::Committed(Timestamp(2))),
+            (3, TxnStatus::Committed(Timestamp(4))),
+        ]);
+        assert_eq!(store.read(b"k", Timestamp(10), &r), SnapshotRead::Absent);
+        // Older snapshot still sees the value: time travel works.
+        assert_eq!(
+            store.read(b"k", Timestamp(3), &r),
+            SnapshotRead::Value(b("v"))
+        );
+    }
+
+    #[test]
+    fn remove_versions_cleans_up_abort() {
+        let store = MvccStore::new();
+        store.insert_version(b("k"), Timestamp(1), Some(b("v")));
+        store.remove_versions(Timestamp(1), [&b("k")]);
+        assert_eq!(store.key_count(), 0);
+    }
+
+    #[test]
+    fn scan_returns_visible_keys_in_order() {
+        let store = MvccStore::new();
+        for (i, key) in ["a", "b", "c", "d"].iter().enumerate() {
+            store.insert_version(b(key), Timestamp(i as u64 + 1), Some(b("v")));
+        }
+        let r = table(&[
+            (1, TxnStatus::Committed(Timestamp(10))),
+            (2, TxnStatus::Aborted),
+            (3, TxnStatus::Committed(Timestamp(11))),
+            (4, TxnStatus::Pending),
+        ]);
+        let hits = store.scan(b"a", None, Timestamp(20), &r, usize::MAX);
+        let keys: Vec<_> = hits.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b("a"), b("c")]);
+    }
+
+    #[test]
+    fn scan_respects_bounds_and_limit() {
+        let store = MvccStore::new();
+        for key in ["a", "b", "c", "d"] {
+            store.insert_version(b(key), Timestamp(1), Some(b("v")));
+        }
+        let r = table(&[(1, TxnStatus::Committed(Timestamp(2)))]);
+        let hits = store.scan(b"b", Some(b"d"), Timestamp(10), &r, usize::MAX);
+        assert_eq!(hits.len(), 2);
+        let hits = store.scan(b"a", None, Timestamp(10), &r, 3);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn stamped_commit_resolves_without_table() {
+        let store = MvccStore::new();
+        store.insert_version(b("k"), Timestamp(1), Some(b("v")));
+        store.stamp_commit(Timestamp(1), Timestamp(2), [&b("k")]);
+        // Resolver claims Pending: the stamp must win.
+        let r = table(&[]);
+        assert_eq!(
+            store.read(b"k", Timestamp(5), &r),
+            SnapshotRead::Value(b("v"))
+        );
+    }
+
+    #[test]
+    fn gc_drops_superseded_and_aborted_versions() {
+        let store = MvccStore::new();
+        store.insert_version(b("k"), Timestamp(1), Some(b("v1")));
+        store.insert_version(b("k"), Timestamp(3), Some(b("v2")));
+        store.insert_version(b("k"), Timestamp(5), Some(b("dead")));
+        store.insert_version(b("k"), Timestamp(7), Some(b("pending")));
+        let r = table(&[
+            (1, TxnStatus::Committed(Timestamp(2))),
+            (3, TxnStatus::Committed(Timestamp(4))),
+            (5, TxnStatus::Aborted),
+        ]);
+        let stats = store.gc(Timestamp(100), &r);
+        assert_eq!(stats.versions_dropped, 1); // v1 superseded by v2
+        assert_eq!(stats.aborted_removed, 1); // dead
+        assert_eq!(store.version_count(), 2); // v2 + pending
+                                              // v2 still readable, now via its stamp.
+        assert_eq!(
+            store.read(b"k", Timestamp(100), &|_ts: Timestamp| TxnStatus::Pending),
+            SnapshotRead::Value(b("v2"))
+        );
+    }
+
+    #[test]
+    fn gc_keeps_versions_above_watermark() {
+        let store = MvccStore::new();
+        store.insert_version(b("k"), Timestamp(1), Some(b("v1")));
+        store.insert_version(b("k"), Timestamp(3), Some(b("v2")));
+        let r = table(&[
+            (1, TxnStatus::Committed(Timestamp(2))),
+            (3, TxnStatus::Committed(Timestamp(4))),
+        ]);
+        // Watermark 3: an active snapshot at 3 must still read v1.
+        let stats = store.gc(Timestamp(3), &r);
+        assert_eq!(stats.versions_dropped, 0);
+        assert_eq!(
+            store.read(b"k", Timestamp(3), &r),
+            SnapshotRead::Value(b("v1"))
+        );
+    }
+
+    #[test]
+    fn gc_removes_empty_keys() {
+        let store = MvccStore::new();
+        store.insert_version(b("k"), Timestamp(1), Some(b("v")));
+        let r = table(&[(1, TxnStatus::Aborted)]);
+        let stats = store.gc(Timestamp(100), &r);
+        assert_eq!(stats.keys_removed, 1);
+        assert_eq!(store.key_count(), 0);
+    }
+
+    #[test]
+    fn gc_keeps_newest_tombstone_below_watermark() {
+        // A tombstone that is the newest committed version below the
+        // watermark must be kept: it proves the key is deleted for old
+        // snapshots still above its commit.
+        let store = MvccStore::new();
+        store.insert_version(b("k"), Timestamp(1), Some(b("v")));
+        store.insert_version(b("k"), Timestamp(3), None);
+        let r = table(&[
+            (1, TxnStatus::Committed(Timestamp(2))),
+            (3, TxnStatus::Committed(Timestamp(4))),
+        ]);
+        store.gc(Timestamp(100), &r);
+        assert_eq!(store.version_count(), 1);
+        assert_eq!(store.read(b"k", Timestamp(100), &r), SnapshotRead::Absent);
+    }
+}

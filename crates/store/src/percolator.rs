@@ -1,0 +1,528 @@
+//! Percolator-style lock-based snapshot isolation (the paper's §2.1
+//! baseline).
+//!
+//! Percolator "adds two extra columns to each column family: *lock* and
+//! *write*. The write column maintains the commit timestamp. The client runs
+//! a 2PC algorithm to update this column on all modified data items. The
+//! lock columns provide low granularity locks" (§2.1). This module
+//! implements that protocol over an in-memory table:
+//!
+//! * **Prewrite** (2PC phase 1): for every written key — the first being the
+//!   *primary* — abort if the key is locked or has a committed write after
+//!   our start timestamp; otherwise stage the data and take the lock.
+//! * **Commit** (2PC phase 2): take a commit timestamp; atomically replace
+//!   the primary's lock with a write record — *the commit point* — then do
+//!   the same for the secondaries.
+//!
+//! The interesting part is what happens when a client dies mid-protocol:
+//! "the locks a failed or slow transaction holds prevent the others from
+//! making progress during recovery" (§2.1). [`PercolatorTxn::commit_with_crash`]
+//! injects exactly those crashes, and [`PercolatorDb::resolve_lock`] is the
+//! reader-side cleanup that rolls the orphan forward (primary committed) or
+//! back (primary still locked) — the recovery dance the lock-free status
+//! oracle never needs.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use wsi_core::{Timestamp, TimestampSource};
+
+use crate::error::{Error, Result};
+
+/// A lock entry in a key's lock column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Lock {
+    /// Start timestamp of the locking transaction.
+    txn_start: Timestamp,
+    /// The transaction's primary key (where its commit point lives).
+    primary: Bytes,
+}
+
+/// One key's three Percolator columns.
+#[derive(Debug, Clone, Default)]
+struct Cell {
+    /// `data` column: value staged at the writer's start timestamp.
+    data: BTreeMap<Timestamp, Option<Bytes>>,
+    /// `lock` column: at most one lock at a time (row-level granularity).
+    lock: Option<Lock>,
+    /// `write` column: commit timestamp → start timestamp of the committed
+    /// version.
+    write: BTreeMap<Timestamp, Timestamp>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    cells: BTreeMap<Bytes, Cell>,
+    ts: TimestampSource,
+}
+
+/// Where to kill the client during [`PercolatorTxn::commit_with_crash`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// After prewrite succeeds: all keys locked, nothing committed. The
+    /// transaction is logically aborted but its locks strand until cleanup.
+    AfterPrewrite,
+    /// After the primary's commit point: the transaction *is* committed, but
+    /// secondary keys remain locked until someone rolls them forward.
+    AfterPrimaryCommit,
+}
+
+/// Outcome of [`PercolatorDb::resolve_lock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockResolution {
+    /// No lock was present.
+    NotLocked,
+    /// The owning transaction had committed (primary write record found);
+    /// the lock was rolled forward into a write record.
+    RolledForward,
+    /// The owning transaction was dead or presumed dead; its lock and staged
+    /// data were removed.
+    RolledBack,
+    /// The primary lock is still in place and `force` was not set: the owner
+    /// may be alive, so nothing was done.
+    OwnerMaybeAlive,
+}
+
+/// A lock-based snapshot-isolation store (Percolator protocol).
+///
+/// # Example
+///
+/// ```
+/// use wsi_store::percolator::PercolatorDb;
+///
+/// let db = PercolatorDb::open();
+/// let mut t = db.begin();
+/// t.put(b"k", b"v");
+/// t.commit().unwrap();
+///
+/// let mut r = db.begin();
+/// assert_eq!(r.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
+/// ```
+#[derive(Clone, Default)]
+pub struct PercolatorDb {
+    state: Arc<Mutex<State>>,
+}
+
+impl PercolatorDb {
+    /// Opens an empty store.
+    pub fn open() -> Self {
+        Self::default()
+    }
+
+    /// Begins a transaction at the current snapshot.
+    pub fn begin(&self) -> PercolatorTxn {
+        let start_ts = self.state.lock().ts.next();
+        PercolatorTxn {
+            db: self.clone(),
+            start_ts,
+            writes: BTreeMap::new(),
+            finished: false,
+        }
+    }
+
+    /// Reads `key` at snapshot `ts` directly (no transaction bookkeeping).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::KeyLocked`] if a lock from a transaction with
+    /// `start ≤ ts` covers the key — the reader cannot know whether that
+    /// writer committed before `ts`, so it must wait or clean up (§2.1:
+    /// "if a reading transaction finds the column locked, it has to check
+    /// the status of the transaction that has locked the column").
+    pub fn read_at(&self, key: &[u8], ts: Timestamp) -> Result<Option<Bytes>> {
+        let state = self.state.lock();
+        Self::read_locked(&state, key, ts)
+    }
+
+    fn read_locked(state: &State, key: &[u8], ts: Timestamp) -> Result<Option<Bytes>> {
+        let Some(cell) = state.cells.get(key) else {
+            return Ok(None);
+        };
+        if let Some(lock) = &cell.lock {
+            if lock.txn_start < ts {
+                return Err(Error::KeyLocked {
+                    key: Bytes::copy_from_slice(key),
+                });
+            }
+        }
+        // Latest write record with commit_ts < ts.
+        let Some((_, &data_ts)) = cell.write.range(..ts).next_back() else {
+            return Ok(None);
+        };
+        Ok(cell.data.get(&data_ts).cloned().flatten())
+    }
+
+    /// Attempts to clear a lock left on `key` by a failed client.
+    ///
+    /// Consults the lock's *primary* key: a write record there means the
+    /// owner committed (roll the lock forward); a missing primary lock means
+    /// the owner was already rolled back (roll back here too). If the
+    /// primary lock is still present the owner may merely be slow — only
+    /// with `force` (modelling a liveness timeout) is the whole transaction
+    /// rolled back, primary first.
+    pub fn resolve_lock(&self, key: &[u8], force: bool) -> LockResolution {
+        let mut state = self.state.lock();
+        let Some(lock) = state.cells.get(key).and_then(|c| c.lock.clone()) else {
+            return LockResolution::NotLocked;
+        };
+        let txn_start = lock.txn_start;
+        // Find the owner's commit timestamp, if any, from the primary cell.
+        let primary_commit: Option<Timestamp> = state.cells.get(&lock.primary).and_then(|p| {
+            p.write
+                .iter()
+                .find(|(_, &s)| s == txn_start)
+                .map(|(&c, _)| c)
+        });
+        if let Some(commit_ts) = primary_commit {
+            let cell = state.cells.entry(Bytes::copy_from_slice(key)).or_default();
+            if cell.lock.as_ref().map(|l| l.txn_start) == Some(txn_start) {
+                cell.lock = None;
+                cell.write.insert(commit_ts, txn_start);
+            }
+            return LockResolution::RolledForward;
+        }
+        let primary_still_locked = state
+            .cells
+            .get(&lock.primary)
+            .and_then(|p| p.lock.as_ref())
+            .map(|l| l.txn_start == txn_start)
+            .unwrap_or(false);
+        if primary_still_locked && !force {
+            return LockResolution::OwnerMaybeAlive;
+        }
+        // Roll back: primary first (erasing the primary lock *is* the abort
+        // decision — after this no commit point can ever appear), then here.
+        if primary_still_locked {
+            let primary_key = lock.primary.clone();
+            if let Some(p) = state.cells.get_mut(&primary_key) {
+                p.lock = None;
+                p.data.remove(&txn_start);
+            }
+        }
+        if let Some(cell) = state.cells.get_mut(key) {
+            if cell.lock.as_ref().map(|l| l.txn_start) == Some(txn_start) {
+                cell.lock = None;
+                cell.data.remove(&txn_start);
+            }
+        }
+        LockResolution::RolledBack
+    }
+
+    /// Returns `true` if `key` currently carries a lock.
+    pub fn is_locked(&self, key: &[u8]) -> bool {
+        self.state
+            .lock()
+            .cells
+            .get(key)
+            .map(|c| c.lock.is_some())
+            .unwrap_or(false)
+    }
+}
+
+impl std::fmt::Debug for PercolatorDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PercolatorDb").finish_non_exhaustive()
+    }
+}
+
+/// A transaction over a [`PercolatorDb`].
+pub struct PercolatorTxn {
+    db: PercolatorDb,
+    start_ts: Timestamp,
+    writes: BTreeMap<Bytes, Option<Bytes>>,
+    finished: bool,
+}
+
+impl PercolatorTxn {
+    /// The transaction's start timestamp.
+    pub fn start_ts(&self) -> Timestamp {
+        self.start_ts
+    }
+
+    /// Reads a key in the snapshot (own writes win).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::KeyLocked`] if another in-flight (or stranded) transaction
+    /// holds the key's lock.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Bytes>> {
+        if let Some(v) = self.writes.get(key) {
+            return Ok(v.clone());
+        }
+        self.db.read_at(key, self.start_ts)
+    }
+
+    /// Buffers a write.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.writes.insert(
+            Bytes::copy_from_slice(key),
+            Some(Bytes::copy_from_slice(value)),
+        );
+    }
+
+    /// Buffers a deletion.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.writes.insert(Bytes::copy_from_slice(key), None);
+    }
+
+    /// Runs the full 2PC commit.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::KeyLocked`] if prewrite hits a lock (the abort-on-lock
+    /// policy, §2.1 option ii) and [`Error::Aborted`] is **not** used here —
+    /// lock-based SI reports write-write conflicts as lock/write-record
+    /// collisions, surfaced as [`Error::KeyLocked`] for locks and
+    /// [`Error::Aborted`] with a write-write reason for newer committed
+    /// writes.
+    pub fn commit(self) -> Result<Timestamp> {
+        self.commit_inner(None)
+    }
+
+    /// Runs the commit but kills the client at `crash`: locks (and possibly
+    /// the commit) are left behind exactly as a real client failure would.
+    ///
+    /// Returns the commit timestamp if the crash happened after the commit
+    /// point ([`CrashPoint::AfterPrimaryCommit`]), else `None`.
+    pub fn commit_with_crash(self, crash: CrashPoint) -> Result<Option<Timestamp>> {
+        match self.commit_inner(Some(crash)) {
+            Ok(ts) if ts == Timestamp::ZERO => Ok(None),
+            Ok(ts) => Ok(Some(ts)),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn commit_inner(mut self, crash: Option<CrashPoint>) -> Result<Timestamp> {
+        self.finished = true;
+        if self.writes.is_empty() {
+            return Ok(self.start_ts); // read-only: nothing to do
+        }
+        let writes = std::mem::take(&mut self.writes);
+        let keys: Vec<Bytes> = writes.keys().cloned().collect();
+        let primary = keys[0].clone();
+        let start_ts = self.start_ts;
+
+        let mut state = self.db.state.lock();
+
+        // --- Phase 1: prewrite (primary first). -------------------------
+        let mut locked: Vec<Bytes> = Vec::new();
+        for (key, value) in &writes {
+            let cell = state.cells.entry(key.clone()).or_default();
+            if cell.lock.is_some() {
+                // Roll back our partial prewrite and abort.
+                for k in &locked {
+                    let c = state.cells.get_mut(k).expect("just locked");
+                    c.lock = None;
+                    c.data.remove(&start_ts);
+                }
+                return Err(Error::KeyLocked { key: key.clone() });
+            }
+            if let Some((&newer_commit, _)) = cell.write.range(start_ts..).next_back() {
+                for k in &locked {
+                    let c = state.cells.get_mut(k).expect("just locked");
+                    c.lock = None;
+                    c.data.remove(&start_ts);
+                }
+                return Err(Error::Aborted(wsi_core::AbortReason::WriteWriteConflict {
+                    row: wsi_core::hash_row_key(key),
+                    committed_at: newer_commit,
+                }));
+            }
+            cell.data.insert(start_ts, value.clone());
+            cell.lock = Some(Lock {
+                txn_start: start_ts,
+                primary: primary.clone(),
+            });
+            locked.push(key.clone());
+        }
+        if crash == Some(CrashPoint::AfterPrewrite) {
+            return Ok(Timestamp::ZERO); // client dies; locks stranded
+        }
+
+        // --- Phase 2: commit point at the primary, then secondaries. -----
+        let commit_ts = state.ts.next();
+        {
+            let p = state.cells.get_mut(&primary).expect("prewritten");
+            debug_assert_eq!(p.lock.as_ref().map(|l| l.txn_start), Some(start_ts));
+            p.lock = None;
+            p.write.insert(commit_ts, start_ts);
+        }
+        if crash == Some(CrashPoint::AfterPrimaryCommit) {
+            return Ok(commit_ts); // committed, but secondaries stay locked
+        }
+        for key in keys.iter().skip(1) {
+            let c = state.cells.get_mut(key).expect("prewritten");
+            c.lock = None;
+            c.write.insert(commit_ts, start_ts);
+        }
+        Ok(commit_ts)
+    }
+}
+
+impl std::fmt::Debug for PercolatorTxn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PercolatorTxn")
+            .field("start_ts", &self.start_ts)
+            .field("writes", &self.writes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_and_read() {
+        let db = PercolatorDb::open();
+        let mut t = db.begin();
+        t.put(b"k", b"v1");
+        let c1 = t.commit().unwrap();
+        let mut r = db.begin();
+        assert!(r.start_ts() > c1);
+        assert_eq!(r.get(b"k").unwrap().as_deref(), Some(&b"v1"[..]));
+    }
+
+    #[test]
+    fn snapshot_reads_ignore_later_commits() {
+        let db = PercolatorDb::open();
+        let mut t = db.begin();
+        t.put(b"k", b"v1");
+        t.commit().unwrap();
+        let mut old = db.begin(); // snapshot before v2
+        let mut t2 = db.begin();
+        t2.put(b"k", b"v2");
+        t2.commit().unwrap();
+        assert_eq!(old.get(b"k").unwrap().as_deref(), Some(&b"v1"[..]));
+    }
+
+    #[test]
+    fn write_write_conflict_aborts_second_committer() {
+        let db = PercolatorDb::open();
+        let mut seed = db.begin();
+        seed.put(b"k", b"v0");
+        seed.commit().unwrap();
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        t1.put(b"k", b"from-t1");
+        t2.put(b"k", b"from-t2");
+        t1.commit().unwrap();
+        let err = t2.commit().unwrap_err();
+        assert!(matches!(err, Error::Aborted(_)));
+    }
+
+    #[test]
+    fn concurrent_prewrite_hits_lock() {
+        let db = PercolatorDb::open();
+        let mut t1 = db.begin();
+        t1.put(b"k", b"a");
+        // Crash t1 mid-commit so its lock lingers while t2 prewrites.
+        t1.commit_with_crash(CrashPoint::AfterPrewrite).unwrap();
+        let mut t2 = db.begin();
+        t2.put(b"k", b"b");
+        assert!(matches!(t2.commit(), Err(Error::KeyLocked { .. })));
+    }
+
+    #[test]
+    fn stranded_prewrite_blocks_readers_until_rollback() {
+        let db = PercolatorDb::open();
+        let mut seed = db.begin();
+        seed.put(b"k", b"v0");
+        seed.commit().unwrap();
+
+        let mut dead = db.begin();
+        dead.put(b"k", b"never");
+        dead.commit_with_crash(CrashPoint::AfterPrewrite).unwrap();
+
+        // Reader blocks on the stranded lock — the §2.1 problem.
+        let mut r = db.begin();
+        assert!(matches!(r.get(b"k"), Err(Error::KeyLocked { .. })));
+
+        // Timid cleanup refuses while the primary lock stands...
+        assert_eq!(
+            db.resolve_lock(b"k", false),
+            LockResolution::OwnerMaybeAlive
+        );
+        // ...forced cleanup (liveness timeout) rolls the orphan back.
+        assert_eq!(db.resolve_lock(b"k", true), LockResolution::RolledBack);
+        assert_eq!(r.get(b"k").unwrap().as_deref(), Some(&b"v0"[..]));
+    }
+
+    #[test]
+    fn crash_after_primary_commit_rolls_forward() {
+        let db = PercolatorDb::open();
+        let mut dead = db.begin();
+        dead.put(b"a", b"va"); // primary
+        dead.put(b"b", b"vb"); // secondary
+        let commit_ts = dead
+            .commit_with_crash(CrashPoint::AfterPrimaryCommit)
+            .unwrap()
+            .expect("crashed after commit point");
+
+        // Primary is readable immediately; secondary is stranded-locked.
+        let mut r = db.begin();
+        assert_eq!(r.get(b"a").unwrap().as_deref(), Some(&b"va"[..]));
+        assert!(matches!(r.get(b"b"), Err(Error::KeyLocked { .. })));
+
+        // Cleanup discovers the primary's write record → roll forward.
+        assert_eq!(db.resolve_lock(b"b", false), LockResolution::RolledForward);
+        assert_eq!(r.get(b"b").unwrap().as_deref(), Some(&b"vb"[..]));
+        assert!(r.start_ts() > commit_ts);
+    }
+
+    #[test]
+    fn rollback_of_aborted_primary_unblocks_writers() {
+        let db = PercolatorDb::open();
+        let mut dead = db.begin();
+        dead.put(b"a", b"va");
+        dead.put(b"b", b"vb");
+        dead.commit_with_crash(CrashPoint::AfterPrewrite).unwrap();
+
+        db.resolve_lock(b"b", true); // rolls back primary "a" too
+        assert!(!db.is_locked(b"a"));
+        assert!(!db.is_locked(b"b"));
+
+        let mut w = db.begin();
+        w.put(b"a", b"new");
+        w.commit().unwrap();
+        let mut r = db.begin();
+        assert_eq!(r.get(b"a").unwrap().as_deref(), Some(&b"new"[..]));
+        assert_eq!(r.get(b"b").unwrap(), None, "aborted write must not appear");
+    }
+
+    #[test]
+    fn read_only_txn_commits_trivially() {
+        let db = PercolatorDb::open();
+        let t = db.begin();
+        assert!(t.commit().is_ok());
+    }
+
+    #[test]
+    fn delete_writes_tombstone() {
+        let db = PercolatorDb::open();
+        let mut t = db.begin();
+        t.put(b"k", b"v");
+        t.commit().unwrap();
+        let mut d = db.begin();
+        d.delete(b"k");
+        d.commit().unwrap();
+        let mut r = db.begin();
+        assert_eq!(r.get(b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn failed_prewrite_leaves_no_partial_locks() {
+        let db = PercolatorDb::open();
+        let mut holder = db.begin();
+        holder.put(b"b", b"x");
+        holder.commit_with_crash(CrashPoint::AfterPrewrite).unwrap();
+
+        let mut t = db.begin();
+        t.put(b"a", b"1"); // will lock fine
+        t.put(b"b", b"2"); // hits the stranded lock
+        assert!(matches!(t.commit(), Err(Error::KeyLocked { .. })));
+        assert!(!db.is_locked(b"a"), "partial prewrite must be undone");
+    }
+}

@@ -1,0 +1,215 @@
+//! WAL records for the embedded store.
+//!
+//! Unlike the status oracle — which logs only row *identifiers* because the
+//! data lives in HBase — the embedded store is the data store, so its commit
+//! records carry full key/value payloads. Recovery can then rebuild the
+//! version store, the commit index, and the oracle's `lastCommit` state from
+//! the log alone.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use wsi_core::Timestamp;
+
+use crate::error::{Error, Result};
+
+/// A durable record of one transaction outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreRecord {
+    /// A committed write transaction with its full write set.
+    Commit {
+        /// The transaction's start timestamp.
+        start_ts: Timestamp,
+        /// The transaction's commit timestamp.
+        commit_ts: Timestamp,
+        /// Key/value pairs written; `None` is a tombstone.
+        writes: Vec<(Bytes, Option<Bytes>)>,
+    },
+    /// An aborted transaction (logged so recovery can distinguish "aborted"
+    /// from "in flight at crash time" — both are invisible, but explicit
+    /// aborts keep the recovered commit index identical to the live one).
+    Abort {
+        /// The transaction's start timestamp.
+        start_ts: Timestamp,
+    },
+}
+
+const TAG_COMMIT: u8 = 0x10;
+const TAG_ABORT: u8 = 0x11;
+
+/// Encodes a record to bytes.
+pub fn encode(record: &StoreRecord) -> Bytes {
+    match record {
+        StoreRecord::Commit {
+            start_ts,
+            commit_ts,
+            writes,
+        } => {
+            let payload: usize = writes
+                .iter()
+                .map(|(k, v)| 4 + k.len() + 1 + v.as_ref().map_or(0, |v| 4 + v.len()))
+                .sum();
+            let mut buf = BytesMut::with_capacity(1 + 8 + 8 + 4 + payload);
+            buf.put_u8(TAG_COMMIT);
+            buf.put_u64_le(start_ts.raw());
+            buf.put_u64_le(commit_ts.raw());
+            buf.put_u32_le(writes.len() as u32);
+            for (key, value) in writes {
+                buf.put_u32_le(key.len() as u32);
+                buf.put_slice(key);
+                match value {
+                    Some(v) => {
+                        buf.put_u8(1);
+                        buf.put_u32_le(v.len() as u32);
+                        buf.put_slice(v);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+            buf.freeze()
+        }
+        StoreRecord::Abort { start_ts } => {
+            let mut buf = BytesMut::with_capacity(9);
+            buf.put_u8(TAG_ABORT);
+            buf.put_u64_le(start_ts.raw());
+            buf.freeze()
+        }
+    }
+}
+
+struct Cursor<'a> {
+    data: &'a Bytes,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8> {
+        let b = *self
+            .data
+            .get(self.pos)
+            .ok_or_else(|| Error::Corrupt("truncated record".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        let bytes = self
+            .data
+            .get(self.pos..end)
+            .ok_or_else(|| Error::Corrupt("truncated record".into()))?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let end = self.pos + 8;
+        let bytes = self
+            .data
+            .get(self.pos..end)
+            .ok_or_else(|| Error::Corrupt("truncated record".into()))?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    fn bytes(&mut self, len: usize) -> Result<Bytes> {
+        let end = self.pos + len;
+        if end > self.data.len() {
+            return Err(Error::Corrupt("truncated record".into()));
+        }
+        let out = self.data.slice(self.pos..end);
+        self.pos = end;
+        Ok(out)
+    }
+}
+
+/// Decodes a record from bytes.
+///
+/// # Errors
+///
+/// Returns [`Error::Corrupt`] on truncation or an unknown tag.
+pub fn decode(data: &Bytes) -> Result<StoreRecord> {
+    let mut c = Cursor { data, pos: 0 };
+    match c.u8()? {
+        TAG_COMMIT => {
+            let start_ts = Timestamp(c.u64()?);
+            let commit_ts = Timestamp(c.u64()?);
+            let count = c.u32()? as usize;
+            let mut writes = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                let klen = c.u32()? as usize;
+                let key = c.bytes(klen)?;
+                let value = if c.u8()? == 1 {
+                    let vlen = c.u32()? as usize;
+                    Some(c.bytes(vlen)?)
+                } else {
+                    None
+                };
+                writes.push((key, value));
+            }
+            Ok(StoreRecord::Commit {
+                start_ts,
+                commit_ts,
+                writes,
+            })
+        }
+        TAG_ABORT => Ok(StoreRecord::Abort {
+            start_ts: Timestamp(c.u64()?),
+        }),
+        tag => Err(Error::Corrupt(format!("unknown record tag {tag}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn commit_roundtrip() {
+        let rec = StoreRecord::Commit {
+            start_ts: Timestamp(3),
+            commit_ts: Timestamp(9),
+            writes: vec![(b("k1"), Some(b("v1"))), (b("k2"), None)],
+        };
+        assert_eq!(decode(&encode(&rec)).unwrap(), rec);
+    }
+
+    #[test]
+    fn abort_roundtrip() {
+        let rec = StoreRecord::Abort {
+            start_ts: Timestamp(42),
+        };
+        assert_eq!(decode(&encode(&rec)).unwrap(), rec);
+    }
+
+    #[test]
+    fn empty_commit_roundtrip() {
+        let rec = StoreRecord::Commit {
+            start_ts: Timestamp(1),
+            commit_ts: Timestamp(2),
+            writes: vec![],
+        };
+        assert_eq!(decode(&encode(&rec)).unwrap(), rec);
+    }
+
+    #[test]
+    fn truncated_fails() {
+        let rec = StoreRecord::Commit {
+            start_ts: Timestamp(3),
+            commit_ts: Timestamp(9),
+            writes: vec![(b("key"), Some(b("value")))],
+        };
+        let bytes = encode(&rec);
+        for cut in [0, 1, 10, bytes.len() - 1] {
+            let torn = bytes.slice(0..cut);
+            assert!(decode(&torn).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_fails() {
+        assert!(decode(&Bytes::from_static(&[0x77])).is_err());
+    }
+}

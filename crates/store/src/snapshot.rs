@@ -1,0 +1,157 @@
+//! Read-only snapshots.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::db::DbInner;
+use wsi_core::Timestamp;
+
+/// A read-only view of the database at a fixed point in time.
+///
+/// Cheaper than a [`crate::Transaction`] used read-only: no read-set
+/// tracking (read-only transactions are never conflict-checked, §4.1
+/// condition 3, so recording reads would be wasted work) and shared `&self`
+/// reads, so one snapshot can serve many reader threads.
+///
+/// The snapshot pins the garbage collector's low-water mark while alive:
+/// versions it can see are not collected. Drop it when done.
+///
+/// # Example
+///
+/// ```
+/// use wsi_core::IsolationLevel;
+/// use wsi_store::{Db, DbOptions};
+///
+/// let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot));
+/// let mut t = db.begin();
+/// t.put(b"k", b"v1");
+/// t.commit().unwrap();
+///
+/// let snap = db.snapshot();
+/// let mut t2 = db.begin();
+/// t2.put(b"k", b"v2");
+/// t2.commit().unwrap();
+///
+/// assert_eq!(snap.get(b"k").as_deref(), Some(&b"v1"[..])); // stable view
+/// ```
+pub struct Snapshot {
+    db: Arc<DbInner>,
+    start_ts: Timestamp,
+    released: bool,
+}
+
+impl Snapshot {
+    pub(crate) fn new(db: Arc<DbInner>, start_ts: Timestamp) -> Self {
+        Snapshot {
+            db,
+            start_ts,
+            released: false,
+        }
+    }
+
+    /// The snapshot's timestamp.
+    pub fn start_ts(&self) -> Timestamp {
+        self.start_ts
+    }
+
+    /// Reads a key.
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        self.db
+            .mvcc
+            .read(key, self.start_ts, &self.db.index)
+            .into_option()
+    }
+
+    /// Scans `[start, end)` (unbounded end if `None`), up to `limit` pairs.
+    pub fn scan(&self, start: &[u8], end: Option<&[u8]>, limit: usize) -> Vec<(Bytes, Bytes)> {
+        self.db
+            .mvcc
+            .scan(start, end, self.start_ts, &self.db.index, limit)
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        if !self.released {
+            self.released = true;
+            let mut m = self.db.manager.lock();
+            m.active.remove(&self.start_ts);
+            // Equivalent to a read-only commit (§5.1): free, never aborts.
+            let _ = m
+                .oracle
+                .commit(wsi_core::CommitRequest::read_only(self.start_ts));
+        }
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("start_ts", &self.start_ts)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Db, DbOptions};
+    use wsi_core::IsolationLevel;
+
+    fn db() -> Db {
+        Db::open(DbOptions::new(IsolationLevel::WriteSnapshot))
+    }
+
+    #[test]
+    fn snapshot_is_stable_and_shared() {
+        let db = db();
+        let mut t = db.begin();
+        t.put(b"a", b"1");
+        t.put(b"b", b"2");
+        t.commit().unwrap();
+        let snap = std::sync::Arc::new(db.snapshot());
+        let mut t2 = db.begin();
+        t2.put(b"a", b"999");
+        t2.commit().unwrap();
+
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let snap = std::sync::Arc::clone(&snap);
+                std::thread::spawn(move || {
+                    assert_eq!(snap.get(b"a").unwrap().as_ref(), b"1");
+                    assert_eq!(snap.scan(b"a", None, 10).len(), 2);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn snapshot_pins_gc_watermark() {
+        let db = db();
+        let mut t = db.begin();
+        t.put(b"k", b"old");
+        t.commit().unwrap();
+        let snap = db.snapshot();
+        let mut t2 = db.begin();
+        t2.put(b"k", b"new");
+        t2.commit().unwrap();
+        db.gc();
+        assert_eq!(snap.get(b"k").unwrap().as_ref(), b"old");
+        drop(snap);
+        let stats = db.gc();
+        assert_eq!(stats.versions_dropped, 1, "old version collectable now");
+    }
+
+    #[test]
+    fn dropping_snapshot_counts_as_read_only_commit() {
+        let db = db();
+        let before = db.stats().oracle.read_only_commits;
+        let snap = db.snapshot();
+        drop(snap);
+        assert_eq!(db.stats().oracle.read_only_commits, before + 1);
+        assert_eq!(db.stats().active_transactions, 0);
+    }
+}

@@ -1,0 +1,337 @@
+//! An embedded store running Cahill-style serializable snapshot isolation.
+//!
+//! [`SsiDb`] pairs the same multi-version storage and commit index as
+//! [`crate::Db`] with [`wsi_core::ssi::SsiOracle`] instead of the
+//! write-snapshot-isolation oracle — the §7.1 comparator as a usable
+//! engine. Useful for workloads dominated by History-6-shaped patterns
+//! (transactions whose reads are overwritten by writers that commit first),
+//! which SSI admits and WSI aborts; see EXPERIMENTS.md E1 for the abort-rate
+//! comparison on zipfian workloads, where the balance tips the other way.
+//!
+//! In-memory only: the dangerous-structure decision mutates oracle state
+//! before it could be logged, so the WAL-before-exposure discipline of
+//! [`crate::Db`] does not transfer; durability for SSI would need undo
+//! support and is out of scope.
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use wsi_core::ssi::{SsiOracle, SsiStats};
+use wsi_core::{hash_row_key, CommitRequest, RowId, Timestamp};
+
+use crate::{
+    commit_index::CommitIndex,
+    error::{Error, Result},
+    mvcc::MvccStore,
+};
+
+struct SsiInner {
+    mvcc: MvccStore,
+    index: CommitIndex,
+    oracle: Mutex<SsiOracle>,
+}
+
+/// An embedded, thread-safe transactional store under serializable snapshot
+/// isolation.
+///
+/// # Example
+///
+/// ```
+/// use wsi_store::ssi_db::SsiDb;
+///
+/// let db = SsiDb::open();
+/// let mut t = db.begin();
+/// t.put(b"k", b"v");
+/// t.commit().unwrap();
+///
+/// let mut r = db.begin();
+/// assert_eq!(r.get(b"k").as_deref(), Some(&b"v"[..]));
+/// ```
+#[derive(Clone)]
+pub struct SsiDb {
+    inner: Arc<SsiInner>,
+}
+
+impl SsiDb {
+    /// Opens an empty store.
+    pub fn open() -> Self {
+        SsiDb {
+            inner: Arc::new(SsiInner {
+                mvcc: MvccStore::new(),
+                index: CommitIndex::new(),
+                oracle: Mutex::new(SsiOracle::new()),
+            }),
+        }
+    }
+
+    /// Begins a transaction at the current snapshot.
+    pub fn begin(&self) -> SsiTransaction {
+        let start_ts = self.inner.oracle.lock().begin();
+        SsiTransaction {
+            db: Arc::clone(&self.inner),
+            start_ts,
+            writes: BTreeMap::new(),
+            read_rows: HashSet::new(),
+            finished: false,
+        }
+    }
+
+    /// Oracle counters (commit/abort breakdown, window size is a method on
+    /// the oracle itself).
+    pub fn stats(&self) -> SsiStats {
+        self.inner.oracle.lock().stats()
+    }
+}
+
+impl std::fmt::Debug for SsiDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SsiDb").finish_non_exhaustive()
+    }
+}
+
+/// A transaction over an [`SsiDb`].
+pub struct SsiTransaction {
+    db: Arc<SsiInner>,
+    start_ts: Timestamp,
+    writes: BTreeMap<Bytes, Option<Bytes>>,
+    read_rows: HashSet<RowId>,
+    finished: bool,
+}
+
+impl SsiTransaction {
+    /// The transaction's snapshot timestamp.
+    pub fn start_ts(&self) -> Timestamp {
+        self.start_ts
+    }
+
+    /// Reads a key (own writes win; store lookups join the read set — SSI
+    /// needs the read set to find incoming antidependencies).
+    pub fn get(&mut self, key: &[u8]) -> Option<Bytes> {
+        if let Some(buffered) = self.writes.get(key) {
+            return buffered.clone();
+        }
+        self.read_rows.insert(hash_row_key(key));
+        self.db
+            .mvcc
+            .read(key, self.start_ts, &self.db.index)
+            .into_option()
+    }
+
+    /// Buffers a write.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.writes.insert(
+            Bytes::copy_from_slice(key),
+            Some(Bytes::copy_from_slice(value)),
+        );
+    }
+
+    /// Buffers a deletion.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.writes.insert(Bytes::copy_from_slice(key), None);
+    }
+
+    /// Commits; on a write-write conflict or dangerous structure the
+    /// transaction rolls back and [`Error::Aborted`] is returned.
+    pub fn commit(mut self) -> Result<Timestamp> {
+        if self.finished {
+            return Err(Error::TransactionFinished);
+        }
+        self.finished = true;
+        let writes = std::mem::take(&mut self.writes);
+        if writes.is_empty() {
+            let mut oracle = self.db.oracle.lock();
+            let outcome = oracle.commit(CommitRequest::read_only(self.start_ts));
+            return Ok(outcome.commit_ts().expect("read-only always commits"));
+        }
+        let keys: Vec<Bytes> = writes.keys().cloned().collect();
+        let write_rows: Vec<RowId> = keys.iter().map(|k| hash_row_key(k)).collect();
+        self.db.mvcc.insert_versions(
+            self.start_ts,
+            writes.iter().map(|(k, v)| (k.clone(), v.clone())),
+        );
+        let req = CommitRequest::new(self.start_ts, self.read_rows.drain().collect(), write_rows);
+        let outcome = {
+            let mut oracle = self.db.oracle.lock();
+            let outcome = oracle.commit(req);
+            match outcome {
+                wsi_core::CommitOutcome::Committed(cts) => {
+                    self.db.index.record_commit(self.start_ts, cts);
+                }
+                wsi_core::CommitOutcome::Aborted(_) => {
+                    self.db.index.record_abort(self.start_ts);
+                }
+            }
+            outcome
+        };
+        match outcome {
+            wsi_core::CommitOutcome::Committed(cts) => {
+                self.db.mvcc.stamp_commit(self.start_ts, cts, keys.iter());
+                Ok(cts)
+            }
+            wsi_core::CommitOutcome::Aborted(reason) => {
+                self.db.mvcc.remove_versions(self.start_ts, keys.iter());
+                Err(Error::Aborted(reason))
+            }
+        }
+    }
+
+    /// Rolls back, discarding buffered writes.
+    pub fn rollback(mut self) {
+        self.rollback_in_place();
+    }
+
+    fn rollback_in_place(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            let mut oracle = self.db.oracle.lock();
+            oracle.abort(self.start_ts);
+            self.db.index.record_abort(self.start_ts);
+        }
+    }
+}
+
+impl Drop for SsiTransaction {
+    fn drop(&mut self) {
+        self.rollback_in_place();
+    }
+}
+
+impl std::fmt::Debug for SsiTransaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SsiTransaction")
+            .field("start_ts", &self.start_ts)
+            .field("writes", &self.writes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_commit_and_read() {
+        let db = SsiDb::open();
+        let mut t = db.begin();
+        t.put(b"k", b"v1");
+        t.commit().unwrap();
+        let mut r = db.begin();
+        assert_eq!(r.get(b"k").unwrap().as_ref(), b"v1");
+    }
+
+    #[test]
+    fn write_skew_is_prevented() {
+        let db = SsiDb::open();
+        let mut seed = db.begin();
+        seed.put(b"x", b"1");
+        seed.put(b"y", b"1");
+        seed.commit().unwrap();
+
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        let _ = t1.get(b"x");
+        let _ = t1.get(b"y");
+        let _ = t2.get(b"x");
+        let _ = t2.get(b"y");
+        t1.put(b"x", b"0");
+        t2.put(b"y", b"0");
+        t1.commit().unwrap();
+        assert!(t2.commit().is_err(), "the pivot must abort");
+    }
+
+    #[test]
+    fn history6_pattern_is_admitted() {
+        // The case where SSI beats WSI: the reader-writer commits last.
+        let db = SsiDb::open();
+        let mut seed = db.begin();
+        seed.put(b"x", b"0");
+        seed.commit().unwrap();
+
+        let mut t1 = db.begin();
+        let _ = t1.get(b"x"); // t1 reads x
+        let mut t2 = db.begin();
+        t2.put(b"x", b"new"); // t2 blind-writes x and commits first
+        t2.commit().unwrap();
+        t1.put(b"y", b"derived");
+        t1.commit()
+            .expect("single out-edge is not a dangerous structure");
+    }
+
+    #[test]
+    fn aborted_writes_are_invisible() {
+        let db = SsiDb::open();
+        let mut seed = db.begin();
+        seed.put(b"x", b"1");
+        seed.put(b"y", b"1");
+        seed.commit().unwrap();
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        let _ = t1.get(b"x");
+        let _ = t1.get(b"y");
+        let _ = t2.get(b"x");
+        let _ = t2.get(b"y");
+        t1.put(b"x", b"t1");
+        t2.put(b"y", b"t2");
+        t1.commit().unwrap();
+        assert!(t2.commit().is_err());
+        let mut r = db.begin();
+        assert_eq!(
+            r.get(b"y").unwrap().as_ref(),
+            b"1",
+            "t2's write must vanish"
+        );
+    }
+
+    #[test]
+    fn read_only_never_aborts() {
+        let db = SsiDb::open();
+        let mut seed = db.begin();
+        seed.put(b"k", b"v");
+        seed.commit().unwrap();
+        let mut ro = db.begin();
+        let _ = ro.get(b"k");
+        let mut w = db.begin();
+        w.put(b"k", b"w");
+        w.commit().unwrap();
+        ro.commit().expect("read-only commits freely");
+    }
+
+    #[test]
+    fn threads_with_retries_converge() {
+        let db = SsiDb::open();
+        let mut seed = db.begin();
+        seed.put(b"counter", b"0");
+        seed.commit().unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        loop {
+                            let mut t = db.begin();
+                            let n: u64 = String::from_utf8(t.get(b"counter").unwrap().to_vec())
+                                .unwrap()
+                                .parse()
+                                .unwrap();
+                            t.put(b"counter", (n + 1).to_string().as_bytes());
+                            if t.commit().is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut check = db.begin();
+        let n: u64 = String::from_utf8(check.get(b"counter").unwrap().to_vec())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(n, 200);
+    }
+}

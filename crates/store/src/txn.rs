@@ -1,0 +1,203 @@
+//! Client-side transaction handle.
+
+use std::collections::{BTreeMap, HashSet};
+use std::ops::Bound;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use wsi_core::{hash_row_key, RowId, Timestamp};
+
+use crate::{
+    db::DbInner,
+    error::{Error, Result},
+};
+
+/// An optimistic transaction over a [`crate::Db`].
+///
+/// Reads come from the snapshot fixed at [`crate::Db::begin`] (plus the
+/// transaction's own buffered writes); writes buffer locally and only reach
+/// the store at [`Transaction::commit`]. Dropping an unfinished transaction
+/// rolls it back.
+///
+/// The read set — the row identifiers of every key whose *stored* state the
+/// transaction observed — is tracked automatically and submitted with the
+/// commit request, as write-snapshot isolation requires (§5: "the set of
+/// identifiers of the read rows … computed based on the rows that are
+/// actually read by the transaction, whether these rows were originally
+/// specified by their primary keys or by a search condition").
+pub struct Transaction {
+    db: Arc<DbInner>,
+    start_ts: Timestamp,
+    /// Buffered writes; `None` marks a deletion.
+    writes: BTreeMap<Bytes, Option<Bytes>>,
+    read_rows: HashSet<RowId>,
+    finished: bool,
+}
+
+impl Transaction {
+    pub(crate) fn new(db: Arc<DbInner>, start_ts: Timestamp) -> Self {
+        Transaction {
+            db,
+            start_ts,
+            writes: BTreeMap::new(),
+            read_rows: HashSet::new(),
+            finished: false,
+        }
+    }
+
+    /// The transaction's start timestamp (its snapshot).
+    pub fn start_ts(&self) -> Timestamp {
+        self.start_ts
+    }
+
+    /// Returns `true` if the transaction has buffered no writes (and would
+    /// take the never-aborting read-only commit path).
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Reads a key in the transaction's snapshot.
+    ///
+    /// Own buffered writes win over stored state (read-your-writes). A
+    /// lookup that goes to the store — even one that finds nothing — is
+    /// recorded in the read set: observing a key's absence is observing its
+    /// state.
+    pub fn get(&mut self, key: &[u8]) -> Option<Bytes> {
+        if let Some(buffered) = self.writes.get(key) {
+            return buffered.clone();
+        }
+        self.read_rows.insert(hash_row_key(key));
+        self.db
+            .mvcc
+            .read(key, self.start_ts, &self.db.index)
+            .into_option()
+    }
+
+    /// Buffers a write of `value` to `key`.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.writes.insert(
+            Bytes::copy_from_slice(key),
+            Some(Bytes::copy_from_slice(value)),
+        );
+    }
+
+    /// Buffers a deletion of `key` (a tombstone version on commit).
+    pub fn delete(&mut self, key: &[u8]) {
+        self.writes.insert(Bytes::copy_from_slice(key), None);
+    }
+
+    /// Scans `[start, end)` (unbounded end if `None`) in the snapshot,
+    /// merging buffered writes, returning at most `limit` pairs in key
+    /// order.
+    ///
+    /// Every key *returned from the store* joins the read set. Keys that are
+    /// absent in the snapshot leave no trace (the status oracle tracks row
+    /// identifiers, not ranges), so phantom rows inserted by concurrent
+    /// transactions are not conflict-checked — the same row-granularity
+    /// caveat as the paper's implementation; see `wsi-oracle`'s
+    /// range-read-set extension for the coarse-grained alternative (§5.2).
+    pub fn scan(&mut self, start: &[u8], end: Option<&[u8]>, limit: usize) -> Vec<(Bytes, Bytes)> {
+        let stored = self
+            .db
+            .mvcc
+            .scan(start, end, self.start_ts, &self.db.index, limit);
+        for (key, _) in &stored {
+            self.read_rows.insert(hash_row_key(key));
+        }
+        // Merge buffered writes over stored results.
+        let upper = match end {
+            Some(e) => Bound::Excluded(Bytes::copy_from_slice(e)),
+            None => Bound::Unbounded,
+        };
+        let buffered: Vec<(&Bytes, &Option<Bytes>)> = self
+            .writes
+            .range((Bound::Included(Bytes::copy_from_slice(start)), upper))
+            .collect();
+        if buffered.is_empty() {
+            return stored;
+        }
+        let mut merged: BTreeMap<Bytes, Bytes> = stored.into_iter().collect();
+        for (key, value) in buffered {
+            match value {
+                Some(v) => {
+                    merged.insert(key.clone(), v.clone());
+                }
+                None => {
+                    merged.remove(key);
+                }
+            }
+        }
+        merged.into_iter().take(limit).collect()
+    }
+
+    /// Commits the transaction.
+    ///
+    /// Read-only transactions always succeed (§4.1/§5.1). Write
+    /// transactions are validated by the configured isolation level; on
+    /// conflict every buffered effect is rolled back and
+    /// [`Error::Aborted`] is returned.
+    ///
+    /// Returns the commit timestamp (for read-only transactions, the start
+    /// timestamp — they are equivalent to a transaction shifted to its start
+    /// point, paper Figure 3).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Aborted`] on conflict; [`Error::Wal`] if durability was
+    /// requested and the log lost its write quorum (the transaction is
+    /// rolled back, not half-committed).
+    pub fn commit(mut self) -> Result<Timestamp> {
+        if self.finished {
+            return Err(Error::TransactionFinished);
+        }
+        self.finished = true;
+        let writes = std::mem::take(&mut self.writes);
+        let read_rows: Vec<RowId> = self.read_rows.drain().collect();
+        let db = crate::Db {
+            inner: Arc::clone(&self.db),
+        };
+        db.commit_txn(self.start_ts, read_rows, writes)
+    }
+
+    /// Rolls back the transaction, discarding buffered writes.
+    pub fn rollback(mut self) {
+        self.rollback_in_place();
+    }
+
+    fn rollback_in_place(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            let db = crate::Db {
+                inner: Arc::clone(&self.db),
+            };
+            db.rollback_txn(self.start_ts);
+        }
+    }
+
+    /// Number of distinct rows currently in the read set.
+    pub fn read_set_len(&self) -> usize {
+        self.read_rows.len()
+    }
+
+    /// Number of keys currently in the write buffer.
+    pub fn write_set_len(&self) -> usize {
+        self.writes.len()
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        self.rollback_in_place();
+    }
+}
+
+impl std::fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transaction")
+            .field("start_ts", &self.start_ts)
+            .field("reads", &self.read_rows.len())
+            .field("writes", &self.writes.len())
+            .field("finished", &self.finished)
+            .finish()
+    }
+}

@@ -1,0 +1,227 @@
+//! Model-based testing of the embedded store: every randomized interleaving
+//! of transactions is checked against a trivially-correct sequential model.
+//!
+//! The model exploits WSI's own guarantee: committed transactions are
+//! serializable *in commit order* (Theorem 1 constructs the witness ordered
+//! by commit timestamp). So applying each committed transaction's writes to
+//! a plain `BTreeMap` in commit order must yield exactly the state the real
+//! store exposes to a fresh snapshot — and every snapshot read during the
+//! run must equal the model state as of that snapshot's position in commit
+//! order.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use wsi_core::{IsolationLevel, Timestamp};
+use wsi_store::{Db, DbOptions, Transaction};
+
+const KEYS: [&[u8]; 5] = [b"a", b"b", b"c", b"d", b"e"];
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// Read a key (and remember nothing: reads only matter for conflicts).
+    Read(usize),
+    /// Write `value` to a key.
+    Write(usize, u8),
+    /// Delete a key.
+    Delete(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Plan {
+    txns: Vec<Vec<Step>>,
+    schedule: Vec<usize>,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..KEYS.len()).prop_map(Step::Read),
+        ((0..KEYS.len()), any::<u8>()).prop_map(|(k, v)| Step::Write(k, v)),
+        (0..KEYS.len()).prop_map(Step::Delete),
+    ]
+}
+
+fn plan() -> impl Strategy<Value = Plan> {
+    (2usize..=5)
+        .prop_flat_map(|n| {
+            prop::collection::vec(prop::collection::vec(step(), 1..5), n..=n).prop_flat_map(
+                move |txns| {
+                    let slots: usize = txns.iter().map(|t| t.len() + 1).sum();
+                    (Just(txns), prop::collection::vec(0..n, slots..=slots))
+                },
+            )
+        })
+        .prop_map(|(txns, schedule)| Plan { txns, schedule })
+}
+
+type Model = BTreeMap<Vec<u8>, Vec<u8>>;
+
+fn apply_to_model(model: &mut Model, steps: &[Step]) {
+    // Within one transaction later steps win — exactly the write buffer's
+    // last-write-wins semantics.
+    for s in steps {
+        match s {
+            Step::Read(_) => {}
+            Step::Write(k, v) => {
+                model.insert(KEYS[*k].to_vec(), vec![*v]);
+            }
+            Step::Delete(k) => {
+                model.remove(&KEYS[*k].to_vec());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Final state == sequential replay of committed txns in commit order.
+    #[test]
+    fn committed_state_matches_commit_order_model(p in plan()) {
+        let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot));
+        let mut open: Vec<Option<Transaction>> = (0..p.txns.len()).map(|_| None).collect();
+        let mut cursors = vec![0usize; p.txns.len()];
+        // (commit_ts, txn index) of committed transactions.
+        let mut commit_order: Vec<(Timestamp, usize)> = Vec::new();
+
+        for &t in &p.schedule {
+            if cursors[t] > p.txns[t].len() {
+                continue;
+            }
+            let txn = open[t].get_or_insert_with(|| db.begin());
+            if cursors[t] == p.txns[t].len() {
+                let txn = open[t].take().expect("open");
+                if let Ok(cts) = txn.commit() {
+                    commit_order.push((cts, t));
+                }
+                cursors[t] += 1;
+                continue;
+            }
+            match p.txns[t][cursors[t]] {
+                Step::Read(k) => {
+                    let _ = txn.get(KEYS[k]);
+                }
+                Step::Write(k, v) => txn.put(KEYS[k], &[v]),
+                Step::Delete(k) => txn.delete(KEYS[k]),
+            }
+            cursors[t] += 1;
+        }
+        drop(open); // roll back whatever never committed
+
+        commit_order.sort_unstable_by_key(|&(cts, _)| cts);
+        let mut model = Model::new();
+        for &(_, t) in &commit_order {
+            apply_to_model(&mut model, &p.txns[t]);
+        }
+
+        let snap = db.snapshot();
+        for key in KEYS {
+            let expected = model.get(&key.to_vec()).cloned();
+            let actual = snap.get(key).map(|b| b.to_vec());
+            prop_assert_eq!(
+                actual,
+                expected,
+                "key {:?} diverged from the commit-order model",
+                String::from_utf8_lossy(key)
+            );
+        }
+        // The scan agrees with the model, in order.
+        let scanned: Vec<(Vec<u8>, Vec<u8>)> = snap
+            .scan(b"", None, usize::MAX)
+            .into_iter()
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect();
+        let modeled: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(scanned, modeled);
+    }
+
+    /// GC at any point never changes what a fresh snapshot reads.
+    #[test]
+    fn gc_is_transparent(p in plan(), gc_after in 0usize..8) {
+        let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot));
+        let mut open: Vec<Option<Transaction>> = (0..p.txns.len()).map(|_| None).collect();
+        let mut cursors = vec![0usize; p.txns.len()];
+        let mut commits = 0usize;
+
+        for &t in &p.schedule {
+            if cursors[t] > p.txns[t].len() {
+                continue;
+            }
+            let txn = open[t].get_or_insert_with(|| db.begin());
+            if cursors[t] == p.txns[t].len() {
+                let txn = open[t].take().expect("open");
+                if txn.commit().is_ok() {
+                    commits += 1;
+                    if commits == gc_after {
+                        let before: Vec<_> = {
+                            let s = db.snapshot();
+                            KEYS.iter().map(|k| s.get(k)).collect()
+                        };
+                        db.gc();
+                        let after: Vec<_> = {
+                            let s = db.snapshot();
+                            KEYS.iter().map(|k| s.get(k)).collect()
+                        };
+                        prop_assert_eq!(before, after, "GC changed visible state");
+                    }
+                }
+                cursors[t] += 1;
+                continue;
+            }
+            match p.txns[t][cursors[t]] {
+                Step::Read(k) => {
+                    let _ = txn.get(KEYS[k]);
+                }
+                Step::Write(k, v) => txn.put(KEYS[k], &[v]),
+                Step::Delete(k) => txn.delete(KEYS[k]),
+            }
+            cursors[t] += 1;
+        }
+    }
+
+    /// Durability round trip: recovery after every plan reproduces exactly
+    /// the committed state.
+    #[test]
+    fn recovery_reproduces_committed_state(p in plan()) {
+        let options = DbOptions::new(IsolationLevel::WriteSnapshot)
+            .durable(wsi_wal::LedgerConfig::default_replicated());
+        let db = Db::open(options.clone());
+        let mut open: Vec<Option<Transaction>> = (0..p.txns.len()).map(|_| None).collect();
+        let mut cursors = vec![0usize; p.txns.len()];
+        for &t in &p.schedule {
+            if cursors[t] > p.txns[t].len() {
+                continue;
+            }
+            let txn = open[t].get_or_insert_with(|| db.begin());
+            if cursors[t] == p.txns[t].len() {
+                let _ = open[t].take().expect("open").commit();
+                cursors[t] += 1;
+                continue;
+            }
+            match p.txns[t][cursors[t]] {
+                Step::Read(k) => {
+                    let _ = txn.get(KEYS[k]);
+                }
+                Step::Write(k, v) => txn.put(KEYS[k], &[v]),
+                Step::Delete(k) => txn.delete(KEYS[k]),
+            }
+            cursors[t] += 1;
+        }
+        drop(open);
+        db.flush_wal().unwrap();
+
+        let pre_crash: Vec<_> = {
+            let s = db.snapshot();
+            KEYS.iter().map(|k| s.get(k)).collect()
+        };
+        let wal = db.wal_snapshot().expect("durable db");
+        drop(db);
+        let recovered = Db::recover(options, wal).expect("clean log");
+        let post: Vec<_> = {
+            let s = recovered.snapshot();
+            KEYS.iter().map(|k| s.get(k)).collect()
+        };
+        prop_assert_eq!(pre_crash, post);
+    }
+}

@@ -1,0 +1,235 @@
+//! Binary framing of transaction log records.
+//!
+//! The status oracle persists one record per commit/abort decision: the
+//! commit record carries the start timestamp, commit timestamp, and the
+//! modified-row identifiers needed to rebuild `lastCommit` on recovery; the
+//! abort record carries the start timestamp. The paper estimates ≈32 bytes
+//! per row entry (Appendix A); this fixed little-endian encoding comes out
+//! nearly identical, so the 1 KB batch threshold translates to the same
+//! batching factors.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// A status-oracle WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnLogRecord {
+    /// A transaction committed.
+    Commit {
+        /// Start timestamp (raw counter value).
+        start_ts: u64,
+        /// Commit timestamp (raw counter value).
+        commit_ts: u64,
+        /// Identifiers of the modified rows.
+        write_rows: Vec<u64>,
+    },
+    /// A transaction aborted.
+    Abort {
+        /// Start timestamp (raw counter value).
+        start_ts: u64,
+    },
+    /// The timestamp oracle reserved timestamps up to this bound (§6.2:
+    /// thousands of timestamps are reserved per WAL write so that issuing a
+    /// start timestamp needs no synchronous persistence).
+    TimestampReservation {
+        /// No timestamp above this value has been issued.
+        upto: u64,
+    },
+}
+
+const TAG_COMMIT: u8 = 1;
+const TAG_ABORT: u8 = 2;
+const TAG_TS_RESERVATION: u8 = 3;
+
+/// Failures while decoding a WAL record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The record was shorter than its header or declared length.
+    Truncated,
+    /// Unknown record tag (corruption or version skew).
+    UnknownTag(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated WAL record"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown WAL record tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a record to its binary form.
+pub fn encode_record(record: &TxnLogRecord) -> Bytes {
+    match record {
+        TxnLogRecord::Commit {
+            start_ts,
+            commit_ts,
+            write_rows,
+        } => {
+            let mut buf = BytesMut::with_capacity(1 + 8 + 8 + 4 + 8 * write_rows.len());
+            buf.put_u8(TAG_COMMIT);
+            buf.put_u64_le(*start_ts);
+            buf.put_u64_le(*commit_ts);
+            buf.put_u32_le(write_rows.len() as u32);
+            for row in write_rows {
+                buf.put_u64_le(*row);
+            }
+            buf.freeze()
+        }
+        TxnLogRecord::Abort { start_ts } => {
+            let mut buf = BytesMut::with_capacity(9);
+            buf.put_u8(TAG_ABORT);
+            buf.put_u64_le(*start_ts);
+            buf.freeze()
+        }
+        TxnLogRecord::TimestampReservation { upto } => {
+            let mut buf = BytesMut::with_capacity(9);
+            buf.put_u8(TAG_TS_RESERVATION);
+            buf.put_u64_le(*upto);
+            buf.freeze()
+        }
+    }
+}
+
+fn read_u64(data: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let end = *pos + 8;
+    let bytes = data.get(*pos..end).ok_or(DecodeError::Truncated)?;
+    *pos = end;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+/// Decodes a single record.
+pub fn decode_record(data: &[u8]) -> Result<TxnLogRecord, DecodeError> {
+    let (&tag, rest) = data.split_first().ok_or(DecodeError::Truncated)?;
+    let mut pos = 0usize;
+    match tag {
+        TAG_COMMIT => {
+            let start_ts = read_u64(rest, &mut pos)?;
+            let commit_ts = read_u64(rest, &mut pos)?;
+            let count = {
+                let end = pos + 4;
+                let bytes = rest.get(pos..end).ok_or(DecodeError::Truncated)?;
+                pos = end;
+                u32::from_le_bytes(bytes.try_into().expect("4 bytes")) as usize
+            };
+            let mut write_rows = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                write_rows.push(read_u64(rest, &mut pos)?);
+            }
+            Ok(TxnLogRecord::Commit {
+                start_ts,
+                commit_ts,
+                write_rows,
+            })
+        }
+        TAG_ABORT => Ok(TxnLogRecord::Abort {
+            start_ts: read_u64(rest, &mut pos)?,
+        }),
+        TAG_TS_RESERVATION => Ok(TxnLogRecord::TimestampReservation {
+            upto: read_u64(rest, &mut pos)?,
+        }),
+        other => Err(DecodeError::UnknownTag(other)),
+    }
+}
+
+/// Decodes a sequence of recovered WAL payloads, preserving order.
+///
+/// # Errors
+///
+/// Fails on the first undecodable record: the WAL below the failure is
+/// intact by the ledger's prefix guarantee, so corruption here means the
+/// record encoding itself is at fault and recovery must not silently skip.
+pub fn decode_records(payloads: &[Bytes]) -> Result<Vec<TxnLogRecord>, DecodeError> {
+    payloads.iter().map(|p| decode_record(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_roundtrip() {
+        let rec = TxnLogRecord::Commit {
+            start_ts: 5,
+            commit_ts: 9,
+            write_rows: vec![1, 2, 3],
+        };
+        assert_eq!(decode_record(&encode_record(&rec)).unwrap(), rec);
+    }
+
+    #[test]
+    fn abort_roundtrip() {
+        let rec = TxnLogRecord::Abort { start_ts: 17 };
+        assert_eq!(decode_record(&encode_record(&rec)).unwrap(), rec);
+    }
+
+    #[test]
+    fn reservation_roundtrip() {
+        let rec = TxnLogRecord::TimestampReservation { upto: 10_000 };
+        assert_eq!(decode_record(&encode_record(&rec)).unwrap(), rec);
+    }
+
+    #[test]
+    fn empty_write_set_roundtrip() {
+        let rec = TxnLogRecord::Commit {
+            start_ts: 1,
+            commit_ts: 2,
+            write_rows: vec![],
+        };
+        assert_eq!(decode_record(&encode_record(&rec)).unwrap(), rec);
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let rec = TxnLogRecord::Commit {
+            start_ts: 5,
+            commit_ts: 9,
+            write_rows: vec![1, 2, 3],
+        };
+        let bytes = encode_record(&rec);
+        let torn = &bytes[..bytes.len() - 1];
+        assert_eq!(decode_record(torn), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn unknown_tag_is_an_error() {
+        assert_eq!(decode_record(&[99, 0, 0]), Err(DecodeError::UnknownTag(99)));
+    }
+
+    #[test]
+    fn empty_input_is_truncated() {
+        assert_eq!(decode_record(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn batch_decode_preserves_order() {
+        let records = vec![
+            TxnLogRecord::Commit {
+                start_ts: 1,
+                commit_ts: 2,
+                write_rows: vec![10],
+            },
+            TxnLogRecord::Abort { start_ts: 3 },
+        ];
+        let payloads: Vec<Bytes> = records.iter().map(encode_record).collect();
+        assert_eq!(decode_records(&payloads).unwrap(), records);
+    }
+
+    #[test]
+    fn commit_record_size_matches_paper_estimate() {
+        // Paper (Appendix A): ≈32 bytes to keep a row's data — identifier,
+        // start, and commit timestamp. Our per-row marginal cost is 8 bytes
+        // on the wire plus the fixed 21-byte header, comfortably inside the
+        // same budget for the 8-row average transaction.
+        let rec = TxnLogRecord::Commit {
+            start_ts: 1,
+            commit_ts: 2,
+            write_rows: vec![0; 8],
+        };
+        let len = encode_record(&rec).len();
+        assert_eq!(len, 1 + 8 + 8 + 4 + 8 * 8);
+        assert!(len <= 8 * 32);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests of the workload generator's contract.
+
+use proptest::prelude::*;
+use wsi_sim::SimRng;
+use wsi_workload::{KeyDistribution, Mix, TxnKind, WorkloadGenerator, WorkloadSpec};
+
+fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        100u64..50_000,
+        prop_oneof![
+            Just(KeyDistribution::Uniform),
+            Just(KeyDistribution::Zipfian),
+            Just(KeyDistribution::ZipfianLatest),
+        ],
+        prop_oneof![Just(Mix::Complex), Just(Mix::Mixed)],
+        1u64..30,
+        0.0f64..0.5,
+    )
+        .prop_map(|(rows, distribution, mix, max_txn_rows, insert_fraction)| {
+            WorkloadSpec {
+                rows,
+                distribution,
+                mix,
+                max_txn_rows,
+                insert_fraction,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Keys stay inside the (possibly growing) key space; sizes respect the
+    /// per-transaction bound; sets are duplicate-free.
+    #[test]
+    fn generator_contract(spec in spec_strategy(), seed in any::<u64>()) {
+        let mut g = WorkloadGenerator::new(spec, SimRng::new(seed));
+        for _ in 0..200 {
+            let t = g.next_txn();
+            prop_assert!(t.ops() <= spec.max_txn_rows as usize);
+            let bound = g.rows();
+            for &k in t.reads.iter().chain(&t.writes) {
+                prop_assert!(k < bound);
+            }
+            let mut reads = t.reads.clone();
+            reads.sort_unstable();
+            reads.dedup();
+            prop_assert_eq!(reads.len(), t.reads.len(), "duplicate reads");
+            let mut writes = t.writes.clone();
+            writes.sort_unstable();
+            writes.dedup();
+            prop_assert_eq!(writes.len(), t.writes.len(), "duplicate writes");
+            if t.kind == TxnKind::ReadOnly {
+                prop_assert!(t.writes.is_empty());
+                prop_assert_eq!(t.inserts, 0);
+            }
+            if spec.distribution != KeyDistribution::ZipfianLatest {
+                prop_assert_eq!(t.inserts, 0, "only latest inserts");
+            }
+        }
+        // Key space never shrinks.
+        prop_assert!(g.rows() >= spec.rows);
+    }
+
+    /// Two generators with the same seed emit identical streams; different
+    /// seeds diverge quickly.
+    #[test]
+    fn determinism(spec in spec_strategy(), seed in any::<u64>()) {
+        let mut a = WorkloadGenerator::new(spec, SimRng::new(seed));
+        let mut b = WorkloadGenerator::new(spec, SimRng::new(seed));
+        for _ in 0..50 {
+            prop_assert_eq!(a.next_txn(), b.next_txn());
+        }
+        let mut c = WorkloadGenerator::new(spec, SimRng::new(seed ^ 0xdead_beef));
+        let divergent = (0..50).any(|_| a.next_txn() != c.next_txn());
+        prop_assert!(divergent, "different seeds should differ");
+    }
+}

@@ -1,0 +1,82 @@
+//! Analytical transactions with compact read sets (paper §5.2).
+//!
+//! "The read set could become very large and submitting that to the status
+//! oracle could be expensive. … analytical transactions could submit to the
+//! status oracle a compact, over-approximated representation of the read
+//! set, e.g., table name and row ranges."
+//!
+//! This example runs an OLTP stream against the status oracle while an
+//! analytical scan commits with (a) its full enumerated read set and (b) a
+//! single row range, and reports the size/abort trade-off.
+//!
+//! ```text
+//! cargo run --release --example analytics
+//! ```
+
+use writesnap::core::{CommitRequest, IsolationLevel, RowId, RowRange, StatusOracleCore};
+use writesnap::sim::SimRng;
+
+const ROWS: u64 = 1_000_000;
+const SCANS: usize = 300;
+const OLTP_PER_SCAN: usize = 100;
+
+fn run(scan_width: u64, use_range: bool, seed: u64) -> (f64, usize) {
+    let mut oracle = StatusOracleCore::unbounded(IsolationLevel::WriteSnapshot);
+    let mut rng = SimRng::new(seed);
+    let mut aborts = 0usize;
+    let mut request_entries = 0usize;
+    for _ in 0..SCANS {
+        let scan_ts = oracle.begin();
+        let lo = rng.below(ROWS - scan_width);
+        // OLTP transactions commit while the scan runs.
+        for _ in 0..OLTP_PER_SCAN {
+            let t = oracle.begin();
+            let row = RowId(rng.below(ROWS));
+            let _ = oracle.commit(CommitRequest::new(t, vec![row], vec![row]));
+        }
+        // The scan writes its aggregate to a stats row and commits.
+        let stats_row = RowId(ROWS + 7);
+        let req = if use_range {
+            request_entries += 1;
+            CommitRequest::new(scan_ts, vec![], vec![stats_row])
+                .with_read_ranges(vec![RowRange::new(lo, lo + scan_width)])
+        } else {
+            // The scan "actually read" every other row in its window.
+            let reads: Vec<RowId> = (lo..lo + scan_width).step_by(2).map(RowId).collect();
+            request_entries += reads.len();
+            CommitRequest::new(scan_ts, reads, vec![stats_row])
+        };
+        if oracle.commit(req).is_aborted() {
+            aborts += 1;
+        }
+    }
+    (
+        aborts as f64 / SCANS as f64,
+        request_entries / SCANS, // mean entries per commit request
+    )
+}
+
+fn main() {
+    println!("analytical scans over a {ROWS}-row table, {OLTP_PER_SCAN} OLTP commits per scan\n");
+    println!(
+        "{:>12} {:>24} {:>24}",
+        "scan width", "enumerated (abort/entries)", "range (abort/entries)"
+    );
+    for width in [100u64, 1_000, 10_000, 50_000] {
+        let (full_abort, full_entries) = run(width, false, 1);
+        let (range_abort, range_entries) = run(width, true, 1);
+        println!(
+            "{:>12} {:>15.1}% / {:<6} {:>15.1}% / {:<6}",
+            width,
+            full_abort * 100.0,
+            full_entries,
+            range_abort * 100.0,
+            range_entries
+        );
+    }
+    println!("\nThe range representation shrinks the commit request by orders of");
+    println!("magnitude; the price is over-approximation — rows the scan never");
+    println!("returned still count as conflicts. Both abort rates climb with scan");
+    println!("width, which is §5.2's 'more fundamental' challenge: beyond a point,");
+    println!("analytical transactions must bypass conflict checking entirely.");
+}

@@ -1,0 +1,182 @@
+//! Integration tests of the full-cluster simulation: determinism and the
+//! headline shapes the paper's evaluation establishes.
+
+use writesnap::cluster::{experiments, ClusterConfig, Runner};
+use writesnap::core::IsolationLevel;
+use writesnap::sim::SimTime;
+use writesnap::workload::{KeyDistribution, Mix};
+
+fn quick(mut cfg: ClusterConfig) -> ClusterConfig {
+    cfg.warmup = SimTime::from_secs(2);
+    cfg.measure = SimTime::from_secs(6);
+    cfg
+}
+
+#[test]
+fn simulation_is_bit_deterministic() {
+    let mk = || {
+        Runner::new(quick(ClusterConfig::hbase(
+            IsolationLevel::WriteSnapshot,
+            20,
+            KeyDistribution::Zipfian,
+            Mix::Mixed,
+            99,
+        )))
+        .run()
+    };
+    let (a, b) = (mk(), mk());
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.aborted, b.aborted);
+    assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
+    assert_eq!(a.p99_latency_ms, b.p99_latency_ms);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mk = |seed| {
+        Runner::new(quick(ClusterConfig::hbase(
+            IsolationLevel::WriteSnapshot,
+            20,
+            KeyDistribution::Zipfian,
+            Mix::Mixed,
+            seed,
+        )))
+        .run()
+    };
+    assert_ne!(mk(1).committed, mk(2).committed);
+}
+
+#[test]
+fn si_and_wsi_perform_comparably_on_hbase() {
+    // The paper's headline (Figs. 6–7): "the overhead of supporting two
+    // isolation levels is almost the same".
+    let mk = |level| {
+        Runner::new(quick(ClusterConfig::hbase(
+            level,
+            40,
+            KeyDistribution::Zipfian,
+            Mix::Mixed,
+            7,
+        )))
+        .run()
+    };
+    let wsi = mk(IsolationLevel::WriteSnapshot);
+    let si = mk(IsolationLevel::Snapshot);
+    let tps_ratio = wsi.tps / si.tps;
+    assert!(
+        (0.85..1.15).contains(&tps_ratio),
+        "tps ratio {tps_ratio} (wsi {}, si {})",
+        wsi.tps,
+        si.tps
+    );
+    let lat_ratio = wsi.mean_latency_ms / si.mean_latency_ms;
+    assert!(
+        (0.85..1.15).contains(&lat_ratio),
+        "latency ratio {lat_ratio}"
+    );
+}
+
+#[test]
+fn wsi_abort_rate_is_at_most_slightly_above_si_under_zipfian() {
+    // Fig. 8: "although the abort rate in write-snapshot isolation is
+    // slightly higher than in snapshot isolation, the difference is
+    // negligible."
+    let mk = |level| {
+        Runner::new(quick(ClusterConfig::hbase(
+            level,
+            80,
+            KeyDistribution::Zipfian,
+            Mix::Mixed,
+            7,
+        )))
+        .run()
+    };
+    let wsi = mk(IsolationLevel::WriteSnapshot);
+    let si = mk(IsolationLevel::Snapshot);
+    assert!(
+        wsi.abort_rate < si.abort_rate + 0.08,
+        "wsi {} si {}",
+        wsi.abort_rate,
+        si.abort_rate
+    );
+    assert!(wsi.abort_rate > 0.0);
+}
+
+#[test]
+fn abort_rate_grows_with_throughput() {
+    // Fig. 8's shape: more load, more concurrent lifetimes, more conflicts.
+    let mk = |clients| {
+        Runner::new(quick(ClusterConfig::hbase(
+            IsolationLevel::WriteSnapshot,
+            clients,
+            KeyDistribution::Zipfian,
+            Mix::Mixed,
+            7,
+        )))
+        .run()
+    };
+    let low = mk(5);
+    let high = mk(160);
+    assert!(
+        high.abort_rate > low.abort_rate,
+        "low {} high {}",
+        low.abort_rate,
+        high.abort_rate
+    );
+    assert!(high.tps > low.tps);
+}
+
+#[test]
+fn oracle_stress_mode_saturates_with_si_at_or_above_wsi() {
+    // Fig. 5's shape at a high-load point.
+    let mk = |level| {
+        let mut cfg = ClusterConfig::fig5(level, 16, 3);
+        cfg.warmup = SimTime::from_ms(500);
+        cfg.measure = SimTime::from_secs(1);
+        Runner::new(cfg).run()
+    };
+    let wsi = mk(IsolationLevel::WriteSnapshot);
+    let si = mk(IsolationLevel::Snapshot);
+    assert!(si.tps >= wsi.tps * 0.98, "si {} wsi {}", si.tps, wsi.tps);
+    assert!(wsi.tps > 50_000.0, "saturated oracle should exceed 50K TPS");
+}
+
+#[test]
+fn microbench_matches_paper_magnitudes() {
+    let ops = experiments::microbench(5);
+    assert!((0.1..0.4).contains(&ops.start_ms), "start {}", ops.start_ms);
+    assert!((30.0..48.0).contains(&ops.read_ms), "read {}", ops.read_ms);
+    assert!((0.8..1.8).contains(&ops.write_ms), "write {}", ops.write_ms);
+    assert!(
+        (3.0..6.5).contains(&ops.commit_ms),
+        "commit {}",
+        ops.commit_ms
+    );
+}
+
+#[test]
+fn uniform_cache_stays_cold_zipfian_runs_hot() {
+    let mk = |dist| {
+        Runner::new(quick(ClusterConfig::hbase(
+            IsolationLevel::WriteSnapshot,
+            40,
+            dist,
+            Mix::Mixed,
+            11,
+        )))
+        .run()
+    };
+    let uniform = mk(KeyDistribution::Uniform);
+    let zipf = mk(KeyDistribution::Zipfian);
+    assert!(
+        uniform.cache_hit_rate < 0.2,
+        "uniform hit {}",
+        uniform.cache_hit_rate
+    );
+    assert!(
+        zipf.cache_hit_rate > 0.6,
+        "zipf hit {}",
+        zipf.cache_hit_rate
+    );
+    assert!(zipf.mean_latency_ms < uniform.mean_latency_ms);
+}

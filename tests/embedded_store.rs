@@ -1,0 +1,475 @@
+//! Integration tests of the embedded store: real threads, durability,
+//! recovery, GC, and the lock-based/lock-free contrast.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use writesnap::core::{AbortReason, IsolationLevel, Timestamp};
+use writesnap::store::percolator::{CrashPoint, LockResolution, PercolatorDb};
+use writesnap::store::{Db, DbOptions, Durability, Error};
+use writesnap::wal::LedgerConfig;
+
+fn k(i: u64) -> Vec<u8> {
+    format!("key{i:06}").into_bytes()
+}
+
+#[test]
+fn concurrent_disjoint_writers_all_commit() {
+    let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot));
+    let threads = 8;
+    let per_thread = 200;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let mut txn = db.begin();
+                    txn.put(&k(t * 1_000 + i), b"v");
+                    txn.commit().expect("disjoint rows never conflict");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = db.stats();
+    assert_eq!(stats.oracle.commits, (threads * per_thread) as u64);
+    assert_eq!(stats.oracle.total_aborts(), 0);
+    assert_eq!(stats.keys, (threads * per_thread) as usize);
+}
+
+#[test]
+fn contended_counter_is_exact_under_wsi_with_retries() {
+    // A read-modify-write counter hammered by 4 threads: with retries, the
+    // final value equals the number of successful increments — WSI's
+    // serializability means no update is ever lost.
+    let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot));
+    let mut seed = db.begin();
+    seed.put(b"counter", b"0");
+    seed.commit().unwrap();
+
+    let successes = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let db = db.clone();
+            let successes = Arc::clone(&successes);
+            std::thread::spawn(move || {
+                for _ in 0..100 {
+                    loop {
+                        let mut txn = db.begin();
+                        let val: u64 = String::from_utf8(txn.get(b"counter").unwrap().to_vec())
+                            .unwrap()
+                            .parse()
+                            .unwrap();
+                        txn.put(b"counter", (val + 1).to_string().as_bytes());
+                        match txn.commit() {
+                            Ok(_) => {
+                                successes.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Err(Error::Aborted(_)) => continue, // retry
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut check = db.begin();
+    let final_val: u64 = String::from_utf8(check.get(b"counter").unwrap().to_vec())
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(final_val, 400);
+    assert_eq!(successes.load(Ordering::Relaxed), 400);
+}
+
+#[test]
+fn si_lost_update_is_prevented_by_ww_detection() {
+    // History 3's shape on the real store: both read, both write the same
+    // key; the second committer must abort under SI too.
+    let db = Db::open(DbOptions::new(IsolationLevel::Snapshot));
+    let mut seed = db.begin();
+    seed.put(b"x", b"0");
+    seed.commit().unwrap();
+    let mut t1 = db.begin();
+    let mut t2 = db.begin();
+    let _ = t1.get(b"x");
+    let _ = t2.get(b"x");
+    t1.put(b"x", b"1");
+    t2.put(b"x", b"2");
+    t1.commit().unwrap();
+    let err = t2.commit().unwrap_err();
+    assert!(matches!(
+        err.abort_reason(),
+        Some(AbortReason::WriteWriteConflict { .. })
+    ));
+}
+
+#[test]
+fn wsi_admits_blind_write_overlap_that_si_rejects() {
+    // History 4: blind writes to the same key are serializable; WSI admits
+    // them, SI does not.
+    for (level, expect_ok) in [
+        (IsolationLevel::WriteSnapshot, true),
+        (IsolationLevel::Snapshot, false),
+    ] {
+        let db = Db::open(DbOptions::new(level));
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        let _ = t1.get(b"x"); // t1 reads x (absent) then writes it
+        t1.put(b"x", b"from-t1");
+        t2.put(b"x", b"from-t2"); // t2 writes blindly
+        t1.commit().unwrap();
+        assert_eq!(t2.commit().is_ok(), expect_ok, "under {level}");
+        if expect_ok {
+            // Commit order decides the final version: t2 committed last.
+            let mut r = db.begin();
+            assert_eq!(r.get(b"x").unwrap().as_ref(), b"from-t2");
+        }
+    }
+}
+
+#[test]
+fn read_only_transactions_never_abort_under_either_level() {
+    for level in [IsolationLevel::Snapshot, IsolationLevel::WriteSnapshot] {
+        let db = Db::open(DbOptions::new(level));
+        let mut seed = db.begin();
+        seed.put(b"a", b"1");
+        seed.commit().unwrap();
+        let barrier = Arc::new(Barrier::new(2));
+        let writer = {
+            let db = db.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..200u32 {
+                    let mut t = db.begin();
+                    t.put(b"a", &i.to_le_bytes());
+                    t.commit().unwrap();
+                }
+            })
+        };
+        barrier.wait();
+        for _ in 0..200 {
+            let mut t = db.begin();
+            let _ = t.get(b"a");
+            let _ = t.get(b"b");
+            t.commit()
+                .expect("read-only transactions must never abort (§4.1)");
+        }
+        writer.join().unwrap();
+    }
+}
+
+#[test]
+fn snapshot_reads_are_repeatable_despite_writers() {
+    let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot));
+    let mut seed = db.begin();
+    seed.put(b"k", b"original");
+    seed.commit().unwrap();
+    let mut reader = db.begin();
+    let before = reader.get(b"k");
+    for i in 0..10u32 {
+        let mut w = db.begin();
+        w.put(b"k", format!("update{i}").as_bytes());
+        w.commit().unwrap();
+    }
+    let after = reader.get(b"k");
+    assert_eq!(before, after, "no fuzzy reads under snapshot semantics");
+    assert_eq!(before.unwrap().as_ref(), b"original");
+}
+
+#[test]
+fn durable_db_recovers_committed_state_only() {
+    let options = DbOptions::new(IsolationLevel::WriteSnapshot).durable(LedgerConfig {
+        replicas: 3,
+        ack_quorum: 2,
+        batch: writesnap::wal::BatchPolicy::unbatched(),
+    });
+    let db = Db::open(options.clone());
+    let mut committed = db.begin();
+    committed.put(b"committed", b"yes");
+    committed.commit().unwrap();
+
+    let mut aborted = db.begin();
+    let _ = aborted.get(b"committed");
+    aborted.put(b"doomed", b"no");
+    let mut racer = db.begin();
+    racer.put(b"committed", b"still yes");
+    racer.commit().unwrap();
+    assert!(aborted.commit().is_err(), "rw conflict");
+
+    let mut in_flight = db.begin();
+    in_flight.put(b"limbo", b"never committed");
+    // "crash": drop the db, keep the replicated log.
+    let wal = db.wal_snapshot().expect("durable db has a ledger");
+    drop(in_flight);
+    drop(db);
+
+    let recovered = Db::recover(options, wal).expect("clean recovery");
+    let mut r = recovered.begin();
+    assert_eq!(r.get(b"committed").unwrap().as_ref(), b"still yes");
+    assert_eq!(r.get(b"doomed"), None, "aborted writes must not resurrect");
+    assert_eq!(
+        r.get(b"limbo"),
+        None,
+        "in-flight writes die with the client"
+    );
+
+    // The recovered oracle still detects conflicts against recovered state.
+    let mut t1 = recovered.begin();
+    let mut t2 = recovered.begin();
+    let _ = t1.get(b"committed");
+    t2.put(b"committed", b"newer");
+    t2.commit().unwrap();
+    t1.put(b"other", b"v");
+    assert!(t1.commit().is_err());
+}
+
+#[test]
+fn recovery_survives_one_bookie_failure() {
+    let options = DbOptions::new(IsolationLevel::WriteSnapshot).durable(LedgerConfig {
+        replicas: 3,
+        ack_quorum: 2,
+        batch: writesnap::wal::BatchPolicy::unbatched(),
+    });
+    let db = Db::open(options.clone());
+    for i in 0..50 {
+        let mut t = db.begin();
+        t.put(&k(i), b"v");
+        t.commit().unwrap();
+    }
+    let mut wal = db.wal_snapshot().unwrap();
+    wal.fail_bookie(1); // within the f = 1 budget
+    let recovered = Db::recover(options, wal).unwrap();
+    let mut r = recovered.begin();
+    for i in 0..50 {
+        assert!(r.get(&k(i)).is_some(), "row {i} lost");
+    }
+}
+
+#[test]
+fn gc_reclaims_versions_and_preserves_reads() {
+    let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot));
+    for round in 0..20u32 {
+        let mut t = db.begin();
+        for i in 0..50 {
+            t.put(&k(i), format!("round{round}").as_bytes());
+        }
+        t.commit().unwrap();
+    }
+    let before = db.stats().versions;
+    assert_eq!(before, 20 * 50);
+    let stats = db.gc();
+    assert_eq!(stats.versions_dropped, 19 * 50);
+    assert_eq!(db.stats().versions, 50);
+    let mut r = db.begin();
+    assert_eq!(r.get(&k(0)).unwrap().as_ref(), b"round19");
+}
+
+#[test]
+fn gc_respects_active_snapshots() {
+    let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot));
+    let mut t = db.begin();
+    t.put(b"k", b"v1");
+    t.commit().unwrap();
+    let mut old_reader = db.begin(); // pins the watermark
+    let mut t2 = db.begin();
+    t2.put(b"k", b"v2");
+    t2.commit().unwrap();
+    db.gc();
+    assert_eq!(
+        old_reader.get(b"k").unwrap().as_ref(),
+        b"v1",
+        "the version an active snapshot reads must survive GC"
+    );
+}
+
+#[test]
+fn bounded_oracle_db_pessimistically_aborts_stale_transactions() {
+    let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot).bounded_last_commit(4));
+    let mut stale = db.begin();
+    let _ = stale.get(b"unrelated");
+    // Enough distinct-row commits to cycle the bounded lastCommit table.
+    for i in 0..64 {
+        let mut t = db.begin();
+        t.put(&k(i), b"v");
+        t.commit().unwrap();
+    }
+    stale.put(b"out", b"v");
+    let err = stale.commit().unwrap_err();
+    assert!(matches!(
+        err.abort_reason(),
+        Some(AbortReason::TmaxExceeded { .. })
+    ));
+}
+
+#[test]
+fn percolator_blocks_where_lockfree_proceeds() {
+    // The §2.1 contrast, as an integration test across both engines.
+    let lockfree = Db::open(DbOptions::new(IsolationLevel::Snapshot));
+    let percolator = PercolatorDb::open();
+
+    // Identical scenario: a client dies mid-commit.
+    let mut doomed = percolator.begin();
+    doomed.put(b"k", b"v");
+    doomed.commit_with_crash(CrashPoint::AfterPrewrite).unwrap();
+    let mut doomed_lf = lockfree.begin();
+    doomed_lf.put(b"k", b"v");
+    drop(doomed_lf); // crash
+
+    // Percolator writer blocks; lock-free writer proceeds.
+    let mut pw = percolator.begin();
+    pw.put(b"k", b"w");
+    assert!(matches!(pw.commit(), Err(Error::KeyLocked { .. })));
+    let mut lw = lockfree.begin();
+    lw.put(b"k", b"w");
+    lw.commit().expect("no locks in the lock-free design");
+
+    // Percolator needs forced cleanup before making progress.
+    assert_eq!(
+        percolator.resolve_lock(b"k", true),
+        LockResolution::RolledBack
+    );
+    let mut pw2 = percolator.begin();
+    pw2.put(b"k", b"w");
+    pw2.commit().unwrap();
+}
+
+#[test]
+fn timestamps_are_strictly_monotonic_across_threads() {
+    let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot));
+    let seen = Arc::new(parking_lot::Mutex::new(Vec::<Timestamp>::new()));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let db = db.clone();
+            let seen = Arc::clone(&seen);
+            std::thread::spawn(move || {
+                for _ in 0..500 {
+                    let t = db.begin();
+                    seen.lock().push(t.start_ts());
+                    t.rollback();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut all = seen.lock().clone();
+    let n = all.len();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), n, "start timestamps must be unique");
+}
+
+#[test]
+fn percolator_thread_stress_with_cleanup() {
+    // Many threads race read-modify-writes on a small hot set under the
+    // lock-based engine, with every conflict resolved by retry after forced
+    // lock cleanup. The counter total must equal successful increments.
+    let db = PercolatorDb::open();
+    let mut seed = db.begin();
+    seed.put(b"hot", b"0");
+    seed.commit().unwrap();
+
+    let successes = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let db = db.clone();
+            let successes = Arc::clone(&successes);
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    loop {
+                        let mut t = db.begin();
+                        let n: u64 = match t.get(b"hot") {
+                            Ok(Some(v)) => String::from_utf8(v.to_vec()).unwrap().parse().unwrap(),
+                            Ok(None) => 0,
+                            Err(Error::KeyLocked { .. }) => {
+                                // Another client is mid-2PC; resolve and retry.
+                                db.resolve_lock(b"hot", true);
+                                continue;
+                            }
+                            Err(e) => panic!("unexpected error: {e}"),
+                        };
+                        t.put(b"hot", (n + 1).to_string().as_bytes());
+                        match t.commit() {
+                            Ok(_) => {
+                                successes.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Err(Error::KeyLocked { .. }) | Err(Error::Aborted(_)) => continue,
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut check = db.begin();
+    let total: u64 = String::from_utf8(check.get(b"hot").unwrap().unwrap().to_vec())
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(total, successes.load(Ordering::Relaxed));
+    assert_eq!(total, 200, "every increment must eventually land");
+}
+
+#[test]
+fn ssi_db_crosschecks_with_wsi_on_write_skew() {
+    // The same write-skew scenario against all three engines: SI admits the
+    // anomaly, WSI and SSI refuse it.
+    use writesnap::store::ssi_db::SsiDb;
+
+    // SI: both commit (the anomaly).
+    let si = Db::open(DbOptions::new(IsolationLevel::Snapshot));
+    let mut seed = si.begin();
+    seed.put(b"x", b"1");
+    seed.put(b"y", b"1");
+    seed.commit().unwrap();
+    let mut a = si.begin();
+    let mut b = si.begin();
+    let _ = (a.get(b"x"), a.get(b"y"), b.get(b"x"), b.get(b"y"));
+    a.put(b"x", b"0");
+    b.put(b"y", b"0");
+    assert!(
+        a.commit().is_ok() && b.commit().is_ok(),
+        "SI admits write skew"
+    );
+
+    // WSI: one aborts.
+    let wsi = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot));
+    let mut seed = wsi.begin();
+    seed.put(b"x", b"1");
+    seed.put(b"y", b"1");
+    seed.commit().unwrap();
+    let mut a = wsi.begin();
+    let mut b = wsi.begin();
+    let _ = (a.get(b"x"), a.get(b"y"), b.get(b"x"), b.get(b"y"));
+    a.put(b"x", b"0");
+    b.put(b"y", b"0");
+    let outcomes = (a.commit().is_ok(), b.commit().is_ok());
+    assert!(outcomes.0 != outcomes.1, "exactly one commits under WSI");
+
+    // SSI: one aborts.
+    let ssi = SsiDb::open();
+    let mut seed = ssi.begin();
+    seed.put(b"x", b"1");
+    seed.put(b"y", b"1");
+    seed.commit().unwrap();
+    let mut a = ssi.begin();
+    let mut b = ssi.begin();
+    let _ = (a.get(b"x"), a.get(b"y"), b.get(b"x"), b.get(b"y"));
+    a.put(b"x", b"0");
+    b.put(b"y", b"0");
+    let outcomes = (a.commit().is_ok(), b.commit().is_ok());
+    assert!(outcomes.0 != outcomes.1, "exactly one commits under SSI");
+}
