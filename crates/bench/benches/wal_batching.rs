@@ -30,6 +30,7 @@ fn bench_batch_sweep(c: &mut Criterion) {
                         max_bytes,
                         max_delay_us: 5_000,
                     },
+                    flush_delay_us: 0,
                 });
                 let mut i = 0u64;
                 b.iter(|| {

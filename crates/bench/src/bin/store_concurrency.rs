@@ -1,0 +1,188 @@
+//! Multi-threaded throughput of the embedded store across thread counts,
+//! isolation levels, and durability modes.
+//!
+//! ```text
+//! cargo run -p wsi-bench --release --bin store_concurrency
+//! cargo run -p wsi-bench --release --bin store_concurrency -- 5000 200
+//! #                                            ops per thread ^    ^ WAL flush delay (µs)
+//! ```
+//!
+//! Each configuration runs `threads` workers, every worker performing
+//! read-modify-write transactions over its own key range (no conflicts:
+//! the numbers measure the commit path, not abort/retry behaviour). The
+//! optional simulated flush delay models a replication round-trip, which is
+//! what makes group-commit batching visible in the `Sync` rows: throughput
+//! should fall far less than the per-commit delay would predict, and the
+//! WAL batch factor should grow with the thread count.
+//!
+//! Results go to stdout as a table and to `BENCH_store_concurrency.json`.
+
+use std::fmt::Write as _;
+use std::thread;
+use std::time::Instant;
+
+use wsi_core::IsolationLevel;
+use wsi_store::{Db, DbOptions, Durability};
+use wsi_wal::LedgerConfig;
+
+const THREAD_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+const KEYS_PER_THREAD: usize = 64;
+
+struct Row {
+    threads: usize,
+    isolation: IsolationLevel,
+    durability: Durability,
+    commits: u64,
+    elapsed_us: u128,
+    wal_records: u64,
+    wal_flushes: u64,
+    batch_factor: f64,
+}
+
+impl Row {
+    fn throughput_tps(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            0.0
+        } else {
+            self.commits as f64 / (self.elapsed_us as f64 / 1e6)
+        }
+    }
+}
+
+fn iso_name(isolation: IsolationLevel) -> &'static str {
+    match isolation {
+        IsolationLevel::Snapshot => "si",
+        IsolationLevel::WriteSnapshot => "wsi",
+    }
+}
+
+fn dur_name(durability: Durability) -> &'static str {
+    match durability {
+        Durability::None => "none",
+        Durability::Batched => "batched",
+        Durability::Sync => "sync",
+    }
+}
+
+fn bench_one(
+    threads: usize,
+    isolation: IsolationLevel,
+    durability: Durability,
+    ops_per_thread: usize,
+    flush_delay_us: u64,
+) -> Row {
+    let wal = LedgerConfig::default_replicated().with_flush_delay_us(flush_delay_us);
+    let mut options = DbOptions::new(isolation);
+    match durability {
+        Durability::None => {}
+        Durability::Batched => options = options.durable_batched(wal),
+        Durability::Sync => options = options.durable(wal),
+    }
+    let db = Db::open(options);
+
+    let started = Instant::now();
+    thread::scope(|s| {
+        for t in 0..threads {
+            let db = db.clone();
+            s.spawn(move || {
+                for i in 0..ops_per_thread {
+                    let key = format!("t{t}/k{}", i % KEYS_PER_THREAD);
+                    db.run(64, |txn| {
+                        let n: u64 = txn
+                            .get(key.as_bytes())
+                            .map(|v| u64::from_le_bytes(v.as_ref().try_into().unwrap()))
+                            .unwrap_or(0);
+                        txn.put(key.as_bytes(), &(n + 1).to_le_bytes());
+                        Ok(())
+                    })
+                    .expect("disjoint keys cannot conflict");
+                }
+            });
+        }
+    });
+    db.flush_wal().expect("no bookie failures injected");
+    let elapsed_us = started.elapsed().as_micros();
+
+    let wal_stats = db.wal_stats().unwrap_or_default();
+    Row {
+        threads,
+        isolation,
+        durability,
+        commits: (threads * ops_per_thread) as u64,
+        elapsed_us,
+        wal_records: wal_stats.records,
+        wal_flushes: wal_stats.flushes,
+        batch_factor: wal_stats.batch_factor(),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ops_per_thread: usize = args
+        .next()
+        .map(|a| a.parse().expect("ops per thread must be a number"))
+        .unwrap_or(2_000);
+    let flush_delay_us: u64 = args
+        .next()
+        .map(|a| a.parse().expect("flush delay must be microseconds"))
+        .unwrap_or(0);
+
+    println!("# store concurrency: {ops_per_thread} ops/thread, {flush_delay_us} µs flush delay");
+    println!(
+        "{:>7} {:>4} {:>8} {:>10} {:>12} {:>12} {:>8}",
+        "threads", "iso", "dur", "commits", "tps", "wal_flushes", "batchf"
+    );
+
+    let mut rows = Vec::new();
+    for durability in [Durability::None, Durability::Batched, Durability::Sync] {
+        for isolation in [IsolationLevel::Snapshot, IsolationLevel::WriteSnapshot] {
+            for threads in THREAD_COUNTS {
+                let row = bench_one(
+                    threads,
+                    isolation,
+                    durability,
+                    ops_per_thread,
+                    flush_delay_us,
+                );
+                println!(
+                    "{:>7} {:>4} {:>8} {:>10} {:>12.0} {:>12} {:>8.2}",
+                    row.threads,
+                    iso_name(row.isolation),
+                    dur_name(row.durability),
+                    row.commits,
+                    row.throughput_tps(),
+                    row.wal_flushes,
+                    row.batch_factor,
+                );
+                rows.push(row);
+            }
+        }
+    }
+
+    let mut json = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "  {{\"threads\": {}, \"isolation\": \"{}\", \"durability\": \"{}\", \
+             \"commits\": {}, \"elapsed_us\": {}, \"throughput_tps\": {:.1}, \
+             \"wal_records\": {}, \"wal_flushes\": {}, \"batch_factor\": {:.3}}}{}",
+            row.threads,
+            iso_name(row.isolation),
+            dur_name(row.durability),
+            row.commits,
+            row.elapsed_us,
+            row.throughput_tps(),
+            row.wal_records,
+            row.wal_flushes,
+            row.batch_factor,
+            if i + 1 == rows.len() { "\n" } else { ",\n" },
+        );
+    }
+    json.push(']');
+    json.push('\n');
+    let path = "BENCH_store_concurrency.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\n-> {path}"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+}

@@ -66,4 +66,4 @@ pub use policy::{
     rw_spatial_overlap, rw_temporal_overlap, spatial_overlap, temporal_overlap, IsolationLevel,
 };
 pub use row::{hash_row_key, RowId, RowRange};
-pub use ts::{Timestamp, TimestampSource};
+pub use ts::{SharedTimestampSource, Timestamp, TimestampSource};

@@ -14,13 +14,15 @@
 //! Constructing the oracle with a bounded table turns either algorithm into
 //! its memory-bounded Algorithm 3 variant with `T_max` pessimistic aborts.
 
+use std::sync::Arc;
+
 use crate::{
     commit_table::{CommitTable, TxnStatus},
     error::{AbortReason, CommitOutcome},
     lastcommit::{BoundedLastCommit, LastCommitTable, Probe, UnboundedLastCommit},
     policy::IsolationLevel,
     row::{RowId, RowRange},
-    ts::{Timestamp, TimestampSource},
+    ts::{SharedTimestampSource, Timestamp, TimestampSource},
 };
 
 /// A commit request, as sent by a client to the status oracle.
@@ -121,6 +123,45 @@ impl OracleStats {
     }
 }
 
+/// Where the oracle draws timestamps from.
+///
+/// `Local` is the classic single-threaded counter owned by the oracle.
+/// `Shared` delegates to a lock-free counter owned by the embedder, so
+/// threads can issue *start* timestamps without entering the oracle's
+/// critical section while *commit* timestamps (issued inside the critical
+/// section) still interleave correctly on the same counter — the total order
+/// the temporal-overlap predicates require.
+#[derive(Debug, Clone)]
+enum TsMode {
+    Local(TimestampSource),
+    Shared(Arc<SharedTimestampSource>),
+}
+
+impl TsMode {
+    #[inline]
+    fn next(&mut self) -> Timestamp {
+        match self {
+            TsMode::Local(src) => src.next(),
+            TsMode::Shared(src) => src.next(),
+        }
+    }
+
+    #[inline]
+    fn last_issued(&self) -> Timestamp {
+        match self {
+            TsMode::Local(src) => src.last_issued(),
+            TsMode::Shared(src) => src.last_issued(),
+        }
+    }
+
+    fn advance_to(&mut self, bound: Timestamp) {
+        match self {
+            TsMode::Local(src) => src.advance_to(bound),
+            TsMode::Shared(src) => src.advance_to(bound),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Table {
     Unbounded(UnboundedLastCommit),
@@ -186,7 +227,7 @@ impl Table {
 #[derive(Debug, Clone)]
 pub struct StatusOracleCore {
     level: IsolationLevel,
-    ts: TimestampSource,
+    ts: TsMode,
     last_commit: Table,
     commit_table: CommitTable,
     stats: OracleStats,
@@ -199,8 +240,47 @@ impl StatusOracleCore {
     pub fn unbounded(level: IsolationLevel) -> Self {
         StatusOracleCore {
             level,
-            ts: TimestampSource::new(),
+            ts: TsMode::Local(TimestampSource::new()),
             last_commit: Table::Unbounded(UnboundedLastCommit::new()),
+            commit_table: CommitTable::new(),
+            stats: OracleStats::default(),
+        }
+    }
+
+    /// Creates an unbounded oracle that draws timestamps from a lock-free
+    /// counter shared with the embedder.
+    ///
+    /// Concurrent embedders issue start timestamps directly from `ts`
+    /// (outside any critical section) and leave commit-timestamp issue to the
+    /// oracle, whose own critical section guarantees commit timestamps still
+    /// interleave with starts in one total order. Callers issuing starts
+    /// externally should count begins themselves; [`StatusOracleCore::begin`]
+    /// still works and still counts.
+    pub fn unbounded_shared(level: IsolationLevel, ts: Arc<SharedTimestampSource>) -> Self {
+        StatusOracleCore {
+            level,
+            ts: TsMode::Shared(ts),
+            last_commit: Table::Unbounded(UnboundedLastCommit::new()),
+            commit_table: CommitTable::new(),
+            stats: OracleStats::default(),
+        }
+    }
+
+    /// Creates a bounded (Algorithm 3) oracle over a shared lock-free
+    /// timestamp counter; see [`StatusOracleCore::unbounded_shared`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded_shared(
+        level: IsolationLevel,
+        capacity: usize,
+        ts: Arc<SharedTimestampSource>,
+    ) -> Self {
+        StatusOracleCore {
+            level,
+            ts: TsMode::Shared(ts),
+            last_commit: Table::Bounded(BoundedLastCommit::with_capacity(capacity)),
             commit_table: CommitTable::new(),
             stats: OracleStats::default(),
         }
@@ -215,7 +295,7 @@ impl StatusOracleCore {
     pub fn bounded(level: IsolationLevel, capacity: usize) -> Self {
         StatusOracleCore {
             level,
-            ts: TimestampSource::new(),
+            ts: TsMode::Local(TimestampSource::new()),
             last_commit: Table::Bounded(BoundedLastCommit::with_capacity(capacity)),
             commit_table: CommitTable::new(),
             stats: OracleStats::default(),
@@ -263,8 +343,10 @@ impl StatusOracleCore {
     /// Embedders that must persist the commit decision to a write-ahead log
     /// *before* exposing it split the commit into `check` +
     /// [`StatusOracleCore::commit_unchecked`], logging in between while the
-    /// critical section is held. The commit timestamp the subsequent
-    /// `commit_unchecked` will assign is `self.last_issued_ts().next()`.
+    /// critical section is held. With a local timestamp source the commit
+    /// timestamp the subsequent `commit_unchecked` will assign is
+    /// `self.last_issued_ts().next()`; with a shared source concurrent starts
+    /// may intervene, so the timestamp is only known once issued.
     ///
     /// Read-only requests trivially pass.
     pub fn check(&mut self, req: &CommitRequest) -> std::result::Result<(), AbortReason> {
@@ -337,13 +419,25 @@ impl StatusOracleCore {
     /// embedders described on `check`.
     pub fn commit_unchecked(&mut self, req: &CommitRequest) -> Timestamp {
         let commit_ts = self.ts.next();
+        self.finish_commit_at(req, commit_ts);
+        commit_ts
+    }
+
+    /// Registers a checked commit whose commit timestamp was already issued
+    /// by the embedder — necessarily from the *same* (shared) counter this
+    /// oracle draws from, or the temporal-overlap predicates break.
+    ///
+    /// Concurrent embedders use this to issue the commit timestamp inside a
+    /// narrower critical section (e.g. atomically with publishing to a
+    /// reader-visible index) and then complete the oracle bookkeeping:
+    /// `lastCommit` rows, the commit-table entry, and counters.
+    pub fn finish_commit_at(&mut self, req: &CommitRequest, commit_ts: Timestamp) {
         for &row in &req.write_rows {
             self.stats.rows_recorded += 1;
             self.last_commit.record(row, commit_ts);
         }
         self.commit_table.record_commit(req.start_ts, commit_ts);
         self.stats.commits += 1;
-        commit_ts
     }
 
     /// Registers a conflict abort decided externally via
@@ -358,6 +452,24 @@ impl StatusOracleCore {
     pub fn abort(&mut self, start_ts: Timestamp) {
         self.stats.client_aborts += 1;
         self.commit_table.record_abort(start_ts);
+    }
+
+    /// Overturns a commit decided by [`StatusOracleCore::commit_unchecked`]
+    /// whose durability step failed before the commit was published.
+    ///
+    /// Embedders that pipeline the WAL flush *behind* the critical section
+    /// (decide under the lock, persist outside it) call this when the flush
+    /// fails: the transaction's fate flips from committed to aborted before
+    /// any reader could observe it — the embedder must guarantee the commit
+    /// was never published to readers.
+    ///
+    /// The `lastCommit` rows recorded at decide time are deliberately left in
+    /// place: a stale `lastCommit` entry can only cause spurious aborts of
+    /// concurrent transactions, never admit a conflicting commit, and commits
+    /// decided after this one have already been checked against it.
+    pub fn abort_after_decide(&mut self, start_ts: Timestamp) {
+        self.commit_table.overturn_commit(start_ts);
+        self.stats.commits -= 1;
     }
 
     fn register_abort(&mut self, start_ts: Timestamp, reason: AbortReason) -> CommitOutcome {
@@ -729,6 +841,36 @@ mod tests {
             .with_read_ranges(vec![crate::RowRange::new(0, 1000)]);
         assert!(o.commit(req).is_committed());
         assert_eq!(o.stats().ranges_checked, 0);
+    }
+
+    #[test]
+    fn shared_counter_interleaves_starts_and_commits() {
+        let ts = Arc::new(SharedTimestampSource::new());
+        let mut o =
+            StatusOracleCore::unbounded_shared(IsolationLevel::WriteSnapshot, Arc::clone(&ts));
+        // Start issued lock-free, outside the oracle.
+        let t1 = ts.next();
+        let c1 = o
+            .commit(CommitRequest::new(t1, vec![], rows(&[1])))
+            .commit_ts()
+            .unwrap();
+        assert!(c1 > t1);
+        assert_eq!(o.last_issued_ts(), c1);
+        // The next lock-free start observes the commit timestamp.
+        assert!(ts.next() > c1);
+    }
+
+    #[test]
+    fn overturned_commit_reads_as_aborted() {
+        let mut o = StatusOracleCore::unbounded(IsolationLevel::WriteSnapshot);
+        let t = o.begin();
+        let req = CommitRequest::new(t, vec![], rows(&[1]));
+        assert!(o.check(&req).is_ok());
+        let _decided = o.commit_unchecked(&req);
+        assert_eq!(o.stats().commits, 1);
+        o.abort_after_decide(t);
+        assert_eq!(o.status(t), TxnStatus::Aborted);
+        assert_eq!(o.stats().commits, 0);
     }
 
     #[test]

@@ -56,6 +56,7 @@ impl OracleConfig {
                 replicas: 2, // the paper's deployment: 2 BookKeeper machines
                 ack_quorum: 2,
                 batch: BatchPolicy::paper_default(),
+                flush_delay_us: 0,
             },
         }
     }

@@ -2,9 +2,12 @@
 //!
 //! The status oracle decides commits inside a critical section; readers must
 //! not contend on that section for every version they resolve. This mirror
-//! of the commit table is updated by the committer *while still holding* the
-//! manager's critical section (so a transaction that begins after a commit
-//! is guaranteed to observe it) but is read under a cheap shared lock.
+//! of the commit table is read under a cheap shared lock. What guarantees a
+//! transaction that begins after a commit observes it depends on the
+//! durability mode: immediately-published commits issue their commit
+//! timestamp *inside* this index's write lock
+//! ([`CommitIndex::record_commit_with`]), while sync-durable commits are
+//! published post-flush behind the pipeline's snapshot-stability gate.
 //!
 //! This corresponds to the paper's client-side replication of commit
 //! timestamps (§2.2: "to avoid additional calls into the status oracle
@@ -28,9 +31,34 @@ impl CommitIndex {
         Self::default()
     }
 
-    /// Publishes a commit. Called with the manager's critical section held.
+    /// Publishes a commit. For non-durable and batched-durability databases
+    /// this happens at decide time (see [`CommitIndex::record_commit_with`]);
+    /// under `Durability::Sync` the group-commit leader calls it only after
+    /// the commit's batch reached its write quorum — the visibility flip
+    /// waits for durability.
     pub fn record_commit(&self, start_ts: Timestamp, commit_ts: Timestamp) {
         self.inner.write().record_commit(start_ts, commit_ts);
+    }
+
+    /// Publishes a commit whose timestamp is allocated *inside* the index's
+    /// write critical section.
+    ///
+    /// With lock-free begins, a reader's snapshot timestamp no longer
+    /// serializes with the manager's critical section, so "issue `commit_ts`,
+    /// then publish" leaves a window where a snapshot `S > commit_ts` exists
+    /// but resolves the commit as pending — a non-repeatable read. Running
+    /// `alloc` under the same write lock readers resolve through closes it:
+    /// any snapshot that observes `S > commit_ts` was issued after this
+    /// critical section began and therefore reads after it publishes.
+    pub fn record_commit_with(
+        &self,
+        start_ts: Timestamp,
+        alloc: impl FnOnce() -> Timestamp,
+    ) -> Timestamp {
+        let mut table = self.inner.write();
+        let commit_ts = alloc();
+        table.record_commit(start_ts, commit_ts);
+        commit_ts
     }
 
     /// Publishes an abort.

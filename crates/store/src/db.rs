@@ -1,24 +1,62 @@
 //! The embedded transactional database handle.
+//!
+//! # Concurrency architecture
+//!
+//! The paper costs the status oracle's critical section at "a few memory
+//! operations" (§6.3). This module keeps the embedded store honest to that
+//! number by holding the manager's mutex for **only** the conflict check and
+//! commit-timestamp assignment:
+//!
+//! * `begin` never takes the manager lock: start timestamps come from a
+//!   shared atomic counter via the lock-striped
+//!   [`registry::ActiveTxnRegistry`], with §6.2 batched reservation records
+//!   amortizing WAL writes for the counter.
+//! * WAL append + flush run in the [`pipeline::CommitPipeline`] *after* the
+//!   lock is released — group-commit with a leader/follower protocol. Under
+//!   [`Durability::Sync`] a commit becomes visible only once its batch is
+//!   durable; a quorum loss overturns the decision before any reader could
+//!   observe it.
+//! * Read-only commits and rollbacks touch no lock at all beyond their
+//!   registry shard.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 use wsi_core::{
-    hash_row_key, CommitRequest, IsolationLevel, OracleStats, RowId, StatusOracleCore, Timestamp,
+    hash_row_key, CommitRequest, IsolationLevel, OracleStats, RowId, SharedTimestampSource,
+    StatusOracleCore, Timestamp,
 };
-use wsi_wal::{Ledger, LedgerConfig};
+use wsi_wal::{Ledger, LedgerConfig, LedgerStats};
 
 use crate::{
     commit_index::CommitIndex,
     error::{Error, Result},
     mvcc::{GcStats, MvccStore},
+    pipeline::{CommitPipeline, PublishCtx},
     record::{self, StoreRecord},
+    registry::ActiveTxnRegistry,
     snapshot::Snapshot,
     txn::Transaction,
 };
+
+/// A transaction's write set, shared by reference between the version
+/// store, the WAL record encoder, and the commit pipeline — the seed
+/// materialized this list three times per commit.
+pub(crate) type WriteBatch = Arc<Vec<(Bytes, Option<Bytes>)>>;
+
+/// Timestamps reserved per §6.2 reservation record. One WAL record covers
+/// this many begins; recovery resumes past the last persisted bound.
+const TS_RESERVE_BATCH: u64 = 4096;
+
+/// Base unit of the `run` retry backoff.
+const BACKOFF_BASE_US: u64 = 20;
+
+/// Backoff ceiling doubles at most this many times (20 µs → 1.28 ms).
+const BACKOFF_MAX_SHIFT: usize = 6;
 
 /// When commit decisions are persisted to the write-ahead log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,11 +65,15 @@ pub enum Durability {
     /// and for simulations that model durability elsewhere.
     None,
     /// Commit records are appended to the WAL and flushed in batches (the
-    /// paper's Appendix A policy: 1 KB or 5 ms). A commit may be
-    /// acknowledged up to one batch window before it is durable — the group
-    /// commit trade-off.
+    /// paper's Appendix A policy: 1 KB or 5 ms). A commit is acknowledged at
+    /// decide time, up to one batch window before it is durable — the group
+    /// commit trade-off. Flush errors consequently never fail a commit; they
+    /// surface from [`Db::flush_wal`].
     Batched,
-    /// Every commit is flushed to a write quorum before it is acknowledged.
+    /// Every commit waits for its batch to reach a write quorum before it is
+    /// acknowledged *or made visible to readers*. The flush itself happens
+    /// outside the commit critical section (group commit with a leader), so
+    /// concurrent committers share replication round-trips.
     Sync,
 }
 
@@ -86,12 +128,10 @@ impl DbOptions {
 
 /// State guarded by the manager's critical section — the embedded
 /// equivalent of the status oracle's single-threaded commit loop (§6.3).
+/// Nothing else lives here: begins, WAL persistence, and read-only commits
+/// all bypass this lock.
 pub(crate) struct Manager {
     pub(crate) oracle: StatusOracleCore,
-    /// Start timestamps of in-flight transactions, with a refcount (the
-    /// same timestamp cannot recur, but a map keeps removal O(log n)).
-    pub(crate) active: BTreeMap<Timestamp, ()>,
-    pub(crate) wal: Option<Ledger>,
 }
 
 /// Aggregate database statistics.
@@ -112,12 +152,31 @@ pub(crate) struct DbInner {
     pub(crate) mvcc: MvccStore,
     pub(crate) index: CommitIndex,
     pub(crate) manager: Mutex<Manager>,
+    /// The shared timestamp counter: lock-free starts, oracle-issued commits.
+    pub(crate) ts: Arc<SharedTimestampSource>,
+    /// In-flight transactions, for the GC low-water mark.
+    pub(crate) registry: ActiveTxnRegistry,
+    /// Present whenever the database has a WAL.
+    pub(crate) pipeline: Option<CommitPipeline>,
+    /// Lock-free activity counters for paths that no longer visit the
+    /// oracle; folded into [`DbStats`] by [`Db::stats`].
+    pub(crate) begins: AtomicU64,
+    pub(crate) ro_commits: AtomicU64,
+    pub(crate) client_aborts: AtomicU64,
     epoch: Instant,
 }
 
 impl DbInner {
     fn now_us(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn publish_ctx(&self) -> PublishCtx<'_> {
+        PublishCtx {
+            mvcc: &self.mvcc,
+            index: &self.index,
+            manager: &self.manager,
+        }
     }
 }
 
@@ -152,24 +211,28 @@ pub struct Db {
 impl Db {
     /// Opens an empty database.
     pub fn open(options: DbOptions) -> Db {
+        let ts = Arc::new(SharedTimestampSource::new());
         let oracle = match options.last_commit_capacity {
-            Some(cap) => StatusOracleCore::bounded(options.isolation, cap),
-            None => StatusOracleCore::unbounded(options.isolation),
+            Some(cap) => StatusOracleCore::bounded_shared(options.isolation, cap, Arc::clone(&ts)),
+            None => StatusOracleCore::unbounded_shared(options.isolation, Arc::clone(&ts)),
         };
-        let wal = match options.durability {
+        let pipeline = match options.durability {
             Durability::None => None,
-            _ => Some(Ledger::open(options.wal)),
+            Durability::Batched => Some(CommitPipeline::new(false, Ledger::open(options.wal))),
+            Durability::Sync => Some(CommitPipeline::new(true, Ledger::open(options.wal))),
         };
         Db {
             inner: Arc::new(DbInner {
                 options,
                 mvcc: MvccStore::new(),
                 index: CommitIndex::new(),
-                manager: Mutex::new(Manager {
-                    oracle,
-                    active: BTreeMap::new(),
-                    wal,
-                }),
+                manager: Mutex::new(Manager { oracle }),
+                ts,
+                registry: ActiveTxnRegistry::new(),
+                pipeline,
+                begins: AtomicU64::new(0),
+                ro_commits: AtomicU64::new(0),
+                client_aborts: AtomicU64::new(0),
                 epoch: Instant::now(),
             }),
         }
@@ -177,10 +240,14 @@ impl Db {
 
     /// Rebuilds a database from a recovered write-ahead log.
     ///
-    /// `ledger` is the surviving replicated log (see
-    /// [`Db::wal_snapshot`]); committed transactions are replayed in commit
-    /// order, aborted ones are registered, and in-flight transactions are
-    /// (correctly) forgotten — their writes never reached the log.
+    /// `ledger` is the surviving replicated log (see [`Db::wal_snapshot`]).
+    /// Replay runs in two passes: the first collects compensating `Abort`
+    /// records (written when a sync batch lost its quorum after the commits
+    /// were decided), the second replays commits in commit order — skipping
+    /// overturned ones, whose records may survive on a minority of bookies
+    /// even though they were never acknowledged — plus aborts and timestamp
+    /// reservations. In-flight transactions are (correctly) forgotten: their
+    /// writes never reached the log.
     ///
     /// # Errors
     ///
@@ -188,16 +255,31 @@ impl Db {
     pub fn recover(options: DbOptions, ledger: Ledger) -> Result<Db> {
         let payloads = ledger.recover();
         let db = Db::open(options);
+        let mut records = Vec::with_capacity(payloads.len());
+        let mut overturned: HashSet<u64> = HashSet::new();
+        for payload in &payloads {
+            let rec = record::decode(payload)?;
+            if let StoreRecord::Abort { start_ts } = rec {
+                overturned.insert(start_ts.raw());
+            }
+            records.push(rec);
+        }
         {
             let mut m = db.inner.manager.lock();
-            m.wal = Some(ledger);
-            for payload in &payloads {
-                match record::decode(payload)? {
+            for rec in records {
+                match rec {
                     StoreRecord::Commit {
                         start_ts,
                         commit_ts,
                         writes,
                     } => {
+                        if overturned.contains(&start_ts.raw()) {
+                            // Never acknowledged; the compensating abort is
+                            // replayed on its own record. Only the timestamp
+                            // must stay burned.
+                            m.oracle.advance_timestamps(commit_ts);
+                            continue;
+                        }
                         let rows: Vec<RowId> =
                             writes.iter().map(|(k, _)| hash_row_key(k)).collect();
                         let keys: Vec<Bytes> = writes.iter().map(|(k, _)| k.clone()).collect();
@@ -210,31 +292,51 @@ impl Db {
                         db.inner.index.record_abort(start_ts);
                         m.oracle.replay_abort(start_ts);
                     }
+                    StoreRecord::TsReserve { upto } => {
+                        db.inner.ts.note_reserved(upto);
+                    }
                 }
             }
+        }
+        if let Some(pipeline) = &db.inner.pipeline {
+            pipeline.replace_ledger(ledger);
         }
         Ok(db)
     }
 
     /// Begins a transaction reading from the current snapshot.
     pub fn begin(&self) -> Transaction {
-        Transaction::new(Arc::clone(&self.inner), self.begin_ts())
+        let (start_ts, shard) = self.begin_ts();
+        Transaction::new(Arc::clone(&self.inner), start_ts, shard)
     }
 
     /// Takes a read-only [`Snapshot`] of the current state: shared-reference
     /// reads, no conflict tracking, never aborts.
     pub fn snapshot(&self) -> Snapshot {
-        Snapshot::new(Arc::clone(&self.inner), self.begin_ts())
+        let (start_ts, shard) = self.begin_ts();
+        Snapshot::new(Arc::clone(&self.inner), start_ts, shard)
     }
 
-    fn begin_ts(&self) -> Timestamp {
-        let mut m = self.inner.manager.lock();
-        let ts = m.oracle.begin();
-        m.active.insert(ts, ());
-        ts
+    /// Issues a start timestamp without entering the manager's critical
+    /// section: an atomic fetch-add under a registry shard lock, a
+    /// reservation record every [`TS_RESERVE_BATCH`] begins, and — only
+    /// while a sync commit is decided-but-unpublished — the pipeline's
+    /// snapshot-stability gate.
+    fn begin_ts(&self) -> (Timestamp, usize) {
+        self.inner.begins.fetch_add(1, Ordering::Relaxed);
+        let (start_ts, shard) = self.inner.registry.register(&self.inner.ts);
+        if let Some(pipeline) = &self.inner.pipeline {
+            if let Some(upto) = self.inner.ts.reserve(TS_RESERVE_BATCH) {
+                pipeline.push_reservation(upto);
+            }
+            pipeline.wait_snapshot_stable(start_ts);
+        }
+        (start_ts, shard)
     }
 
-    /// Runs `body` in a transaction, retrying on conflict aborts.
+    /// Runs `body` in a transaction, retrying on conflict aborts with
+    /// capped exponential backoff (full jitter), so herds of writers on the
+    /// same rows spread out instead of re-colliding in lockstep.
     ///
     /// The body may be invoked multiple times (write buffers are fresh each
     /// attempt), so it must be idempotent apart from its transactional
@@ -281,9 +383,12 @@ impl Db {
             };
             match txn.commit() {
                 Ok(_) => return Ok(value),
-                Err(e @ Error::Aborted(_)) if attempts < max_retries => {
+                Err(Error::Aborted(_)) if attempts < max_retries => {
                     attempts += 1;
-                    let _ = e;
+                    let pause = backoff_us(attempts, self.inner.now_us());
+                    if pause > 0 {
+                        std::thread::sleep(Duration::from_micros(pause));
+                    }
                 }
                 Err(e) => return Err(e),
             }
@@ -300,156 +405,217 @@ impl Db {
     pub(crate) fn commit_txn(
         &self,
         start_ts: Timestamp,
+        shard: usize,
         read_rows: Vec<RowId>,
         writes: BTreeMap<Bytes, Option<Bytes>>,
     ) -> Result<Timestamp> {
         if writes.is_empty() {
             // Read-only fast path (§5.1): no conflict check, no WAL record,
-            // no commit-table entry; never aborts.
-            let mut m = self.inner.manager.lock();
-            let outcome = m.oracle.commit(CommitRequest::read_only(start_ts));
-            m.active.remove(&start_ts);
-            return Ok(outcome.commit_ts().expect("read-only always commits"));
+            // no commit-table entry, no lock; never aborts. Equivalent to a
+            // transaction shifted to its start point (Figure 3), hence the
+            // start timestamp as commit timestamp.
+            self.inner.ro_commits.fetch_add(1, Ordering::Relaxed);
+            self.inner.registry.deregister(start_ts, shard);
+            return Ok(start_ts);
         }
 
         // Apply the writes as invisible versions before entering the
         // critical section (the Omid scheme: data reaches the store tagged
         // with the start timestamp; visibility is flipped by the commit
-        // table).
-        let write_list: Vec<(Bytes, Option<Bytes>)> =
-            writes.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-        let keys: Vec<Bytes> = writes.keys().cloned().collect();
-        let write_rows: Vec<RowId> = keys.iter().map(|k| hash_row_key(k)).collect();
+        // index). One Arc'd batch serves the version store, the conflict
+        // request, the WAL encoder, and the rollback path.
+        let batch: WriteBatch = Arc::new(writes.into_iter().collect::<Vec<_>>());
+        let write_rows: Vec<RowId> = batch.iter().map(|(k, _)| hash_row_key(k)).collect();
         self.inner
             .mvcc
-            .insert_versions(start_ts, write_list.clone());
+            .insert_versions(start_ts, batch.iter().map(|(k, v)| (k.clone(), v.clone())));
 
         let req = CommitRequest::new(start_ts, read_rows, write_rows);
         let now_us = self.inner.now_us();
+        let sync = self.inner.options.durability == Durability::Sync;
+
+        // The manager's critical section: conflict check + commit-timestamp
+        // assignment + oracle bookkeeping. No WAL I/O in here.
         let decision: Result<Timestamp> = {
             let mut m = self.inner.manager.lock();
             match m.oracle.check(&req) {
                 Ok(()) => {
-                    // Persist the decision before mutating oracle state, so a
-                    // WAL failure can still roll the transaction back.
-                    let commit_ts = m.oracle.last_issued_ts().next();
-                    if let Err(e) =
-                        self.log_commit(&mut m, start_ts, commit_ts, &write_list, now_us)
-                    {
-                        m.active.remove(&start_ts);
-                        Err(e)
+                    let commit_ts = if sync {
+                        // Queued unpublished; the timestamp is issued inside
+                        // the pipeline's critical section so new snapshots
+                        // gate on it (visibility waits for durability).
+                        let pipeline = self
+                            .inner
+                            .pipeline
+                            .as_ref()
+                            .expect("sync mode has a pipeline");
+                        pipeline.push_sync(&self.inner.ts, start_ts, Arc::clone(&batch))
                     } else {
-                        let actual = m.oracle.commit_unchecked(&req);
-                        debug_assert_eq!(actual, commit_ts);
-                        self.inner.index.record_commit(start_ts, actual);
-                        m.active.remove(&start_ts);
-                        Ok(actual)
-                    }
+                        // Published immediately; the timestamp is issued
+                        // inside the commit index's write lock so no reader
+                        // can observe it before the entry exists.
+                        let commit_ts = self
+                            .inner
+                            .index
+                            .record_commit_with(start_ts, || self.inner.ts.next());
+                        if let Some(pipeline) = &self.inner.pipeline {
+                            pipeline.push_batched(start_ts, commit_ts, Arc::clone(&batch));
+                        }
+                        commit_ts
+                    };
+                    m.oracle.finish_commit_at(&req, commit_ts);
+                    Ok(commit_ts)
                 }
                 Err(reason) => {
                     m.oracle.abort_checked(start_ts, reason);
                     self.inner.index.record_abort(start_ts);
-                    if let Some(wal) = m.wal.as_mut() {
-                        // Abort records are never flush-critical: an
-                        // unrecovered abort record leaves the txn pending,
-                        // which is equally invisible.
-                        wal.append(record::encode(&StoreRecord::Abort { start_ts }), now_us);
+                    if let Some(pipeline) = &self.inner.pipeline {
+                        pipeline.push_abort(start_ts);
                     }
-                    m.active.remove(&start_ts);
                     Err(Error::Aborted(reason))
                 }
             }
         };
 
-        if decision.is_err() {
-            // Roll back the invisible versions outside the critical section.
-            self.inner.mvcc.remove_versions(start_ts, keys.iter());
-        } else if let Ok(commit_ts) = decision {
-            // Optimization, not correctness: stamp commit timestamps onto the
-            // versions so readers skip the commit-index lookup (§2.2's
-            // "written back into the database" option).
-            self.inner
-                .mvcc
-                .stamp_commit(start_ts, commit_ts, keys.iter());
-        }
-        decision
-    }
-
-    fn log_commit(
-        &self,
-        m: &mut Manager,
-        start_ts: Timestamp,
-        commit_ts: Timestamp,
-        writes: &[(Bytes, Option<Bytes>)],
-        now_us: u64,
-    ) -> Result<()> {
-        let Some(wal) = m.wal.as_mut() else {
-            return Ok(());
-        };
-        wal.append(
-            record::encode(&StoreRecord::Commit {
-                start_ts,
-                commit_ts,
-                writes: writes.to_vec(),
-            }),
-            now_us,
-        );
-        match self.inner.options.durability {
-            Durability::Sync => {
-                wal.flush(now_us)?;
+        match decision {
+            Err(e) => {
+                // Roll back the invisible versions outside the critical
+                // section.
+                self.inner
+                    .mvcc
+                    .remove_versions(start_ts, batch.iter().map(|(k, _)| k));
+                self.inner.registry.deregister(start_ts, shard);
+                Err(e)
             }
-            Durability::Batched => {
-                wal.maybe_flush(now_us)?;
+            Ok(commit_ts) if sync => {
+                // Wait for the group-commit outcome (possibly leading the
+                // flush ourselves). Deregistration happens only after
+                // resolution so the GC watermark cannot pass an unpublished
+                // commit's pending versions.
+                let pipeline = self
+                    .inner
+                    .pipeline
+                    .as_ref()
+                    .expect("sync mode has a pipeline");
+                let outcome = pipeline.sync_commit(commit_ts, &self.inner.publish_ctx(), now_us);
+                match outcome {
+                    Ok(()) => {
+                        self.inner.registry.deregister(start_ts, shard);
+                        Ok(commit_ts)
+                    }
+                    Err(e) => {
+                        // Overturned before publication; our versions are
+                        // still tagged pending — remove them.
+                        self.inner
+                            .mvcc
+                            .remove_versions(start_ts, batch.iter().map(|(k, _)| k));
+                        self.inner.registry.deregister(start_ts, shard);
+                        Err(Error::Wal(e))
+                    }
+                }
             }
-            Durability::None => {}
+            Ok(commit_ts) => {
+                // Optimization, not correctness: stamp commit timestamps onto
+                // the versions so readers skip the commit-index lookup
+                // (§2.2's "written back into the database" option).
+                self.inner
+                    .mvcc
+                    .stamp_commit(start_ts, commit_ts, batch.iter().map(|(k, _)| k));
+                self.inner.registry.deregister(start_ts, shard);
+                if let Some(pipeline) = &self.inner.pipeline {
+                    // Batched mode: give the ledger's batch policy a chance,
+                    // outside every lock. Quorum loss cannot un-acknowledge
+                    // this commit; it surfaces from `flush_wal`.
+                    let _flush = pipeline.opportunistic_flush(now_us);
+                }
+                Ok(commit_ts)
+            }
         }
-        Ok(())
     }
 
     /// Rolls back an unfinished transaction. Called by
     /// [`Transaction::rollback`] and on drop.
-    pub(crate) fn rollback_txn(&self, start_ts: Timestamp) {
-        let mut m = self.inner.manager.lock();
-        if m.active.remove(&start_ts).is_some() {
-            m.oracle.abort(start_ts);
-            self.inner.index.record_abort(start_ts);
-        }
+    ///
+    /// Lock-free: the abort is published to the commit index for readers,
+    /// but skips the oracle — a rolled-back transaction never contributed
+    /// `lastCommit` state, so the conflict checker has nothing to learn
+    /// from it.
+    pub(crate) fn rollback_txn(&self, start_ts: Timestamp, shard: usize) {
+        self.inner.client_aborts.fetch_add(1, Ordering::Relaxed);
+        self.inner.index.record_abort(start_ts);
+        self.inner.registry.deregister(start_ts, shard);
         // Buffered writes never touched the store before commit, so there is
         // nothing to remove from the version chains.
     }
 
-    /// Flushes any batched WAL records (group-commit tail).
+    /// Flushes any queued or batched WAL records (group-commit tail).
     ///
     /// # Errors
     ///
-    /// Propagates a quorum loss from the ledger.
+    /// Propagates a quorum loss from the ledger — including one swallowed
+    /// earlier by a batched-mode opportunistic flush.
     pub fn flush_wal(&self) -> Result<()> {
-        let now_us = self.inner.now_us();
-        let mut m = self.inner.manager.lock();
-        if let Some(wal) = m.wal.as_mut() {
-            wal.flush(now_us)?;
-        }
+        let Some(pipeline) = &self.inner.pipeline else {
+            return Ok(());
+        };
+        pipeline.flush_all(&self.inner.publish_ctx(), self.inner.now_us())?;
         Ok(())
     }
 
     /// Returns a point-in-time clone of the write-ahead log, emulating the
     /// surviving replicated storage after a crash of this process. Feed it
-    /// to [`Db::recover`].
+    /// to [`Db::recover`]. Records still queued in the pipeline are not
+    /// included — they would not have survived the crash either.
     pub fn wal_snapshot(&self) -> Option<Ledger> {
-        self.inner.manager.lock().wal.clone()
+        self.inner
+            .pipeline
+            .as_ref()
+            .map(|pipeline| pipeline.ledger_snapshot())
+    }
+
+    /// Write-path counters of the underlying WAL (records, flushes, bytes),
+    /// or `None` under [`Durability::None`]. The batching factor shows how
+    /// many commits shared each replication round-trip.
+    pub fn wal_stats(&self) -> Option<LedgerStats> {
+        self.inner
+            .pipeline
+            .as_ref()
+            .map(|pipeline| pipeline.ledger_stats())
+    }
+
+    /// Injects a failure into bookie `idx` of the live WAL — the
+    /// failure-injection hook that lets tests and simulations exercise
+    /// quorum loss on a running database. No-op under [`Durability::None`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for the configured replica count.
+    pub fn fail_wal_bookie(&self, idx: usize) {
+        if let Some(pipeline) = &self.inner.pipeline {
+            pipeline.with_ledger_mut(|ledger| ledger.fail_bookie(idx));
+        }
+    }
+
+    /// Recovers bookie `idx` of the live WAL (inverse of
+    /// [`Db::fail_wal_bookie`]); its pre-failure entries are intact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for the configured replica count.
+    pub fn recover_wal_bookie(&self, idx: usize) {
+        if let Some(pipeline) = &self.inner.pipeline {
+            pipeline.with_ledger_mut(|ledger| ledger.recover_bookie(idx));
+        }
     }
 
     /// Garbage-collects versions below the low-water mark (the minimum start
     /// timestamp among active transactions) and prunes the commit index.
+    ///
+    /// The watermark is computed by the registry with every shard locked,
+    /// so no begin can issue a smaller snapshot concurrently — the mark is
+    /// a true lower bound for all current and future readers.
     pub fn gc(&self) -> GcStats {
-        let watermark = {
-            let m = self.inner.manager.lock();
-            m.active
-                .keys()
-                .next()
-                .copied()
-                .unwrap_or_else(|| m.oracle.last_issued_ts().next())
-        };
+        let watermark = self.inner.registry.watermark(&self.inner.ts);
         let stats = self.inner.mvcc.gc(watermark, &self.inner.index);
         self.inner.index.prune_below(watermark);
         stats
@@ -457,14 +623,30 @@ impl Db {
 
     /// Aggregate statistics.
     pub fn stats(&self) -> DbStats {
-        let m = self.inner.manager.lock();
+        let mut oracle = self.inner.manager.lock().oracle.stats();
+        // Fold in the paths that no longer visit the oracle.
+        oracle.begins += self.inner.begins.load(Ordering::Relaxed);
+        oracle.read_only_commits += self.inner.ro_commits.load(Ordering::Relaxed);
+        oracle.client_aborts += self.inner.client_aborts.load(Ordering::Relaxed);
         DbStats {
-            oracle: m.oracle.stats(),
-            active_transactions: m.active.len(),
+            oracle,
+            active_transactions: self.inner.registry.count(),
             keys: self.inner.mvcc.key_count(),
             versions: self.inner.mvcc.version_count(),
         }
     }
+}
+
+/// Full-jitter backoff: uniform in `[0, base << min(attempt, cap))`,
+/// scrambled from the clock with an xorshift step so concurrent retriers
+/// decorrelate without a PRNG dependency.
+fn backoff_us(attempt: usize, seed: u64) -> u64 {
+    let ceiling = BACKOFF_BASE_US << attempt.min(BACKOFF_MAX_SHIFT);
+    let mut x = seed | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x % ceiling
 }
 
 impl std::fmt::Debug for Db {
@@ -473,5 +655,25 @@ impl std::fmt::Debug for Db {
             .field("isolation", &self.inner.options.isolation)
             .field("durability", &self.inner.options.durability)
             .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        for attempt in 1..=20 {
+            let ceiling = BACKOFF_BASE_US << attempt.min(BACKOFF_MAX_SHIFT);
+            for seed in [1, 7, 12345, u64::MAX] {
+                assert!(backoff_us(attempt, seed) < ceiling);
+            }
+        }
+        // The cap: attempt 20 draws from the same range as attempt 6.
+        assert_eq!(
+            BACKOFF_BASE_US << 20usize.min(BACKOFF_MAX_SHIFT),
+            BACKOFF_BASE_US << 6
+        );
     }
 }

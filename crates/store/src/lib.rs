@@ -53,7 +53,9 @@ mod db;
 mod error;
 mod mvcc;
 pub mod percolator;
+mod pipeline;
 mod record;
+mod registry;
 mod snapshot;
 pub mod ssi_db;
 mod txn;

@@ -1,0 +1,449 @@
+//! The group-commit pipeline: WAL persistence decoupled from the commit
+//! critical section.
+//!
+//! The seed implementation appended *and flushed* the WAL while holding the
+//! manager's mutex, so under `Durability::Sync` every commit serialized
+//! behind a replication round-trip — the exact coupling the paper's
+//! BookKeeper deployment avoids (§6.3 keeps the critical section to "a few
+//! memory operations"; Appendix A pipelines the log writes). This module
+//! restores that separation for the embedded store:
+//!
+//! * The manager's critical section now covers only conflict detection and
+//!   commit-timestamp assignment. Decided commits are *queued* here, in
+//!   commit-timestamp order.
+//! * A **leader** — the first waiter to find the ledger free — takes the
+//!   ledger out of the pipeline, drains the queue, encodes and flushes the
+//!   batch entirely outside every lock, then publishes the outcomes and
+//!   hands the ledger back. Waiters whose commits rode along simply pick up
+//!   their outcome (classic group commit).
+//! * Under `Durability::Sync` a commit is **published** — made visible in
+//!   the commit index and stamped into the version store — only after its
+//!   batch reached the write quorum. A flush failure overturns the decision
+//!   ([`StatusOracleCore::abort_after_decide`]) before any reader could have
+//!   observed it, appends compensating abort records, and surfaces
+//!   [`WalError`] to the owner.
+//!
+//! Publishing after the critical section opens one hazard that the seed's
+//! coarse lock hid: a transaction beginning *after* a commit was decided
+//! must observe it (snapshots must be stable). [`CommitPipeline::push_sync`]
+//! therefore issues the commit timestamp inside the pipeline's own lock, and
+//! [`CommitPipeline::wait_snapshot_stable`] makes a new snapshot wait until
+//! every decided-but-unpublished commit below it is resolved. The fast path
+//! of that gate is a single atomic load, so begins stay lock-free whenever
+//! no sync commit is in flight.
+//!
+//! [`StatusOracleCore::abort_after_decide`]: wsi_core::StatusOracleCore::abort_after_decide
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+use wsi_core::{SharedTimestampSource, Timestamp};
+use wsi_wal::{Ledger, LedgerStats, WalError};
+
+use crate::commit_index::CommitIndex;
+use crate::db::{Manager, WriteBatch};
+use crate::mvcc::MvccStore;
+use crate::record;
+
+/// Shared references a leader needs to publish (or overturn) commit
+/// outcomes after a flush. Assembled fresh per call by the `Db` layer.
+pub(crate) struct PublishCtx<'a> {
+    pub(crate) mvcc: &'a MvccStore,
+    pub(crate) index: &'a CommitIndex,
+    pub(crate) manager: &'a Mutex<Manager>,
+}
+
+/// A decided commit awaiting persistence.
+#[derive(Clone)]
+struct PendingCommit {
+    start_ts: Timestamp,
+    commit_ts: Timestamp,
+    batch: WriteBatch,
+}
+
+/// Everything a leader flushes in one round. Taking the `Ledger` *out* of
+/// the pipeline gives the leader exclusive ownership, so all encoding and
+/// the (possibly slow, replicated) flush happen with no lock held.
+struct FlushWork {
+    ledger: Ledger,
+    commits: Vec<PendingCommit>,
+    aborts: Vec<Timestamp>,
+    reservations: Vec<Timestamp>,
+}
+
+struct PipeInner {
+    /// `None` while a leader owns the ledger for a flush round.
+    ledger: Option<Ledger>,
+    /// Decided commits not yet picked up by a leader, in commit-ts order.
+    queue: VecDeque<PendingCommit>,
+    /// Commits currently being flushed by the leader, in commit-ts order;
+    /// populated for the duration of a flush round. The begin gate scans it
+    /// (sync mode); leaders exclude each other through the taken ledger.
+    inflight: VecDeque<PendingCommit>,
+    /// Conflict-abort records awaiting append (never flush-critical).
+    aborts: Vec<Timestamp>,
+    /// Timestamp-reservation bounds awaiting append (§6.2).
+    reservations: Vec<Timestamp>,
+    /// Outcomes of flushed sync commits, keyed by raw commit timestamp;
+    /// each owner removes its own entry.
+    outcomes: HashMap<u64, Option<WalError>>,
+}
+
+/// The commit pipeline for one database. Present whenever the database has
+/// a WAL (`Durability::Batched` or `Durability::Sync`).
+pub(crate) struct CommitPipeline {
+    /// `true` under `Durability::Sync`: publish-after-durable, owners wait.
+    sync: bool,
+    inner: Mutex<PipeInner>,
+    cv: Condvar,
+    /// Count of decided-but-unresolved sync commits. The begin gate's
+    /// lock-free fast path: incremented (inside the pipeline's critical
+    /// section) *before* the commit timestamp is issued and decremented only
+    /// after the outcome is published, both `SeqCst` — so a begin that
+    /// issues start `S` and then loads `0` is guaranteed no unresolved
+    /// commit with `commit_ts < S` exists.
+    sync_pending: AtomicU64,
+}
+
+impl CommitPipeline {
+    pub(crate) fn new(sync: bool, ledger: Ledger) -> Self {
+        CommitPipeline {
+            sync,
+            inner: Mutex::new(PipeInner {
+                ledger: Some(ledger),
+                queue: VecDeque::new(),
+                inflight: VecDeque::new(),
+                aborts: Vec::new(),
+                reservations: Vec::new(),
+                outcomes: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+            sync_pending: AtomicU64::new(0),
+        }
+    }
+
+    /// Issues the commit timestamp and enqueues a decided sync commit, as
+    /// one atomic step with respect to the begin gate.
+    ///
+    /// Issuing the timestamp *inside* the pipeline's critical section is
+    /// what makes [`CommitPipeline::wait_snapshot_stable`] sound: a begin
+    /// that observes `S > commit_ts` must have entered this critical section
+    /// after the commit was queued, so the gate cannot miss it. The caller
+    /// holds the manager lock (which serializes decides) and completes the
+    /// oracle bookkeeping with the returned timestamp.
+    pub(crate) fn push_sync(
+        &self,
+        ts: &SharedTimestampSource,
+        start_ts: Timestamp,
+        batch: WriteBatch,
+    ) -> Timestamp {
+        let mut inner = self.inner.lock();
+        self.sync_pending.fetch_add(1, Ordering::SeqCst);
+        let commit_ts = ts.next();
+        inner.queue.push_back(PendingCommit {
+            start_ts,
+            commit_ts,
+            batch,
+        });
+        commit_ts
+    }
+
+    /// Enqueues an already-published batched/none-mode commit for eventual
+    /// persistence. Must be called while still holding the manager lock, so
+    /// queue order equals commit-timestamp order.
+    pub(crate) fn push_batched(
+        &self,
+        start_ts: Timestamp,
+        commit_ts: Timestamp,
+        batch: WriteBatch,
+    ) {
+        self.inner.lock().queue.push_back(PendingCommit {
+            start_ts,
+            commit_ts,
+            batch,
+        });
+    }
+
+    /// Enqueues a conflict-abort record. Fire-and-forget: an unrecovered
+    /// abort record leaves the transaction pending, which is equally
+    /// invisible.
+    pub(crate) fn push_abort(&self, start_ts: Timestamp) {
+        self.inner.lock().aborts.push(start_ts);
+    }
+
+    /// Enqueues a timestamp-reservation record (§6.2).
+    pub(crate) fn push_reservation(&self, upto: Timestamp) {
+        self.inner.lock().reservations.push(upto);
+    }
+
+    /// The begin gate: returns once no decided-but-unpublished sync commit
+    /// with `commit_ts < start_ts` remains. Lock-free whenever no sync
+    /// commit is in flight (the common case); see the field docs on
+    /// `sync_pending` for the ordering argument.
+    pub(crate) fn wait_snapshot_stable(&self, start_ts: Timestamp) {
+        if self.sync_pending.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        loop {
+            let oldest = inner
+                .inflight
+                .front()
+                .or_else(|| inner.queue.front())
+                .map(|p| p.commit_ts);
+            match oldest {
+                Some(c) if c < start_ts => self.cv.wait(&mut inner),
+                _ => return,
+            }
+        }
+    }
+
+    /// Waits for the durability outcome of a sync commit queued via
+    /// [`CommitPipeline::push_sync`], becoming the group-commit leader if
+    /// the ledger is free. On success the commit (and every commit that rode
+    /// the same batch) is published; on quorum loss it is overturned and the
+    /// error returned — the owner rolls back its versions.
+    pub(crate) fn sync_commit(
+        &self,
+        commit_ts: Timestamp,
+        ctx: &PublishCtx<'_>,
+        now_us: u64,
+    ) -> Result<(), WalError> {
+        loop {
+            let work = {
+                let mut inner = self.inner.lock();
+                loop {
+                    if let Some(outcome) = inner.outcomes.remove(&commit_ts.raw()) {
+                        return outcome.map_or(Ok(()), Err);
+                    }
+                    if inner.ledger.is_some() && inner.inflight.is_empty() {
+                        break Self::take_work(&mut inner);
+                    }
+                    self.cv.wait(&mut inner);
+                }
+            };
+            self.sync_flush_round(work, ctx, now_us);
+            // Loop to pick up our own outcome (this round resolved it).
+        }
+    }
+
+    /// Batched-mode flush driven opportunistically after a commit, outside
+    /// the manager lock. Respects the ledger's batch policy; skips entirely
+    /// if another thread currently owns the ledger. Errors are returned for
+    /// the caller to swallow or surface — batched durability never fails an
+    /// already-acknowledged commit.
+    pub(crate) fn opportunistic_flush(&self, now_us: u64) -> Result<(), WalError> {
+        let work = {
+            let mut inner = self.inner.lock();
+            if inner.ledger.is_none() {
+                return Ok(());
+            }
+            Self::take_work(&mut inner)
+        };
+        self.batched_flush_round(work, now_us, false)
+    }
+
+    /// Drains and force-flushes everything queued or buffered; the explicit
+    /// `flush_wal` tail for both durability modes.
+    pub(crate) fn flush_all(&self, ctx: &PublishCtx<'_>, now_us: u64) -> Result<(), WalError> {
+        let work = {
+            let mut inner = self.inner.lock();
+            loop {
+                if inner.ledger.is_some() && inner.inflight.is_empty() {
+                    let nothing_queued = inner.queue.is_empty()
+                        && inner.aborts.is_empty()
+                        && inner.reservations.is_empty();
+                    let ledger = inner.ledger.as_ref().expect("checked is_some");
+                    if nothing_queued && ledger.pending_records() == 0 {
+                        return Ok(());
+                    }
+                    break Self::take_work(&mut inner);
+                }
+                self.cv.wait(&mut inner);
+            }
+        };
+        if self.sync {
+            self.sync_flush_round(work, ctx, now_us).map_or(Ok(()), Err)
+        } else {
+            self.batched_flush_round(work, now_us, true)
+        }
+    }
+
+    /// A point-in-time clone of the ledger (waits out any flush round in
+    /// progress). Records still queued in the pipeline are *not* included —
+    /// exactly matching what survives a crash at this instant.
+    pub(crate) fn ledger_snapshot(&self) -> Ledger {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(ledger) = inner.ledger.as_ref() {
+                return ledger.clone();
+            }
+            self.cv.wait(&mut inner);
+        }
+    }
+
+    /// Write-path counters of the underlying ledger.
+    pub(crate) fn ledger_stats(&self) -> LedgerStats {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(ledger) = inner.ledger.as_ref() {
+                return ledger.stats();
+            }
+            self.cv.wait(&mut inner);
+        }
+    }
+
+    /// Installs a recovered ledger (recovery-time only; no flush can be in
+    /// progress).
+    pub(crate) fn replace_ledger(&self, ledger: Ledger) {
+        self.inner.lock().ledger = Some(ledger);
+    }
+
+    /// Runs `f` against the live ledger (waits out any flush round in
+    /// progress). Failure-injection hook for tests and simulations.
+    pub(crate) fn with_ledger_mut(&self, f: impl FnOnce(&mut Ledger)) {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(ledger) = inner.ledger.as_mut() {
+                f(ledger);
+                return;
+            }
+            self.cv.wait(&mut inner);
+        }
+    }
+
+    /// Takes exclusive ownership of the ledger plus everything queued.
+    /// Caller must have checked `ledger.is_some() && inflight.is_empty()`.
+    fn take_work(inner: &mut PipeInner) -> FlushWork {
+        let ledger = inner.ledger.take().expect("leader takes a present ledger");
+        let commits: Vec<PendingCommit> = inner.queue.drain(..).collect();
+        inner.inflight.extend(commits.iter().cloned());
+        FlushWork {
+            ledger,
+            commits,
+            aborts: std::mem::take(&mut inner.aborts),
+            reservations: std::mem::take(&mut inner.reservations),
+        }
+    }
+
+    /// One sync leader round: encode + flush outside all locks, publish (or
+    /// overturn) each commit, hand the ledger back, resolve waiters.
+    /// Returns the round's error, if any. Called with **no** lock held.
+    fn sync_flush_round(
+        &self,
+        work: FlushWork,
+        ctx: &PublishCtx<'_>,
+        now_us: u64,
+    ) -> Option<WalError> {
+        let FlushWork {
+            mut ledger,
+            commits,
+            aborts,
+            reservations,
+        } = work;
+        for upto in reservations {
+            ledger.append(record::encode_ts_reserve(upto), now_us);
+        }
+        for start_ts in aborts {
+            ledger.append(record::encode_abort(start_ts), now_us);
+        }
+        for c in &commits {
+            ledger.append(
+                record::encode_commit(c.start_ts, c.commit_ts, &c.batch),
+                now_us,
+            );
+        }
+        let err = ledger.flush(now_us).err();
+        match &err {
+            None => {
+                // Publish in commit order: the visibility flip. From here the
+                // commits are durable *and* observable; the owners' snapshots
+                // were gated until now.
+                for c in &commits {
+                    ctx.index.record_commit(c.start_ts, c.commit_ts);
+                    ctx.mvcc
+                        .stamp_commit(c.start_ts, c.commit_ts, c.batch.iter().map(|(k, _)| k));
+                }
+            }
+            Some(_) => {
+                // Quorum lost: overturn every decision in this round before
+                // any of it becomes visible. The commit records may survive
+                // on a minority of bookies, so compensating abort records —
+                // appended to the retained buffer — overrule them at
+                // recovery. Owners remove their own invisible versions.
+                {
+                    let mut m = ctx.manager.lock();
+                    for c in &commits {
+                        m.oracle.abort_after_decide(c.start_ts);
+                    }
+                }
+                for c in &commits {
+                    ctx.index.record_abort(c.start_ts);
+                    ledger.append(record::encode_abort(c.start_ts), now_us);
+                }
+            }
+        }
+        let mut inner = self.inner.lock();
+        inner.ledger = Some(ledger);
+        inner.inflight.clear();
+        for c in &commits {
+            inner.outcomes.insert(c.commit_ts.raw(), err.clone());
+        }
+        self.sync_pending
+            .fetch_sub(commits.len() as u64, Ordering::SeqCst);
+        drop(inner);
+        self.cv.notify_all();
+        err
+    }
+
+    /// One batched/none-mode round: append everything, flush per policy (or
+    /// unconditionally when `force`), hand the ledger back. The commits in
+    /// `work` were already published at decide time; there is nothing to
+    /// resolve.
+    fn batched_flush_round(
+        &self,
+        work: FlushWork,
+        now_us: u64,
+        force: bool,
+    ) -> Result<(), WalError> {
+        let FlushWork {
+            mut ledger,
+            commits,
+            aborts,
+            reservations,
+        } = work;
+        for upto in reservations {
+            ledger.append(record::encode_ts_reserve(upto), now_us);
+        }
+        for start_ts in aborts {
+            ledger.append(record::encode_abort(start_ts), now_us);
+        }
+        for c in &commits {
+            ledger.append(
+                record::encode_commit(c.start_ts, c.commit_ts, &c.batch),
+                now_us,
+            );
+        }
+        let result = if force {
+            ledger.flush(now_us).map(|_| ())
+        } else {
+            ledger.maybe_flush(now_us).map(|_| ())
+        };
+        let mut inner = self.inner.lock();
+        inner.ledger = Some(ledger);
+        inner.inflight.clear();
+        drop(inner);
+        self.cv.notify_all();
+        result
+    }
+}
+
+impl std::fmt::Debug for CommitPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitPipeline")
+            .field("sync", &self.sync)
+            .field("sync_pending", &self.sync_pending.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}

@@ -26,14 +26,28 @@ pub enum StoreRecord {
     /// An aborted transaction (logged so recovery can distinguish "aborted"
     /// from "in flight at crash time" — both are invisible, but explicit
     /// aborts keep the recovered commit index identical to the live one).
+    ///
+    /// Also serves as the *compensation* record for a commit whose batch
+    /// lost its write quorum: the commit record may survive on a minority of
+    /// bookies, so a later `Abort` with the same `start_ts` overturns it
+    /// during replay (the commit was never acknowledged to the client).
     Abort {
         /// The transaction's start timestamp.
         start_ts: Timestamp,
+    },
+    /// A batched timestamp reservation (§6.2): timestamps up to and
+    /// including `upto` may have been issued before a crash and must never
+    /// be reissued. Carries no transaction; recovery only advances the
+    /// counter.
+    TsReserve {
+        /// The reserved bound (inclusive).
+        upto: Timestamp,
     },
 }
 
 const TAG_COMMIT: u8 = 0x10;
 const TAG_ABORT: u8 = 0x11;
+const TAG_TS_RESERVE: u8 = 0x12;
 
 /// Encodes a record to bytes.
 pub fn encode(record: &StoreRecord) -> Bytes {
@@ -42,37 +56,60 @@ pub fn encode(record: &StoreRecord) -> Bytes {
             start_ts,
             commit_ts,
             writes,
-        } => {
-            let payload: usize = writes
-                .iter()
-                .map(|(k, v)| 4 + k.len() + 1 + v.as_ref().map_or(0, |v| 4 + v.len()))
-                .sum();
-            let mut buf = BytesMut::with_capacity(1 + 8 + 8 + 4 + payload);
-            buf.put_u8(TAG_COMMIT);
-            buf.put_u64_le(start_ts.raw());
-            buf.put_u64_le(commit_ts.raw());
-            buf.put_u32_le(writes.len() as u32);
-            for (key, value) in writes {
-                buf.put_u32_le(key.len() as u32);
-                buf.put_slice(key);
-                match value {
-                    Some(v) => {
-                        buf.put_u8(1);
-                        buf.put_u32_le(v.len() as u32);
-                        buf.put_slice(v);
-                    }
-                    None => buf.put_u8(0),
-                }
+        } => encode_commit(*start_ts, *commit_ts, writes),
+        StoreRecord::Abort { start_ts } => encode_abort(*start_ts),
+        StoreRecord::TsReserve { upto } => encode_ts_reserve(*upto),
+    }
+}
+
+/// Encodes a timestamp-reservation record.
+pub fn encode_ts_reserve(upto: Timestamp) -> Bytes {
+    let mut buf = BytesMut::with_capacity(9);
+    buf.put_u8(TAG_TS_RESERVE);
+    buf.put_u64_le(upto.raw());
+    buf.freeze()
+}
+
+/// Encodes a commit record from a borrowed write set.
+///
+/// The commit hot path shares one `Arc`'d write batch between the MVCC
+/// store and the WAL; this borrowing encoder serializes it without first
+/// materializing an owned [`StoreRecord`].
+pub fn encode_commit(
+    start_ts: Timestamp,
+    commit_ts: Timestamp,
+    writes: &[(Bytes, Option<Bytes>)],
+) -> Bytes {
+    let payload: usize = writes
+        .iter()
+        .map(|(k, v)| 4 + k.len() + 1 + v.as_ref().map_or(0, |v| 4 + v.len()))
+        .sum();
+    let mut buf = BytesMut::with_capacity(1 + 8 + 8 + 4 + payload);
+    buf.put_u8(TAG_COMMIT);
+    buf.put_u64_le(start_ts.raw());
+    buf.put_u64_le(commit_ts.raw());
+    buf.put_u32_le(writes.len() as u32);
+    for (key, value) in writes {
+        buf.put_u32_le(key.len() as u32);
+        buf.put_slice(key);
+        match value {
+            Some(v) => {
+                buf.put_u8(1);
+                buf.put_u32_le(v.len() as u32);
+                buf.put_slice(v);
             }
-            buf.freeze()
-        }
-        StoreRecord::Abort { start_ts } => {
-            let mut buf = BytesMut::with_capacity(9);
-            buf.put_u8(TAG_ABORT);
-            buf.put_u64_le(start_ts.raw());
-            buf.freeze()
+            None => buf.put_u8(0),
         }
     }
+    buf.freeze()
+}
+
+/// Encodes an abort (or compensation) record.
+pub fn encode_abort(start_ts: Timestamp) -> Bytes {
+    let mut buf = BytesMut::with_capacity(9);
+    buf.put_u8(TAG_ABORT);
+    buf.put_u64_le(start_ts.raw());
+    buf.freeze()
 }
 
 struct Cursor<'a> {
@@ -154,6 +191,9 @@ pub fn decode(data: &Bytes) -> Result<StoreRecord> {
         TAG_ABORT => Ok(StoreRecord::Abort {
             start_ts: Timestamp(c.u64()?),
         }),
+        TAG_TS_RESERVE => Ok(StoreRecord::TsReserve {
+            upto: Timestamp(c.u64()?),
+        }),
         tag => Err(Error::Corrupt(format!("unknown record tag {tag}"))),
     }
 }
@@ -211,5 +251,24 @@ mod tests {
     #[test]
     fn unknown_tag_fails() {
         assert!(decode(&Bytes::from_static(&[0x77])).is_err());
+    }
+
+    #[test]
+    fn ts_reserve_roundtrip() {
+        let rec = StoreRecord::TsReserve {
+            upto: Timestamp(10_000),
+        };
+        assert_eq!(decode(&encode(&rec)).unwrap(), rec);
+    }
+
+    #[test]
+    fn borrowing_commit_encoder_matches_owned() {
+        let writes = vec![(b("k1"), Some(b("v1"))), (b("k2"), None)];
+        let owned = encode(&StoreRecord::Commit {
+            start_ts: Timestamp(3),
+            commit_ts: Timestamp(9),
+            writes: writes.clone(),
+        });
+        assert_eq!(encode_commit(Timestamp(3), Timestamp(9), &writes), owned);
     }
 }

@@ -38,14 +38,17 @@ use wsi_core::Timestamp;
 pub struct Snapshot {
     db: Arc<DbInner>,
     start_ts: Timestamp,
+    /// Registry shard holding this snapshot's active-set entry.
+    shard: usize,
     released: bool,
 }
 
 impl Snapshot {
-    pub(crate) fn new(db: Arc<DbInner>, start_ts: Timestamp) -> Self {
+    pub(crate) fn new(db: Arc<DbInner>, start_ts: Timestamp, shard: usize) -> Self {
         Snapshot {
             db,
             start_ts,
+            shard,
             released: false,
         }
     }
@@ -75,12 +78,12 @@ impl Drop for Snapshot {
     fn drop(&mut self) {
         if !self.released {
             self.released = true;
-            let mut m = self.db.manager.lock();
-            m.active.remove(&self.start_ts);
-            // Equivalent to a read-only commit (§5.1): free, never aborts.
-            let _ = m
-                .oracle
-                .commit(wsi_core::CommitRequest::read_only(self.start_ts));
+            // Equivalent to a read-only commit (§5.1): free, never aborts,
+            // and — like `begin` — touches no lock beyond its registry shard.
+            self.db
+                .ro_commits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.db.registry.deregister(self.start_ts, self.shard);
         }
     }
 }

@@ -28,6 +28,8 @@ use crate::{
 pub struct Transaction {
     db: Arc<DbInner>,
     start_ts: Timestamp,
+    /// Registry shard holding this transaction's active-set entry.
+    shard: usize,
     /// Buffered writes; `None` marks a deletion.
     writes: BTreeMap<Bytes, Option<Bytes>>,
     read_rows: HashSet<RowId>,
@@ -35,10 +37,11 @@ pub struct Transaction {
 }
 
 impl Transaction {
-    pub(crate) fn new(db: Arc<DbInner>, start_ts: Timestamp) -> Self {
+    pub(crate) fn new(db: Arc<DbInner>, start_ts: Timestamp, shard: usize) -> Self {
         Transaction {
             db,
             start_ts,
+            shard,
             writes: BTreeMap::new(),
             read_rows: HashSet::new(),
             finished: false,
@@ -156,7 +159,7 @@ impl Transaction {
         let db = crate::Db {
             inner: Arc::clone(&self.db),
         };
-        db.commit_txn(self.start_ts, read_rows, writes)
+        db.commit_txn(self.start_ts, self.shard, read_rows, writes)
     }
 
     /// Rolls back the transaction, discarding buffered writes.
@@ -170,7 +173,7 @@ impl Transaction {
             let db = crate::Db {
                 inner: Arc::clone(&self.db),
             };
-            db.rollback_txn(self.start_ts);
+            db.rollback_txn(self.start_ts, self.shard);
         }
     }
 

@@ -44,6 +44,12 @@ pub struct LedgerConfig {
     pub ack_quorum: usize,
     /// Batch-trigger policy.
     pub batch: BatchPolicy,
+    /// Simulated per-flush replication latency, in wall-clock microseconds.
+    ///
+    /// Zero (the default) keeps flushes instantaneous. Tests and benchmarks
+    /// set it to model a real quorum round-trip, e.g. to demonstrate that an
+    /// embedder's critical sections do not extend over the flush.
+    pub flush_delay_us: u64,
 }
 
 impl LedgerConfig {
@@ -53,6 +59,7 @@ impl LedgerConfig {
             replicas: 3,
             ack_quorum: 2,
             batch: BatchPolicy::paper_default(),
+            flush_delay_us: 0,
         }
     }
 
@@ -62,7 +69,15 @@ impl LedgerConfig {
             replicas: 1,
             ack_quorum: 1,
             batch: BatchPolicy::unbatched(),
+            flush_delay_us: 0,
         }
+    }
+
+    /// Sets the simulated per-flush replication latency.
+    #[must_use]
+    pub fn with_flush_delay_us(mut self, flush_delay_us: u64) -> Self {
+        self.flush_delay_us = flush_delay_us;
+        self
     }
 }
 
@@ -178,6 +193,9 @@ impl Ledger {
         if self.buffer.is_empty() {
             // Nothing to do; report the current watermark (or 0-record edge).
             return Ok(self.durable.unwrap_or(0));
+        }
+        if self.config.flush_delay_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(self.config.flush_delay_us));
         }
         let entry = encode_entry(&self.buffer);
         let mut acks = 0;
@@ -395,6 +413,7 @@ mod tests {
             replicas: 1,
             ack_quorum: 1,
             batch: BatchPolicy::unbatched(),
+            flush_delay_us: 0,
         });
         l.bookies[0].store(0, encode_entry(&[payload(0)]));
         l.bookies[0].store(2, encode_entry(&[payload(2)])); // seq 1 missing
@@ -409,6 +428,7 @@ mod tests {
             replicas: 1,
             ack_quorum: 1,
             batch: BatchPolicy::unbatched(),
+            flush_delay_us: 0,
         });
         l.append(payload(0), 0);
         l.flush(0).unwrap();
@@ -449,6 +469,7 @@ mod tests {
             replicas: 2,
             ack_quorum: 3,
             batch: BatchPolicy::paper_default(),
+            flush_delay_us: 0,
         });
     }
 }

@@ -28,6 +28,7 @@
 //!     replicas: 3,
 //!     ack_quorum: 2,
 //!     batch: BatchPolicy::paper_default(),
+//!     flush_delay_us: 0,
 //! });
 //!
 //! let seq = ledger.append(b"commit txn 7".to_vec().into(), 0);
@@ -47,5 +48,5 @@ mod record;
 
 pub use batch::BatchPolicy;
 pub use bookie::{Bookie, BookieId};
-pub use ledger::{Ledger, LedgerConfig, SeqNo, WalError};
+pub use ledger::{Ledger, LedgerConfig, LedgerStats, SeqNo, WalError};
 pub use record::{decode_records, encode_record, DecodeError, TxnLogRecord};

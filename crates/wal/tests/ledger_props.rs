@@ -38,6 +38,7 @@ proptest! {
             replicas: 3,
             ack_quorum: 2,
             batch: BatchPolicy::unbatched(),
+            flush_delay_us: 0,
         };
         let mut ledger = Ledger::open(config);
         let mut appended: Vec<u8> = Vec::new();

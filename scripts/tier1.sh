@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must stay green on every commit.
+#
+#   scripts/tier1.sh
+#
+# Builds the workspace in release mode (the benches depend on it), runs the
+# full test suite, and holds the code to a warning-free clippy bar.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --all-targets --workspace -- -D warnings

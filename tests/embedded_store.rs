@@ -190,6 +190,7 @@ fn durable_db_recovers_committed_state_only() {
         replicas: 3,
         ack_quorum: 2,
         batch: writesnap::wal::BatchPolicy::unbatched(),
+        flush_delay_us: 0,
     });
     let db = Db::open(options.clone());
     let mut committed = db.begin();
@@ -237,6 +238,7 @@ fn recovery_survives_one_bookie_failure() {
         replicas: 3,
         ack_quorum: 2,
         batch: writesnap::wal::BatchPolicy::unbatched(),
+        flush_delay_us: 0,
     });
     let db = Db::open(options.clone());
     for i in 0..50 {
