@@ -9,11 +9,9 @@ fn bench_event_queue(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1));
     group.bench_function("schedule_pop_interleaved", |b| {
         let mut q: EventQueue<u64> = EventQueue::new();
-        let mut i = 0u64;
         // Keep a standing population of ~1000 events.
-        for _ in 0..1000 {
+        for i in 0..1000u64 {
             q.schedule_after(SimTime(i % 997 + 1), i);
-            i += 1;
         }
         b.iter(|| {
             let (_, e) = q.pop().expect("population maintained");

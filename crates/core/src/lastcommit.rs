@@ -47,7 +47,11 @@ pub trait LastCommitTable {
     /// Timestamps passed to successive calls for the same row must be
     /// increasing (the oracle issues them from a monotonic counter while
     /// holding its critical section).
-    fn record(&mut self, row: RowId, ts: Timestamp);
+    ///
+    /// Returns the number of resident rows evicted to make room (always 0
+    /// for unbounded tables; 0 or 1 for bounded ones). Eviction is the event
+    /// that advances `T_max` and so the event observability cares about.
+    fn record(&mut self, row: RowId, ts: Timestamp) -> usize;
 
     /// Number of resident rows.
     fn len(&self) -> usize;
@@ -89,8 +93,9 @@ impl LastCommitTable for UnboundedLastCommit {
         }
     }
 
-    fn record(&mut self, row: RowId, ts: Timestamp) {
+    fn record(&mut self, row: RowId, ts: Timestamp) -> usize {
         self.map.insert(row, ts);
+        0
     }
 
     fn len(&self) -> usize {
@@ -168,7 +173,7 @@ impl BoundedLastCommit {
         self.capacity
     }
 
-    fn evict_one(&mut self) {
+    fn evict_one(&mut self) -> usize {
         while let Some((ts, row)) = self.queue.pop_front() {
             // Lazy deletion: only evict if this queue entry still describes
             // the row's current timestamp; otherwise a newer `record` call
@@ -178,9 +183,10 @@ impl BoundedLastCommit {
                 if ts > self.t_max {
                     self.t_max = ts;
                 }
-                return;
+                return 1;
             }
         }
+        0
     }
 }
 
@@ -193,18 +199,21 @@ impl LastCommitTable for BoundedLastCommit {
         }
     }
 
-    fn record(&mut self, row: RowId, ts: Timestamp) {
+    fn record(&mut self, row: RowId, ts: Timestamp) -> usize {
         let fresh = self.map.insert(row, ts).is_none();
         self.queue.push_back((ts, row));
-        if fresh && self.map.len() > self.capacity {
-            self.evict_one();
-        }
+        let evicted = if fresh && self.map.len() > self.capacity {
+            self.evict_one()
+        } else {
+            0
+        };
         // Bound the lazy queue: amortized compaction when it grows far past
         // the map (many re-records of hot rows).
         if self.queue.len() > 2 * self.capacity + 16 {
             let map = &self.map;
             self.queue.retain(|(qts, qrow)| map.get(qrow) == Some(qts));
         }
+        evicted
     }
 
     fn len(&self) -> usize {

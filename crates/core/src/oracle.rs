@@ -104,6 +104,9 @@ pub struct OracleStats {
     pub rows_recorded: u64,
     /// Range probes performed for analytical read sets (§5.2).
     pub ranges_checked: u64,
+    /// `lastCommit` rows evicted into `T_max` (Algorithm 3 only; always 0
+    /// for unbounded tables).
+    pub evictions: u64,
 }
 
 impl OracleStats {
@@ -119,6 +122,115 @@ impl OracleStats {
             0.0
         } else {
             self.total_aborts() as f64 / decided as f64
+        }
+    }
+}
+
+/// Lock-free counters backing [`OracleStats`].
+///
+/// Each field is a sharded [`wsi_obs::Counter`]; `Clone` produces a handle
+/// onto the **same** counters, so an embedder can keep a clone outside the
+/// oracle's critical section and read statistics without taking the lock
+/// that serializes the oracle itself (the mutex in `wsi-store`, the event
+/// loop in `wsi-oracle`). [`OracleCounters::view`] folds the counters into a
+/// plain [`OracleStats`] value at any time, with no synchronization beyond
+/// relaxed atomic loads.
+#[derive(Debug, Clone, Default)]
+pub struct OracleCounters {
+    /// Transactions started.
+    pub begins: wsi_obs::Counter,
+    /// Write transactions decided committed (including later-overturned).
+    pub commits: wsi_obs::Counter,
+    /// Commits overturned because durability failed before publication
+    /// (see [`StatusOracleCore::abort_after_decide`]). The [`OracleStats`]
+    /// `commits` view subtracts these; keeping decide and overturn as
+    /// separate monotonic counters keeps every counter append-only, which
+    /// exposition formats (Prometheus) require of counters.
+    pub commits_overturned: wsi_obs::Counter,
+    /// Read-only transactions committed on the no-computation fast path.
+    pub read_only_commits: wsi_obs::Counter,
+    /// Aborts due to a write-write conflict.
+    pub ww_aborts: wsi_obs::Counter,
+    /// Aborts due to a read-write conflict.
+    pub rw_aborts: wsi_obs::Counter,
+    /// Pessimistic aborts due to `T_max` (Algorithm 3 only).
+    pub tmax_aborts: wsi_obs::Counter,
+    /// Aborts explicitly requested by clients.
+    pub client_aborts: wsi_obs::Counter,
+    /// `lastCommit` probes performed (memory items loaded for checking).
+    pub rows_checked: wsi_obs::Counter,
+    /// `lastCommit` records written (memory items loaded for updating).
+    pub rows_recorded: wsi_obs::Counter,
+    /// Range probes performed for analytical read sets (§5.2).
+    pub ranges_checked: wsi_obs::Counter,
+    /// `lastCommit` rows evicted into `T_max` (Algorithm 3 only).
+    pub evictions: wsi_obs::Counter,
+}
+
+impl OracleCounters {
+    /// Folds the live counters into a plain [`OracleStats`] value.
+    ///
+    /// `commits` is reported net of overturned commits, matching the
+    /// pre-counter semantics where an overturn decremented the commit count.
+    pub fn view(&self) -> OracleStats {
+        OracleStats {
+            begins: self.begins.get(),
+            commits: self
+                .commits
+                .get()
+                .saturating_sub(self.commits_overturned.get()),
+            read_only_commits: self.read_only_commits.get(),
+            ww_aborts: self.ww_aborts.get(),
+            rw_aborts: self.rw_aborts.get(),
+            tmax_aborts: self.tmax_aborts.get(),
+            client_aborts: self.client_aborts.get(),
+            rows_checked: self.rows_checked.get(),
+            rows_recorded: self.rows_recorded.get(),
+            ranges_checked: self.ranges_checked.get(),
+            evictions: self.evictions.get(),
+        }
+    }
+
+    /// A copy with fresh counters frozen at the current values, sharing no
+    /// state with `self` — the value-semantics counterpart of `Clone` (which
+    /// shares), used when cloning an oracle into an independent replica.
+    pub fn detached_copy(&self) -> OracleCounters {
+        OracleCounters {
+            begins: self.begins.detached_copy(),
+            commits: self.commits.detached_copy(),
+            commits_overturned: self.commits_overturned.detached_copy(),
+            read_only_commits: self.read_only_commits.detached_copy(),
+            ww_aborts: self.ww_aborts.detached_copy(),
+            rw_aborts: self.rw_aborts.detached_copy(),
+            tmax_aborts: self.tmax_aborts.detached_copy(),
+            client_aborts: self.client_aborts.detached_copy(),
+            rows_checked: self.rows_checked.detached_copy(),
+            rows_recorded: self.rows_recorded.detached_copy(),
+            ranges_checked: self.ranges_checked.detached_copy(),
+            evictions: self.evictions.detached_copy(),
+        }
+    }
+
+    /// Registers every counter in `registry` under `oracle_*` names so the
+    /// oracle shows up in metric exposition alongside the embedder's own
+    /// series.
+    pub fn register_in(&self, registry: &wsi_obs::Registry) {
+        let entries: [(&str, &wsi_obs::Counter); 12] = [
+            ("oracle_begins_total", &self.begins),
+            ("oracle_commits_total", &self.commits),
+            ("oracle_commits_overturned_total", &self.commits_overturned),
+            ("oracle_read_only_commits_total", &self.read_only_commits),
+            ("oracle_ww_aborts_total", &self.ww_aborts),
+            ("oracle_rw_aborts_total", &self.rw_aborts),
+            ("oracle_tmax_aborts_total", &self.tmax_aborts),
+            ("oracle_client_aborts_total", &self.client_aborts),
+            ("oracle_rows_checked_total", &self.rows_checked),
+            ("oracle_rows_recorded_total", &self.rows_recorded),
+            ("oracle_ranges_checked_total", &self.ranges_checked),
+            ("oracle_lastcommit_evictions_total", &self.evictions),
+        ];
+        for (name, counter) in entries {
+            registry.register_counter(name, counter);
         }
     }
 }
@@ -176,7 +288,7 @@ impl Table {
         }
     }
 
-    fn record(&mut self, row: RowId, ts: Timestamp) {
+    fn record(&mut self, row: RowId, ts: Timestamp) -> usize {
         match self {
             Table::Unbounded(t) => t.record(row, ts),
             Table::Bounded(t) => t.record(row, ts),
@@ -224,13 +336,28 @@ impl Table {
 ///     assert_eq!(c2.is_committed(), expect_both_commit);
 /// }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct StatusOracleCore {
     level: IsolationLevel,
     ts: TsMode,
     last_commit: Table,
     commit_table: CommitTable,
-    stats: OracleStats,
+    counters: OracleCounters,
+}
+
+impl Clone for StatusOracleCore {
+    /// Clones into an independent replica: the counters are detached copies
+    /// frozen at their current values, not shared handles, preserving the
+    /// value semantics the struct had when statistics were plain integers.
+    fn clone(&self) -> Self {
+        StatusOracleCore {
+            level: self.level,
+            ts: self.ts.clone(),
+            last_commit: self.last_commit.clone(),
+            commit_table: self.commit_table.clone(),
+            counters: self.counters.detached_copy(),
+        }
+    }
 }
 
 impl StatusOracleCore {
@@ -243,7 +370,7 @@ impl StatusOracleCore {
             ts: TsMode::Local(TimestampSource::new()),
             last_commit: Table::Unbounded(UnboundedLastCommit::new()),
             commit_table: CommitTable::new(),
-            stats: OracleStats::default(),
+            counters: OracleCounters::default(),
         }
     }
 
@@ -262,7 +389,7 @@ impl StatusOracleCore {
             ts: TsMode::Shared(ts),
             last_commit: Table::Unbounded(UnboundedLastCommit::new()),
             commit_table: CommitTable::new(),
-            stats: OracleStats::default(),
+            counters: OracleCounters::default(),
         }
     }
 
@@ -282,7 +409,7 @@ impl StatusOracleCore {
             ts: TsMode::Shared(ts),
             last_commit: Table::Bounded(BoundedLastCommit::with_capacity(capacity)),
             commit_table: CommitTable::new(),
-            stats: OracleStats::default(),
+            counters: OracleCounters::default(),
         }
     }
 
@@ -298,7 +425,7 @@ impl StatusOracleCore {
             ts: TsMode::Local(TimestampSource::new()),
             last_commit: Table::Bounded(BoundedLastCommit::with_capacity(capacity)),
             commit_table: CommitTable::new(),
-            stats: OracleStats::default(),
+            counters: OracleCounters::default(),
         }
     }
 
@@ -310,7 +437,7 @@ impl StatusOracleCore {
 
     /// Issues a start timestamp for a new transaction.
     pub fn begin(&mut self) -> Timestamp {
-        self.stats.begins += 1;
+        self.counters.begins.inc();
         self.ts.next()
     }
 
@@ -329,7 +456,7 @@ impl StatusOracleCore {
         if req.is_read_only() {
             // §5.1: both sets are submitted empty; the oracle commits without
             // performing any computation for the transaction.
-            self.stats.read_only_commits += 1;
+            self.counters.read_only_commits.inc();
             return CommitOutcome::Committed(req.start_ts);
         }
         match self.check(&req) {
@@ -358,7 +485,7 @@ impl StatusOracleCore {
             IsolationLevel::WriteSnapshot => &req.read_rows,
         };
         for &row in check_rows {
-            self.stats.rows_checked += 1;
+            self.counters.rows_checked.inc();
             match self.last_commit.probe(row) {
                 Probe::Resident(last) if last > req.start_ts => {
                     return Err(match self.level {
@@ -386,7 +513,7 @@ impl StatusOracleCore {
         }
         if self.level == IsolationLevel::WriteSnapshot {
             for &range in &req.read_ranges {
-                self.stats.ranges_checked += 1;
+                self.counters.ranges_checked.inc();
                 match self.last_commit.probe_range(range) {
                     Probe::Resident(last) if last > req.start_ts => {
                         return Err(AbortReason::ReadWriteConflict {
@@ -433,11 +560,12 @@ impl StatusOracleCore {
     /// `lastCommit` rows, the commit-table entry, and counters.
     pub fn finish_commit_at(&mut self, req: &CommitRequest, commit_ts: Timestamp) {
         for &row in &req.write_rows {
-            self.stats.rows_recorded += 1;
-            self.last_commit.record(row, commit_ts);
+            self.counters.rows_recorded.inc();
+            let evicted = self.last_commit.record(row, commit_ts);
+            self.counters.evictions.add(evicted as u64);
         }
         self.commit_table.record_commit(req.start_ts, commit_ts);
-        self.stats.commits += 1;
+        self.counters.commits.inc();
     }
 
     /// Registers a conflict abort decided externally via
@@ -450,7 +578,7 @@ impl StatusOracleCore {
     /// Registers a client-requested abort (application rollback, client
     /// crash detected by recovery, etc.).
     pub fn abort(&mut self, start_ts: Timestamp) {
-        self.stats.client_aborts += 1;
+        self.counters.client_aborts.inc();
         self.commit_table.record_abort(start_ts);
     }
 
@@ -469,15 +597,15 @@ impl StatusOracleCore {
     /// decided after this one have already been checked against it.
     pub fn abort_after_decide(&mut self, start_ts: Timestamp) {
         self.commit_table.overturn_commit(start_ts);
-        self.stats.commits -= 1;
+        self.counters.commits_overturned.inc();
     }
 
     fn register_abort(&mut self, start_ts: Timestamp, reason: AbortReason) -> CommitOutcome {
         match reason {
-            AbortReason::WriteWriteConflict { .. } => self.stats.ww_aborts += 1,
-            AbortReason::ReadWriteConflict { .. } => self.stats.rw_aborts += 1,
-            AbortReason::TmaxExceeded { .. } => self.stats.tmax_aborts += 1,
-            AbortReason::ClientRequested => self.stats.client_aborts += 1,
+            AbortReason::WriteWriteConflict { .. } => self.counters.ww_aborts.inc(),
+            AbortReason::ReadWriteConflict { .. } => self.counters.rw_aborts.inc(),
+            AbortReason::TmaxExceeded { .. } => self.counters.tmax_aborts.inc(),
+            AbortReason::ClientRequested => self.counters.client_aborts.inc(),
         }
         self.commit_table.record_abort(start_ts);
         CommitOutcome::Aborted(reason)
@@ -511,9 +639,18 @@ impl StatusOracleCore {
         self.ts.last_issued()
     }
 
-    /// Activity counters.
+    /// Activity counters, folded into a plain value.
     pub fn stats(&self) -> OracleStats {
-        self.stats
+        self.counters.view()
+    }
+
+    /// A shared handle onto the live counters.
+    ///
+    /// The returned handle reads (and could bump) the same atomics the
+    /// oracle updates, so embedders that serialize the oracle behind a lock
+    /// can observe statistics without acquiring it.
+    pub fn counters(&self) -> OracleCounters {
+        self.counters.clone()
     }
 
     /// Re-applies a committed transaction during WAL recovery.
@@ -525,7 +662,8 @@ impl StatusOracleCore {
     pub fn replay_commit(&mut self, start_ts: Timestamp, commit_ts: Timestamp, rows: &[RowId]) {
         self.ts.advance_to(commit_ts);
         for &row in rows {
-            self.last_commit.record(row, commit_ts);
+            let evicted = self.last_commit.record(row, commit_ts);
+            self.counters.evictions.add(evicted as u64);
         }
         self.commit_table.record_commit(start_ts, commit_ts);
     }

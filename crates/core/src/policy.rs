@@ -9,8 +9,6 @@
 //! the oracle's incremental checks and for the `wsi-history` crate, which
 //! evaluates them over whole histories.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ts::Timestamp;
 
 /// The isolation level enforced by a status oracle or transaction manager.
@@ -18,7 +16,7 @@ use crate::ts::Timestamp;
 /// Both levels give every transaction a consistent read snapshot determined
 /// by its start timestamp; they differ only in which conflicts abort a
 /// transaction at commit time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IsolationLevel {
     /// Classic snapshot isolation: abort on write-write conflicts
     /// (Algorithm 1). Permits write skew; not serializable.

@@ -10,15 +10,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A 64-bit row identifier as used by the status oracle.
 ///
 /// For synthetic workloads (YCSB-style) the identifier is simply the row
 /// number. For byte-string keys use [`hash_row_key`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct RowId(pub u64);
 
 impl RowId {
@@ -48,7 +44,7 @@ impl From<u64> for RowId {
 /// of the read set, e.g., table name and row ranges." Ranges make sense for
 /// workloads whose row identifiers are meaningful (e.g. YCSB row numbers or
 /// sequential scan keys), not for hashed byte-string keys.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RowRange {
     /// First row in the range.
     pub start: RowId,

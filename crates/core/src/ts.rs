@@ -10,8 +10,6 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use serde::{Deserialize, Serialize};
-
 /// A logical timestamp drawn from the (status/timestamp) oracle's counter.
 ///
 /// Timestamps are unique across all start and commit events, strictly
@@ -19,9 +17,7 @@ use serde::{Deserialize, Serialize};
 /// reserved as the "beginning of time": no transaction ever receives it, so
 /// it can safely serve as the initial `lastCommit` value and as `T_max`
 /// before any eviction has happened.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {
@@ -83,7 +79,7 @@ impl From<u64> for Timestamp {
 /// let b = src.next();
 /// assert!(b > a);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimestampSource {
     last: Timestamp,
 }

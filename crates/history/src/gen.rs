@@ -179,10 +179,7 @@ mod tests {
         for seed in 0..200 {
             let raw = generate(GenConfig::default(), seed);
             let executed = filter_accepted(&raw, IsolationLevel::WriteSnapshot);
-            assert!(
-                dsg::is_serializable(&executed),
-                "seed {seed}: {executed}"
-            );
+            assert!(dsg::is_serializable(&executed), "seed {seed}: {executed}");
         }
     }
 
@@ -193,7 +190,6 @@ mod tests {
             let raw = generate(GenConfig::default(), seed);
             let executed = filter_accepted(&raw, IsolationLevel::Snapshot);
             if anomaly::has_write_skew(&executed) {
-                assert!(!dsg::is_serializable(&executed) || true);
                 found = true;
                 break;
             }

@@ -1,0 +1,100 @@
+//! Data-tier observability: block-cache and read-latency metrics.
+//!
+//! A [`KvObs`] handle is attached to a [`crate::RegionServer`] (or to every
+//! server of a [`crate::DataCluster`] at once) and mirrors the per-server
+//! counters onto lock-free [`wsi_obs`] series. Because `Clone` shares the
+//! underlying atomics, one handle attached cluster-wide aggregates across
+//! all servers while each server's own [`crate::ServerStats`] stays exact.
+//!
+//! Latencies recorded here are **simulated** microseconds (the block-device
+//! timing model of the paper's Appendix), not wall-clock — the distribution
+//! of `ReadOutcome::done - now`, which is what the paper's §6 read-latency
+//! figures report.
+
+use wsi_obs::{Counter, Histogram, Registry};
+
+/// Lock-free metric handles for the data tier.
+#[derive(Debug, Clone, Default)]
+pub struct KvObs {
+    /// Reads processed.
+    pub reads: Counter,
+    /// Reads served from the block cache.
+    pub cache_hits: Counter,
+    /// Reads that missed the cache and paid a device read.
+    pub cache_misses: Counter,
+    /// Writes processed (memstore appends).
+    pub writes: Counter,
+    /// Simulated read service time (arrival to response), in microseconds.
+    pub read_us: Histogram,
+    /// Simulated write service time, in microseconds.
+    pub write_us: Histogram,
+}
+
+impl KvObs {
+    /// Registers every series in `registry` under `kv_*` names.
+    pub fn register_in(&self, registry: &Registry) {
+        registry.register_counter("kv_reads_total", &self.reads);
+        registry.register_counter("kv_cache_hits_total", &self.cache_hits);
+        registry.register_counter("kv_cache_misses_total", &self.cache_misses);
+        registry.register_counter("kv_writes_total", &self.writes);
+        registry.register_histogram("kv_read_us", &self.read_us);
+        registry.register_histogram("kv_write_us", &self.write_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use wsi_sim::{SimRng, SimTime};
+
+    use super::*;
+    use crate::{DataCluster, ServerConfig};
+
+    #[test]
+    fn cluster_obs_aggregates_across_servers() {
+        let mut c = DataCluster::new(4, 1000, ServerConfig::paper_default(), &SimRng::new(3));
+        let obs = KvObs::default();
+        c.attach_obs(&obs);
+        let mut rng = SimRng::new(9);
+        for i in 0..200u64 {
+            c.read(rng.below(1000), SimTime::from_us(i * 10));
+        }
+        c.write(7, SimTime::ZERO, false);
+        assert_eq!(obs.reads.get(), 200);
+        assert_eq!(obs.writes.get(), 1);
+        assert_eq!(obs.cache_hits.get() + obs.cache_misses.get(), 200);
+        // Shared handles match the per-server exact stats.
+        let (reads, hits): (u64, u64) = c
+            .servers()
+            .iter()
+            .map(|s| (s.stats().reads, s.stats().cache_hits))
+            .fold((0, 0), |(r, h), (sr, sh)| (r + sr, h + sh));
+        assert_eq!(obs.reads.get(), reads);
+        assert_eq!(obs.cache_hits.get(), hits);
+        let snap = obs.read_us.snapshot();
+        assert_eq!(snap.count, 200);
+        assert!(snap.max >= 38_000, "cold reads hit the disk path");
+    }
+
+    #[test]
+    fn late_attach_syncs_prior_counts() {
+        let mut c = DataCluster::new(2, 100, ServerConfig::paper_default(), &SimRng::new(3));
+        c.read(1, SimTime::ZERO);
+        c.write(2, SimTime::ZERO, true);
+        let obs = KvObs::default();
+        c.attach_obs(&obs);
+        assert_eq!(obs.reads.get(), 1);
+        assert_eq!(obs.writes.get(), 1);
+        assert_eq!(obs.cache_hits.get() + obs.cache_misses.get(), 1);
+    }
+
+    #[test]
+    fn registers_under_kv_names() {
+        let obs = KvObs::default();
+        let registry = Registry::new();
+        obs.register_in(&registry);
+        obs.reads.inc();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.get("kv_reads_total"), Some(&1));
+        assert!(snap.histograms.contains_key("kv_read_us"));
+    }
+}

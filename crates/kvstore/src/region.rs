@@ -139,6 +139,14 @@ impl DataCluster {
         }
     }
 
+    /// Attaches one shared [`crate::KvObs`] handle to every server; since
+    /// clones share atomics, the handle's series aggregate cluster-wide.
+    pub fn attach_obs(&mut self, obs: &crate::KvObs) {
+        for server in &mut self.servers {
+            server.attach_obs(obs.clone());
+        }
+    }
+
     /// Number of servers.
     pub fn server_count(&self) -> usize {
         self.servers.len()
@@ -183,7 +191,7 @@ mod tests {
     #[test]
     fn range_routing_is_balanced_and_contiguous() {
         let c = range_cluster(25, 1000);
-        let mut counts = vec![0u64; 25];
+        let mut counts = [0u64; 25];
         let mut last = 0usize;
         for row in 0..1000 {
             let RegionId(idx) = c.region_for(row);

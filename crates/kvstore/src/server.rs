@@ -3,6 +3,7 @@
 use wsi_sim::{SimRng, SimTime, Station};
 
 use crate::cache::BlockCache;
+use crate::obs::KvObs;
 use crate::table::RegionStore;
 
 /// Region-server timing and sizing parameters.
@@ -111,6 +112,7 @@ pub struct RegionServer {
     store: RegionStore,
     rng: SimRng,
     stats: ServerStats,
+    obs: Option<KvObs>,
 }
 
 impl RegionServer {
@@ -125,7 +127,19 @@ impl RegionServer {
             rng,
             config,
             stats: ServerStats::default(),
+            obs: None,
         }
+    }
+
+    /// Attaches shared metric handles; [`KvObs`] clones share atomics, so
+    /// one handle attached to every server aggregates cluster-wide.
+    pub fn attach_obs(&mut self, obs: KvObs) {
+        obs.reads.add(self.stats.reads);
+        obs.cache_hits.add(self.stats.cache_hits);
+        obs.cache_misses
+            .add(self.stats.reads - self.stats.cache_hits);
+        obs.writes.add(self.stats.writes);
+        self.obs = Some(obs);
     }
 
     fn block_of(&self, row: u64) -> u64 {
@@ -167,6 +181,15 @@ impl RegionServer {
                 .jittered(self.config.background_read_cpu, self.config.jitter);
             self.handler.submit(now, bg);
         }
+        if let Some(obs) = &self.obs {
+            obs.reads.inc();
+            if outcome.cache_hit {
+                obs.cache_hits.inc();
+            } else {
+                obs.cache_misses.inc();
+            }
+            obs.read_us.record(outcome.done.saturating_sub(now).as_us());
+        }
         outcome
     }
 
@@ -193,6 +216,10 @@ impl RegionServer {
         if bg_base > SimTime::ZERO {
             let bg = self.rng.jittered(bg_base, self.config.jitter);
             self.handler.submit(now, bg);
+        }
+        if let Some(obs) = &self.obs {
+            obs.writes.inc();
+            obs.write_us.record(done.saturating_sub(now).as_us());
         }
         done
     }

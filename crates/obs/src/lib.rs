@@ -1,0 +1,77 @@
+//! Observability substrate for the `writesnap` workspace.
+//!
+//! The paper's evaluation (§6.3, Appendix A) rests on knowing *where*
+//! commit-path time goes: how many `lastCommit` items each conflict check
+//! loads (WSI reads ≈ 2× SI's), how many commits share each WAL flush (the
+//! batching factor), and what fraction of reads the block cache absorbs.
+//! This crate is the shared measurement layer every runtime crate reports
+//! through:
+//!
+//! * [`Counter`] / [`Gauge`] — atomic scalars. Counters are sharded across
+//!   cache-line-padded cells indexed by a per-thread slot, so concurrent
+//!   increments from the commit path never bounce one cache line; reads
+//!   aggregate the shards.
+//! * [`Histogram`] — fixed-bucket log₂-scale latency histogram: zero
+//!   allocation on the hot path, per-thread sharding, lock-free recording.
+//!   [`HistogramSnapshot`] supports merge (associative, commutative) and
+//!   interpolated quantiles.
+//! * [`ExactHistogram`] — the exact-percentile variant (samples kept in
+//!   full) for the deterministic simulator, sharing the same percentile
+//!   conventions so simulator figures and live metrics agree on definitions.
+//! * [`Registry`] — a name → metric map. Registration takes a lock once at
+//!   setup; recording touches only the `Arc`'d atomics.
+//! * [`SpanRecorder`] / [`TxnSpan`] — a sampled transaction-lifecycle
+//!   tracer stamping each phase (begin → reads/writes → conflict check →
+//!   WAL append → quorum ack → visible), dumpable as JSON.
+//! * [`Snapshot`] — point-in-time exposition: [`Snapshot::render_prometheus`]
+//!   (text format, parseable back via [`Snapshot::parse_prometheus`]) and
+//!   [`Snapshot::render_json`].
+//!
+//! # Example
+//!
+//! ```
+//! use wsi_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let commits = registry.counter("commits_total");
+//! let latency = registry.histogram("commit_us");
+//!
+//! commits.inc();
+//! latency.record(180);
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counters["commits_total"], 1);
+//! let text = snap.render_prometheus();
+//! let parsed = wsi_obs::Snapshot::parse_prometheus(&text).unwrap();
+//! assert_eq!(parsed, snap);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod expo;
+mod hist;
+mod metric;
+mod registry;
+mod span;
+
+pub use expo::{ParseError, Snapshot};
+pub use hist::{ExactHistogram, Histogram, HistogramSnapshot, BUCKETS};
+pub use metric::{Counter, Gauge};
+pub use registry::Registry;
+pub use span::{SpanOutcome, SpanRecorder, TxnPhase, TxnSpan, PHASE_COUNT};
+
+/// Takes a point-in-time [`Snapshot`] of every metric in `registry`.
+///
+/// Convenience free function mirroring [`Registry::snapshot`].
+pub fn snapshot(registry: &Registry) -> Snapshot {
+    registry.snapshot()
+}
+
+/// Renders every metric in `registry` in the Prometheus text format.
+///
+/// Convenience free function: `registry.snapshot().render_prometheus()`.
+pub fn render_prometheus(registry: &Registry) -> String {
+    registry.snapshot().render_prometheus()
+}

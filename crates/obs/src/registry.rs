@@ -1,0 +1,168 @@
+//! The metric registry: a name → handle map with lock-free recording.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{Counter, Gauge, Histogram, Snapshot};
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A collection of named metrics.
+///
+/// Registration (`counter`/`gauge`/`histogram`/`register_*`) takes a short
+/// lock and happens at setup time; the returned handles are `Arc`-backed, so
+/// the hot path records straight into shared atomics with the registry out
+/// of the picture. Cloning a `Registry` shares the collection.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner
+            .counters
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the gauge named `name`, creating it at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner
+            .gauges
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the histogram named `name`, creating it empty on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.inner
+            .histograms
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Registers an externally created counter under `name` (a handle clone;
+    /// subsequent updates through either handle are visible to both). Lets a
+    /// component own its counters while still appearing in the registry's
+    /// exposition.
+    pub fn register_counter(&self, name: &str, counter: &Counter) {
+        self.inner
+            .counters
+            .lock()
+            .insert(name.to_string(), counter.clone());
+    }
+
+    /// Registers an externally created gauge under `name`.
+    pub fn register_gauge(&self, name: &str, gauge: &Gauge) {
+        self.inner
+            .gauges
+            .lock()
+            .insert(name.to_string(), gauge.clone());
+    }
+
+    /// Registers an externally created histogram under `name`.
+    pub fn register_histogram(&self, name: &str, histogram: &Histogram) {
+        self.inner
+            .histograms
+            .lock()
+            .insert(name.to_string(), histogram.clone());
+    }
+
+    /// Takes a point-in-time snapshot of every registered metric.
+    ///
+    /// Concurrent recording continues while the snapshot is taken; each
+    /// individual metric is read atomically, the set as a whole is not — the
+    /// usual scrape semantics.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("counters", &self.inner.counters.lock().len())
+            .field("gauges", &self.inner.gauges.lock().len())
+            .field("histograms", &self.inner.histograms.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_metric() {
+        let r = Registry::new();
+        r.counter("a").add(3);
+        r.counter("a").add(4);
+        assert_eq!(r.counter("a").get(), 7);
+    }
+
+    #[test]
+    fn registered_external_handles_share_state() {
+        let r = Registry::new();
+        let mine = Counter::new();
+        r.register_counter("ext", &mine);
+        mine.add(9);
+        assert_eq!(r.snapshot().counters["ext"], 9);
+    }
+
+    #[test]
+    fn snapshot_covers_all_kinds() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        r.gauge("g").set(5);
+        r.histogram("h").record(100);
+        let s = r.snapshot();
+        assert_eq!(s.counters["c"], 1);
+        assert_eq!(s.gauges["g"], 5);
+        assert_eq!(s.histograms["h"].count, 1);
+    }
+}

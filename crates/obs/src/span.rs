@@ -1,0 +1,299 @@
+//! Sampled transaction-lifecycle spans.
+//!
+//! A [`TxnSpan`] carries one microsecond stamp per [`TxnPhase`] so a single
+//! sampled transaction shows where its latency went: begin → first read /
+//! first write → conflict check → WAL append → quorum ack → visible. The
+//! [`SpanRecorder`] hands out spans for 1-in-N transactions (an atomic
+//! ticket, no locks on the skip path) and keeps the most recent finished
+//! spans in a bounded ring, dumpable as JSON.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Lifecycle phases a transaction passes through, in commit-path order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum TxnPhase {
+    /// Start timestamp issued; snapshot established.
+    Begin = 0,
+    /// First key read through the snapshot.
+    FirstRead = 1,
+    /// First write buffered.
+    FirstWrite = 2,
+    /// Conflict check against the `lastCommit` table finished.
+    ConflictCheck = 3,
+    /// Commit record appended to the WAL buffer.
+    WalAppend = 4,
+    /// WAL flush acknowledged by an ack-quorum of replicas.
+    QuorumAck = 5,
+    /// Writes published to the MVCC store (visible to later snapshots).
+    Visible = 6,
+}
+
+/// Number of [`TxnPhase`] variants (the length of a span's stamp array).
+pub const PHASE_COUNT: usize = 7;
+
+/// All phases in commit-path order, paired with their JSON/display names.
+pub(crate) const PHASE_NAMES: [&str; PHASE_COUNT] = [
+    "begin",
+    "first_read",
+    "first_write",
+    "conflict_check",
+    "wal_append",
+    "quorum_ack",
+    "visible",
+];
+
+/// How a traced transaction ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// Still running (a span that was never finished).
+    InFlight,
+    /// Committed with writes.
+    Committed,
+    /// Committed without writes (no conflict check or WAL work needed).
+    ReadOnly,
+    /// Aborted — by the conflict check, `T_max` eviction, or the client.
+    Aborted,
+}
+
+impl SpanOutcome {
+    fn as_str(self) -> &'static str {
+        match self {
+            SpanOutcome::InFlight => "in_flight",
+            SpanOutcome::Committed => "committed",
+            SpanOutcome::ReadOnly => "read_only",
+            SpanOutcome::Aborted => "aborted",
+        }
+    }
+}
+
+/// One sampled transaction's lifecycle: a microsecond stamp per phase.
+///
+/// Stamps are absolute times on the owning store's clock (microseconds since
+/// store open); per-phase durations are differences between consecutive
+/// stamped phases. A phase a transaction never reached stays unstamped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnSpan {
+    /// The transaction's start timestamp (its snapshot identity).
+    pub txn_id: u64,
+    /// Commit timestamp, once assigned.
+    pub commit_ts: Option<u64>,
+    /// How the transaction ended.
+    pub outcome: SpanOutcome,
+    stamps: [Option<u64>; PHASE_COUNT],
+}
+
+impl TxnSpan {
+    /// Creates a span for `txn_id` with no phases stamped.
+    pub fn new(txn_id: u64) -> Self {
+        TxnSpan {
+            txn_id,
+            commit_ts: None,
+            outcome: SpanOutcome::InFlight,
+            stamps: [None; PHASE_COUNT],
+        }
+    }
+
+    /// Stamps `phase` at `now_us` if it has not been stamped yet (first
+    /// stamp wins, so "first read" really is the first).
+    #[inline]
+    pub fn stamp(&mut self, phase: TxnPhase, now_us: u64) {
+        let slot = &mut self.stamps[phase as usize];
+        if slot.is_none() {
+            *slot = Some(now_us);
+        }
+    }
+
+    /// The stamp for `phase`, if the transaction reached it.
+    pub fn phase_us(&self, phase: TxnPhase) -> Option<u64> {
+        self.stamps[phase as usize]
+    }
+
+    /// Microseconds from the begin stamp to the latest stamped phase.
+    pub fn total_us(&self) -> u64 {
+        let begin = self.stamps[TxnPhase::Begin as usize].unwrap_or(0);
+        let last = self.stamps.iter().flatten().max().copied().unwrap_or(begin);
+        last.saturating_sub(begin)
+    }
+
+    fn render_json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"txn_id\": {}, \"commit_ts\": {}, \"outcome\": \"{}\", \"total_us\": {}, \
+             \"phases\": {{",
+            self.txn_id,
+            self.commit_ts
+                .map(|ts| ts.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+            self.outcome.as_str(),
+            self.total_us(),
+        ));
+        let mut first = true;
+        for (i, stamp) in self.stamps.iter().enumerate() {
+            if let Some(us) = stamp {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(&format!("\"{}\": {us}", PHASE_NAMES[i]));
+            }
+        }
+        out.push_str("}}");
+    }
+}
+
+struct RecorderInner {
+    sample_every: u64,
+    ticket: AtomicU64,
+    ring: Mutex<VecDeque<TxnSpan>>,
+    capacity: usize,
+}
+
+/// Hands out [`TxnSpan`]s for 1-in-N transactions and retains the most
+/// recent finished spans.
+///
+/// The skip path (the other N−1 transactions) is a single relaxed
+/// `fetch_add`; only sampled transactions ever touch the ring lock, and only
+/// twice (once when finished). Cloning shares the recorder.
+#[derive(Clone)]
+pub struct SpanRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl SpanRecorder {
+    /// Creates a recorder sampling one in `sample_every` transactions
+    /// (`sample_every = 1` traces everything, `0` is treated as `1`) and
+    /// keeping the latest `capacity` finished spans.
+    pub fn new(sample_every: u64, capacity: usize) -> Self {
+        SpanRecorder {
+            inner: Arc::new(RecorderInner {
+                sample_every: sample_every.max(1),
+                ticket: AtomicU64::new(0),
+                ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// Returns a span for this transaction if it falls on the sampling
+    /// grid, stamped with [`TxnPhase::Begin`] at `now_us`.
+    #[inline]
+    pub fn try_sample(&self, txn_id: u64, now_us: u64) -> Option<TxnSpan> {
+        let ticket = self.inner.ticket.fetch_add(1, Ordering::Relaxed);
+        if !ticket.is_multiple_of(self.inner.sample_every) {
+            return None;
+        }
+        let mut span = TxnSpan::new(txn_id);
+        span.stamp(TxnPhase::Begin, now_us);
+        Some(span)
+    }
+
+    /// Files a finished span into the ring, evicting the oldest at capacity.
+    pub fn finish(&self, span: TxnSpan) {
+        let mut ring = self.inner.ring.lock();
+        if ring.len() == self.inner.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(span);
+    }
+
+    /// The retained spans, oldest first.
+    pub fn traces(&self) -> Vec<TxnSpan> {
+        self.inner.ring.lock().iter().cloned().collect()
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.inner.ring.lock().len()
+    }
+
+    /// Whether no spans have been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the retained spans as a JSON array (oldest first), one
+    /// object per span with its stamped phases.
+    pub fn dump_json(&self) -> String {
+        let ring = self.inner.ring.lock();
+        let mut out = String::from("[");
+        for (i, span) in ring.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+            span.render_json(&mut out);
+        }
+        if !ring.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+impl std::fmt::Debug for SpanRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRecorder")
+            .field("sample_every", &self.inner.sample_every)
+            .field("retained", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_one_in_n() {
+        let rec = SpanRecorder::new(4, 16);
+        let sampled = (0..16).filter(|&i| rec.try_sample(i, 0).is_some()).count();
+        assert_eq!(sampled, 4);
+    }
+
+    #[test]
+    fn first_stamp_wins() {
+        let mut span = TxnSpan::new(7);
+        span.stamp(TxnPhase::FirstRead, 10);
+        span.stamp(TxnPhase::FirstRead, 99);
+        assert_eq!(span.phase_us(TxnPhase::FirstRead), Some(10));
+    }
+
+    #[test]
+    fn total_spans_begin_to_last_phase() {
+        let mut span = TxnSpan::new(1);
+        span.stamp(TxnPhase::Begin, 100);
+        span.stamp(TxnPhase::ConflictCheck, 140);
+        span.stamp(TxnPhase::Visible, 190);
+        assert_eq!(span.total_us(), 90);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let rec = SpanRecorder::new(1, 2);
+        for id in 0..3 {
+            rec.finish(TxnSpan::new(id));
+        }
+        let ids: Vec<u64> = rec.traces().iter().map(|s| s.txn_id).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn dump_json_lists_phases_and_outcome() {
+        let rec = SpanRecorder::new(1, 4);
+        let mut span = rec.try_sample(42, 1000).unwrap();
+        span.stamp(TxnPhase::ConflictCheck, 1040);
+        span.commit_ts = Some(43);
+        span.outcome = SpanOutcome::Committed;
+        rec.finish(span);
+        let json = rec.dump_json();
+        assert!(json.contains("\"txn_id\": 42"));
+        assert!(json.contains("\"conflict_check\": 1040"));
+        assert!(json.contains("\"outcome\": \"committed\""));
+        assert!(json.contains("\"commit_ts\": 43"));
+    }
+}

@@ -1,16 +1,19 @@
 //! Measurement: latency distributions, throughput, and figure series.
 
+use wsi_obs::{ExactHistogram, HistogramSnapshot};
+
 use crate::time::SimTime;
 
 /// An exact latency distribution (samples kept in full).
 ///
 /// Simulation runs produce at most a few hundred thousand transactions, so
 /// exact storage (8 bytes/sample) is cheaper than the complexity of a
-/// sketch, and percentiles are exact.
+/// sketch, and percentiles are exact. Backed by [`wsi_obs::ExactHistogram`]
+/// so the simulator and the live store share one percentile definition
+/// (nearest rank) and one exposition pipeline.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyStats {
-    samples_us: Vec<u64>,
-    sorted: bool,
+    samples_us: ExactHistogram,
 }
 
 impl LatencyStats {
@@ -21,38 +24,29 @@ impl LatencyStats {
 
     /// Records one latency sample.
     pub fn record(&mut self, latency: SimTime) {
-        self.samples_us.push(latency.as_us());
-        self.sorted = false;
+        self.samples_us.record(latency.as_us());
     }
 
     /// Number of samples.
     pub fn count(&self) -> usize {
-        self.samples_us.len()
+        self.samples_us.count()
     }
 
     /// Mean latency in milliseconds (0 when empty).
     pub fn mean_ms(&self) -> f64 {
-        if self.samples_us.is_empty() {
-            return 0.0;
-        }
-        let sum: u128 = self.samples_us.iter().map(|&v| v as u128).sum();
-        sum as f64 / self.samples_us.len() as f64 / 1_000.0
+        self.samples_us.mean() / 1_000.0
     }
 
     /// Exact percentile (`0.0 ..= 1.0`) in milliseconds, by the
     /// nearest-rank method (0 when empty).
     pub fn percentile_ms(&mut self, p: f64) -> f64 {
-        if self.samples_us.is_empty() {
-            return 0.0;
-        }
-        if !self.sorted {
-            self.samples_us.sort_unstable();
-            self.sorted = true;
-        }
-        let p = p.clamp(0.0, 1.0);
-        let rank =
-            ((p * self.samples_us.len() as f64).ceil() as usize).clamp(1, self.samples_us.len());
-        self.samples_us[rank - 1] as f64 / 1_000.0
+        self.samples_us.percentile(p) as f64 / 1_000.0
+    }
+
+    /// Folds the samples into a bucketed [`HistogramSnapshot`] for the
+    /// shared `wsi-obs` exposition formats (Prometheus text, JSON).
+    pub fn to_snapshot(&self) -> HistogramSnapshot {
+        self.samples_us.to_snapshot()
     }
 
     /// Median in milliseconds.
@@ -67,7 +61,7 @@ impl LatencyStats {
 
     /// Maximum in milliseconds (0 when empty).
     pub fn max_ms(&self) -> f64 {
-        self.samples_us.iter().copied().max().unwrap_or(0) as f64 / 1_000.0
+        self.samples_us.max() as f64 / 1_000.0
     }
 }
 
@@ -180,6 +174,18 @@ mod tests {
         let _ = l.p50_ms();
         l.record(SimTime::from_ms(1));
         assert!((l.percentile_ms(0.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_bridge_preserves_count_and_extremes() {
+        let mut l = LatencyStats::new();
+        for v in [5, 1, 3, 2, 4] {
+            l.record(SimTime::from_ms(v));
+        }
+        let snap = l.to_snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.min, 1_000);
+        assert_eq!(snap.max, 5_000);
     }
 
     #[test]

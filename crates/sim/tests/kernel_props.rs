@@ -67,7 +67,7 @@ proptest! {
     ) {
         let mut z = Zipfian::new(items);
         let mut rng = SimRng::new(seed);
-        let mut counts = vec![0u32; 3];
+        let mut counts = [0u32; 3];
         for _ in 0..3_000 {
             let v = z.next(&mut rng);
             prop_assert!(v < items);

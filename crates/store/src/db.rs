@@ -20,22 +20,23 @@
 //!   registry shard.
 
 use std::collections::{BTreeMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 use wsi_core::{
-    hash_row_key, CommitRequest, IsolationLevel, OracleStats, RowId, SharedTimestampSource,
-    StatusOracleCore, Timestamp,
+    hash_row_key, CommitRequest, IsolationLevel, OracleCounters, OracleStats, RowId,
+    SharedTimestampSource, StatusOracleCore, Timestamp,
 };
-use wsi_wal::{Ledger, LedgerConfig, LedgerStats};
+use wsi_obs::{SpanOutcome, TxnPhase, TxnSpan};
+use wsi_wal::{Ledger, LedgerConfig, LedgerObs, LedgerStats};
 
 use crate::{
     commit_index::CommitIndex,
     error::{Error, Result},
     mvcc::{GcStats, MvccStore},
+    obs::StoreObs,
     pipeline::{CommitPipeline, PublishCtx},
     record::{self, StoreRecord},
     registry::ActiveTxnRegistry,
@@ -91,6 +92,11 @@ pub struct DbOptions {
     pub last_commit_capacity: Option<usize>,
     /// WAL replication/batching shape (ignored under [`Durability::None`]).
     pub wal: LedgerConfig,
+    /// Whether to attach the observability layer (metric registry, latency
+    /// histograms, sampled lifecycle spans). On by default; turning it off
+    /// removes every histogram record and span sample from the hot path,
+    /// leaving only the plain activity counters that back [`Db::stats`].
+    pub obs: bool,
 }
 
 impl DbOptions {
@@ -102,7 +108,16 @@ impl DbOptions {
             durability: Durability::None,
             last_commit_capacity: None,
             wal: LedgerConfig::local_sync(),
+            obs: true,
         }
+    }
+
+    /// Enables or disables the observability layer (see
+    /// [`DbOptions::obs`]).
+    #[must_use]
+    pub fn with_obs(mut self, enabled: bool) -> Self {
+        self.obs = enabled;
+        self
     }
 
     /// Enables synchronous durability with the given ledger shape.
@@ -145,6 +160,11 @@ pub struct DbStats {
     pub keys: usize,
     /// Total stored versions.
     pub versions: usize,
+    /// WAL write-path counters; all zero when `wal_enabled` is `false`.
+    pub wal: LedgerStats,
+    /// Whether a WAL is attached ([`Durability::Batched`] or
+    /// [`Durability::Sync`]).
+    pub wal_enabled: bool,
 }
 
 pub(crate) struct DbInner {
@@ -158,16 +178,21 @@ pub(crate) struct DbInner {
     pub(crate) registry: ActiveTxnRegistry,
     /// Present whenever the database has a WAL.
     pub(crate) pipeline: Option<CommitPipeline>,
-    /// Lock-free activity counters for paths that no longer visit the
-    /// oracle; folded into [`DbStats`] by [`Db::stats`].
-    pub(crate) begins: AtomicU64,
-    pub(crate) ro_commits: AtomicU64,
-    pub(crate) client_aborts: AtomicU64,
+    /// Shared handle onto the oracle's lock-free counters. Paths that no
+    /// longer visit the oracle (begins, read-only commits, rollbacks) bump
+    /// these directly, and [`Db::stats`] reads them without taking the
+    /// manager's mutex.
+    pub(crate) counters: OracleCounters,
+    /// WAL observability handles (present iff `pipeline` is).
+    pub(crate) wal_obs: Option<LedgerObs>,
+    /// Metric registry + histograms + span recorder; `None` when opened
+    /// with [`DbOptions::with_obs`]`(false)`.
+    pub(crate) obs: Option<Arc<StoreObs>>,
     epoch: Instant,
 }
 
 impl DbInner {
-    fn now_us(&self) -> u64 {
+    pub(crate) fn now_us(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
     }
 
@@ -216,11 +241,27 @@ impl Db {
             Some(cap) => StatusOracleCore::bounded_shared(options.isolation, cap, Arc::clone(&ts)),
             None => StatusOracleCore::unbounded_shared(options.isolation, Arc::clone(&ts)),
         };
-        let pipeline = match options.durability {
-            Durability::None => None,
-            Durability::Batched => Some(CommitPipeline::new(false, Ledger::open(options.wal))),
-            Durability::Sync => Some(CommitPipeline::new(true, Ledger::open(options.wal))),
+        let counters = oracle.counters();
+        let obs = options.obs.then(|| Arc::new(StoreObs::new()));
+        let (pipeline, wal_obs) = match options.durability {
+            Durability::None => (None, None),
+            Durability::Batched | Durability::Sync => {
+                let wal_obs = LedgerObs::default();
+                let mut ledger = Ledger::open(options.wal);
+                ledger.attach_obs(wal_obs.clone());
+                let sync = options.durability == Durability::Sync;
+                (
+                    Some(CommitPipeline::new(sync, ledger, obs.clone())),
+                    Some(wal_obs),
+                )
+            }
         };
+        if let Some(obs) = &obs {
+            counters.register_in(&obs.registry);
+            if let Some(wal_obs) = &wal_obs {
+                wal_obs.register_in(&obs.registry);
+            }
+        }
         Db {
             inner: Arc::new(DbInner {
                 options,
@@ -228,11 +269,13 @@ impl Db {
                 index: CommitIndex::new(),
                 manager: Mutex::new(Manager { oracle }),
                 ts,
-                registry: ActiveTxnRegistry::new(),
+                registry: ActiveTxnRegistry::new(
+                    obs.as_ref().map(|o| o.registry_contention.clone()),
+                ),
                 pipeline,
-                begins: AtomicU64::new(0),
-                ro_commits: AtomicU64::new(0),
-                client_aborts: AtomicU64::new(0),
+                counters,
+                wal_obs,
+                obs,
                 epoch: Instant::now(),
             }),
         }
@@ -299,6 +342,11 @@ impl Db {
             }
         }
         if let Some(pipeline) = &db.inner.pipeline {
+            let mut ledger = ledger;
+            if let Some(wal_obs) = &db.inner.wal_obs {
+                // Counters resync to the recovered ledger's cumulative stats.
+                ledger.attach_obs(wal_obs.clone());
+            }
             pipeline.replace_ledger(ledger);
         }
         Ok(db)
@@ -307,7 +355,12 @@ impl Db {
     /// Begins a transaction reading from the current snapshot.
     pub fn begin(&self) -> Transaction {
         let (start_ts, shard) = self.begin_ts();
-        Transaction::new(Arc::clone(&self.inner), start_ts, shard)
+        let span = self
+            .inner
+            .obs
+            .as_ref()
+            .and_then(|obs| obs.spans.try_sample(start_ts.raw(), self.inner.now_us()));
+        Transaction::new(Arc::clone(&self.inner), start_ts, shard, span)
     }
 
     /// Takes a read-only [`Snapshot`] of the current state: shared-reference
@@ -323,7 +376,7 @@ impl Db {
     /// while a sync commit is decided-but-unpublished — the pipeline's
     /// snapshot-stability gate.
     fn begin_ts(&self) -> (Timestamp, usize) {
-        self.inner.begins.fetch_add(1, Ordering::Relaxed);
+        self.inner.counters.begins.inc();
         let (start_ts, shard) = self.inner.registry.register(&self.inner.ts);
         if let Some(pipeline) = &self.inner.pipeline {
             if let Some(upto) = self.inner.ts.reserve(TS_RESERVE_BATCH) {
@@ -408,14 +461,22 @@ impl Db {
         shard: usize,
         read_rows: Vec<RowId>,
         writes: BTreeMap<Bytes, Option<Bytes>>,
+        began_us: u64,
+        mut span: Option<TxnSpan>,
     ) -> Result<Timestamp> {
+        let obs = self.inner.obs.as_deref();
         if writes.is_empty() {
             // Read-only fast path (§5.1): no conflict check, no WAL record,
             // no commit-table entry, no lock; never aborts. Equivalent to a
             // transaction shifted to its start point (Figure 3), hence the
             // start timestamp as commit timestamp.
-            self.inner.ro_commits.fetch_add(1, Ordering::Relaxed);
+            self.inner.counters.read_only_commits.inc();
             self.inner.registry.deregister(start_ts, shard);
+            if let (Some(obs), Some(mut span)) = (obs, span.take()) {
+                span.outcome = SpanOutcome::ReadOnly;
+                span.stamp(TxnPhase::Visible, self.inner.now_us());
+                obs.spans.finish(span);
+            }
             return Ok(start_ts);
         }
 
@@ -436,6 +497,10 @@ impl Db {
 
         // The manager's critical section: conflict check + commit-timestamp
         // assignment + oracle bookkeeping. No WAL I/O in here.
+        if let Some(span) = &mut span {
+            span.stamp(TxnPhase::ConflictCheck, now_us);
+        }
+        let check_began_us = self.inner.now_us();
         let decision: Result<Timestamp> = {
             let mut m = self.inner.manager.lock();
             match m.oracle.check(&req) {
@@ -477,7 +542,17 @@ impl Db {
             }
         };
 
-        match decision {
+        if let Some(obs) = obs {
+            obs.conflict_check_us
+                .record(self.inner.now_us().saturating_sub(check_began_us));
+        }
+        if let Some(span) = &mut span {
+            if decision.is_ok() && self.inner.pipeline.is_some() {
+                span.stamp(TxnPhase::WalAppend, self.inner.now_us());
+            }
+        }
+
+        let result = match decision {
             Err(e) => {
                 // Roll back the invisible versions outside the critical
                 // section.
@@ -497,9 +572,17 @@ impl Db {
                     .pipeline
                     .as_ref()
                     .expect("sync mode has a pipeline");
+                let wait_began_us = self.inner.now_us();
                 let outcome = pipeline.sync_commit(commit_ts, &self.inner.publish_ctx(), now_us);
+                if let Some(obs) = obs {
+                    obs.wal_wait_us
+                        .record(self.inner.now_us().saturating_sub(wait_began_us));
+                }
                 match outcome {
                     Ok(()) => {
+                        if let Some(span) = &mut span {
+                            span.stamp(TxnPhase::QuorumAck, self.inner.now_us());
+                        }
                         self.inner.registry.deregister(start_ts, shard);
                         Ok(commit_ts)
                     }
@@ -530,7 +613,27 @@ impl Db {
                 }
                 Ok(commit_ts)
             }
+        };
+
+        let end_us = self.inner.now_us();
+        if let Some(obs) = obs {
+            if result.is_ok() {
+                obs.commit_us.record(end_us.saturating_sub(now_us));
+                obs.txn_us.record(end_us.saturating_sub(began_us));
+            }
+            if let Some(mut span) = span {
+                match &result {
+                    Ok(commit_ts) => {
+                        span.outcome = SpanOutcome::Committed;
+                        span.commit_ts = Some(commit_ts.raw());
+                        span.stamp(TxnPhase::Visible, end_us);
+                    }
+                    Err(_) => span.outcome = SpanOutcome::Aborted,
+                }
+                obs.spans.finish(span);
+            }
         }
+        result
     }
 
     /// Rolls back an unfinished transaction. Called by
@@ -540,10 +643,14 @@ impl Db {
     /// but skips the oracle — a rolled-back transaction never contributed
     /// `lastCommit` state, so the conflict checker has nothing to learn
     /// from it.
-    pub(crate) fn rollback_txn(&self, start_ts: Timestamp, shard: usize) {
-        self.inner.client_aborts.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn rollback_txn(&self, start_ts: Timestamp, shard: usize, span: Option<TxnSpan>) {
+        self.inner.counters.client_aborts.inc();
         self.inner.index.record_abort(start_ts);
         self.inner.registry.deregister(start_ts, shard);
+        if let (Some(obs), Some(mut span)) = (self.inner.obs.as_deref(), span) {
+            span.outcome = SpanOutcome::Aborted;
+            obs.spans.finish(span);
+        }
         // Buffered writes never touched the store before commit, so there is
         // nothing to remove from the version chains.
     }
@@ -618,22 +725,65 @@ impl Db {
         let watermark = self.inner.registry.watermark(&self.inner.ts);
         let stats = self.inner.mvcc.gc(watermark, &self.inner.index);
         self.inner.index.prune_below(watermark);
+        if let Some(obs) = &self.inner.obs {
+            obs.gc_runs.inc();
+            obs.gc_versions_removed
+                .add(stats.versions_dropped + stats.aborted_removed);
+        }
         stats
     }
 
     /// Aggregate statistics.
+    ///
+    /// Lock-free: reads the oracle's shared counters and the WAL's
+    /// observability counters directly, without acquiring the manager's
+    /// mutex — safe to poll from a monitoring thread at any frequency
+    /// without perturbing committers.
     pub fn stats(&self) -> DbStats {
-        let mut oracle = self.inner.manager.lock().oracle.stats();
-        // Fold in the paths that no longer visit the oracle.
-        oracle.begins += self.inner.begins.load(Ordering::Relaxed);
-        oracle.read_only_commits += self.inner.ro_commits.load(Ordering::Relaxed);
-        oracle.client_aborts += self.inner.client_aborts.load(Ordering::Relaxed);
+        let wal = match &self.inner.wal_obs {
+            Some(obs) => LedgerStats {
+                records: obs.records.get(),
+                flushes: obs.flushes.get(),
+                payload_bytes: obs.payload_bytes.get(),
+            },
+            None => LedgerStats::default(),
+        };
         DbStats {
-            oracle,
+            oracle: self.inner.counters.view(),
             active_transactions: self.inner.registry.count(),
             keys: self.inner.mvcc.key_count(),
             versions: self.inner.mvcc.version_count(),
+            wal,
+            wal_enabled: self.inner.pipeline.is_some(),
         }
+    }
+
+    /// The store's metric registry, or `None` when observability is
+    /// disabled. Series from every layer — `oracle_*`, `wal_*`, `store_*` —
+    /// are registered here.
+    pub fn obs_registry(&self) -> Option<&wsi_obs::Registry> {
+        self.inner.obs.as_ref().map(|obs| &obs.registry)
+    }
+
+    /// A point-in-time snapshot of every registered metric, or `None` when
+    /// observability is disabled.
+    pub fn obs_snapshot(&self) -> Option<wsi_obs::Snapshot> {
+        self.inner.obs.as_ref().map(|obs| obs.registry.snapshot())
+    }
+
+    /// Renders every registered metric in Prometheus text exposition
+    /// format, or `None` when observability is disabled.
+    pub fn render_prometheus(&self) -> Option<String> {
+        self.inner
+            .obs
+            .as_ref()
+            .map(|obs| wsi_obs::render_prometheus(&obs.registry))
+    }
+
+    /// Dumps the sampled transaction-lifecycle spans as a JSON array, or
+    /// `None` when observability is disabled.
+    pub fn traces_json(&self) -> Option<String> {
+        self.inner.obs.as_ref().map(|obs| obs.spans.dump_json())
     }
 }
 

@@ -52,6 +52,7 @@ mod commit_index;
 mod db;
 mod error;
 mod mvcc;
+mod obs;
 pub mod percolator;
 mod pipeline;
 mod record;
@@ -64,6 +65,6 @@ pub use commit_index::CommitIndex;
 pub use db::{Db, DbOptions, DbStats, Durability};
 pub use error::{Error, Result};
 pub use mvcc::{GcStats, MvccStore, SnapshotRead, VersionResolver};
-pub use record::StoreRecord;
+pub use record::{decode as decode_record, encode as encode_record, StoreRecord};
 pub use snapshot::Snapshot;
 pub use txn::Transaction;

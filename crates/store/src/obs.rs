@@ -1,0 +1,93 @@
+//! Store-level observability: the metric registry and span recorder shared
+//! by every layer of an embedded [`crate::Db`].
+//!
+//! One [`StoreObs`] is created per database (unless disabled via
+//! [`crate::DbOptions::with_obs`]) and holds:
+//!
+//! * a [`wsi_obs::Registry`] into which the store registers its own series
+//!   plus the oracle's [`wsi_core::OracleCounters`] and the WAL's
+//!   [`wsi_wal::LedgerObs`], so one exposition call covers the whole stack;
+//! * per-phase latency histograms for the transaction lifecycle
+//!   (conflict check → WAL wait → visible);
+//! * a sampled [`wsi_obs::SpanRecorder`] that captures 1-in-N transaction
+//!   lifecycles as timestamped spans for JSON trace dumps.
+//!
+//! Everything here is lock-free on the hot path: counters and histograms
+//! are sharded relaxed atomics, and span sampling is a single
+//! `fetch_add` for unsampled transactions.
+
+use wsi_obs::{Counter, Histogram, Registry, SpanRecorder};
+
+/// Sample 1 in this many transactions into the span recorder.
+const SPAN_SAMPLE_EVERY: u64 = 64;
+
+/// Retain at most this many finished spans (ring buffer, oldest evicted).
+const SPAN_CAPACITY: usize = 1024;
+
+/// Shared observability state of one database.
+#[derive(Debug)]
+pub(crate) struct StoreObs {
+    /// The store's metric registry; see [`crate::Db::obs_registry`].
+    pub(crate) registry: Registry,
+    /// Sampled transaction-lifecycle spans.
+    pub(crate) spans: SpanRecorder,
+    /// Wall-clock latency of the whole commit call for committed write
+    /// transactions, begin → visible, in microseconds.
+    pub(crate) txn_us: Histogram,
+    /// Time spent inside the manager's critical section (conflict check +
+    /// commit-timestamp assignment + oracle bookkeeping).
+    pub(crate) conflict_check_us: Histogram,
+    /// Sync-mode wait for the group-commit outcome (WAL append + quorum
+    /// ack), measured from decide to resolution.
+    pub(crate) wal_wait_us: Histogram,
+    /// Wall-clock latency of `commit_txn` for committed write transactions.
+    pub(crate) commit_us: Histogram,
+    /// GC sweeps performed.
+    pub(crate) gc_runs: Counter,
+    /// Versions reclaimed by GC.
+    pub(crate) gc_versions_removed: Counter,
+    /// Group-commit flush rounds led by some committer.
+    pub(crate) leader_rounds: Counter,
+    /// Sync commits resolved by another thread's flush round (the waiter
+    /// never took the ledger — the group-commit win).
+    pub(crate) follower_commits: Counter,
+    /// Commits persisted per sync flush round.
+    pub(crate) sync_group_size: Histogram,
+    /// Active-transaction registry shard acquisitions that found the shard
+    /// lock already held (begin-path contention).
+    pub(crate) registry_contention: Counter,
+}
+
+impl StoreObs {
+    pub(crate) fn new() -> Self {
+        let obs = StoreObs {
+            registry: Registry::new(),
+            spans: SpanRecorder::new(SPAN_SAMPLE_EVERY, SPAN_CAPACITY),
+            txn_us: Histogram::new(),
+            conflict_check_us: Histogram::new(),
+            wal_wait_us: Histogram::new(),
+            commit_us: Histogram::new(),
+            gc_runs: Counter::new(),
+            gc_versions_removed: Counter::new(),
+            leader_rounds: Counter::new(),
+            follower_commits: Counter::new(),
+            sync_group_size: Histogram::new(),
+            registry_contention: Counter::new(),
+        };
+        let r = &obs.registry;
+        r.register_histogram("store_txn_us", &obs.txn_us);
+        r.register_histogram("store_conflict_check_us", &obs.conflict_check_us);
+        r.register_histogram("store_wal_wait_us", &obs.wal_wait_us);
+        r.register_histogram("store_commit_us", &obs.commit_us);
+        r.register_counter("store_gc_runs_total", &obs.gc_runs);
+        r.register_counter("store_gc_versions_removed_total", &obs.gc_versions_removed);
+        r.register_counter("store_leader_rounds_total", &obs.leader_rounds);
+        r.register_counter("store_follower_commits_total", &obs.follower_commits);
+        r.register_histogram("store_sync_group_size", &obs.sync_group_size);
+        r.register_counter(
+            "store_registry_shard_contention_total",
+            &obs.registry_contention,
+        );
+        obs
+    }
+}

@@ -36,6 +36,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 use wsi_core::{SharedTimestampSource, Timestamp};
@@ -44,6 +45,7 @@ use wsi_wal::{Ledger, LedgerStats, WalError};
 use crate::commit_index::CommitIndex;
 use crate::db::{Manager, WriteBatch};
 use crate::mvcc::MvccStore;
+use crate::obs::StoreObs;
 use crate::record;
 
 /// Shared references a leader needs to publish (or overturn) commit
@@ -104,10 +106,13 @@ pub(crate) struct CommitPipeline {
     /// issues start `S` and then loads `0` is guaranteed no unresolved
     /// commit with `commit_ts < S` exists.
     sync_pending: AtomicU64,
+    /// Leader/follower and group-size metrics; `None` when observability is
+    /// disabled.
+    obs: Option<Arc<StoreObs>>,
 }
 
 impl CommitPipeline {
-    pub(crate) fn new(sync: bool, ledger: Ledger) -> Self {
+    pub(crate) fn new(sync: bool, ledger: Ledger, obs: Option<Arc<StoreObs>>) -> Self {
         CommitPipeline {
             sync,
             inner: Mutex::new(PipeInner {
@@ -120,6 +125,7 @@ impl CommitPipeline {
             }),
             cv: Condvar::new(),
             sync_pending: AtomicU64::new(0),
+            obs,
         }
     }
 
@@ -210,11 +216,20 @@ impl CommitPipeline {
         ctx: &PublishCtx<'_>,
         now_us: u64,
     ) -> Result<(), WalError> {
+        let mut led = false;
         loop {
             let work = {
                 let mut inner = self.inner.lock();
                 loop {
                     if let Some(outcome) = inner.outcomes.remove(&commit_ts.raw()) {
+                        if !led {
+                            // Our commit rode another thread's flush round —
+                            // the group-commit win the paper's batching
+                            // factor measures.
+                            if let Some(obs) = &self.obs {
+                                obs.follower_commits.inc();
+                            }
+                        }
                         return outcome.map_or(Ok(()), Err);
                     }
                     if inner.ledger.is_some() && inner.inflight.is_empty() {
@@ -223,6 +238,7 @@ impl CommitPipeline {
                     self.cv.wait(&mut inner);
                 }
             };
+            led = true;
             self.sync_flush_round(work, ctx, now_us);
             // Loop to pick up our own outcome (this round resolved it).
         }
@@ -342,6 +358,10 @@ impl CommitPipeline {
             aborts,
             reservations,
         } = work;
+        if let Some(obs) = &self.obs {
+            obs.leader_rounds.inc();
+            obs.sync_group_size.record(commits.len() as u64);
+        }
         for upto in reservations {
             ledger.append(record::encode_ts_reserve(upto), now_us);
         }

@@ -29,13 +29,17 @@ pub(crate) const SHARDS: usize = 16;
 pub(crate) struct ActiveTxnRegistry {
     shards: Vec<Mutex<BTreeSet<u64>>>,
     next_shard: AtomicUsize,
+    /// Counts `register` calls that found their shard lock held (begin-path
+    /// contention); `None` when observability is disabled.
+    contention: Option<wsi_obs::Counter>,
 }
 
 impl ActiveTxnRegistry {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(contention: Option<wsi_obs::Counter>) -> Self {
         ActiveTxnRegistry {
             shards: (0..SHARDS).map(|_| Mutex::new(BTreeSet::new())).collect(),
             next_shard: AtomicUsize::new(0),
+            contention,
         }
     }
 
@@ -49,7 +53,15 @@ impl ActiveTxnRegistry {
     /// set.
     pub(crate) fn register(&self, ts: &SharedTimestampSource) -> (Timestamp, usize) {
         let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % SHARDS;
-        let mut set = self.shards[shard].lock();
+        let mut set = match self.shards[shard].try_lock() {
+            Some(guard) => guard,
+            None => {
+                if let Some(contention) = &self.contention {
+                    contention.inc();
+                }
+                self.shards[shard].lock()
+            }
+        };
         let start_ts = ts.next();
         set.insert(start_ts.raw());
         (start_ts, shard)
@@ -93,7 +105,7 @@ mod tests {
     #[test]
     fn register_deregister_roundtrip() {
         let ts = SharedTimestampSource::new();
-        let reg = ActiveTxnRegistry::new();
+        let reg = ActiveTxnRegistry::new(None);
         let (a, sa) = reg.register(&ts);
         let (b, sb) = reg.register(&ts);
         assert!(b > a, "timestamps stay strictly monotonic");
@@ -109,7 +121,7 @@ mod tests {
     #[test]
     fn watermark_is_min_across_shards() {
         let ts = SharedTimestampSource::new();
-        let reg = ActiveTxnRegistry::new();
+        let reg = ActiveTxnRegistry::new(None);
         // More registrations than shards, so every shard holds something.
         let handles: Vec<_> = (0..3 * SHARDS).map(|_| reg.register(&ts)).collect();
         let min = handles.iter().map(|(t, _)| *t).min().unwrap();
@@ -122,7 +134,7 @@ mod tests {
     #[test]
     fn concurrent_begins_never_lower_an_observed_watermark() {
         let ts = Arc::new(SharedTimestampSource::new());
-        let reg = Arc::new(ActiveTxnRegistry::new());
+        let reg = Arc::new(ActiveTxnRegistry::new(None));
         let workers: Vec<_> = (0..4)
             .map(|_| {
                 let ts = Arc::clone(&ts);

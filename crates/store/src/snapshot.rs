@@ -80,9 +80,7 @@ impl Drop for Snapshot {
             self.released = true;
             // Equivalent to a read-only commit (§5.1): free, never aborts,
             // and — like `begin` — touches no lock beyond its registry shard.
-            self.db
-                .ro_commits
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.db.counters.read_only_commits.inc();
             self.db.registry.deregister(self.start_ts, self.shard);
         }
     }

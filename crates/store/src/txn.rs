@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use wsi_core::{hash_row_key, RowId, Timestamp};
+use wsi_obs::{TxnPhase, TxnSpan};
 
 use crate::{
     db::DbInner,
@@ -34,10 +35,22 @@ pub struct Transaction {
     writes: BTreeMap<Bytes, Option<Bytes>>,
     read_rows: HashSet<RowId>,
     finished: bool,
+    /// When the transaction began, in the database's monotonic microsecond
+    /// clock; feeds the begin-to-visible latency histogram.
+    began_us: u64,
+    /// Lifecycle span, present for the 1-in-N transactions the recorder
+    /// sampled (and only when observability is enabled).
+    span: Option<TxnSpan>,
 }
 
 impl Transaction {
-    pub(crate) fn new(db: Arc<DbInner>, start_ts: Timestamp, shard: usize) -> Self {
+    pub(crate) fn new(
+        db: Arc<DbInner>,
+        start_ts: Timestamp,
+        shard: usize,
+        span: Option<TxnSpan>,
+    ) -> Self {
+        let began_us = db.now_us();
         Transaction {
             db,
             start_ts,
@@ -45,6 +58,17 @@ impl Transaction {
             writes: BTreeMap::new(),
             read_rows: HashSet::new(),
             finished: false,
+            began_us,
+            span,
+        }
+    }
+
+    /// Stamps a lifecycle phase on the sampled span, if any (first stamp
+    /// per phase wins, so calling this per operation is cheap and correct).
+    fn stamp(&mut self, phase: TxnPhase) {
+        if let Some(span) = &mut self.span {
+            let now = self.db.now_us();
+            span.stamp(phase, now);
         }
     }
 
@@ -69,6 +93,7 @@ impl Transaction {
         if let Some(buffered) = self.writes.get(key) {
             return buffered.clone();
         }
+        self.stamp(TxnPhase::FirstRead);
         self.read_rows.insert(hash_row_key(key));
         self.db
             .mvcc
@@ -78,6 +103,7 @@ impl Transaction {
 
     /// Buffers a write of `value` to `key`.
     pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.stamp(TxnPhase::FirstWrite);
         self.writes.insert(
             Bytes::copy_from_slice(key),
             Some(Bytes::copy_from_slice(value)),
@@ -86,6 +112,7 @@ impl Transaction {
 
     /// Buffers a deletion of `key` (a tombstone version on commit).
     pub fn delete(&mut self, key: &[u8]) {
+        self.stamp(TxnPhase::FirstWrite);
         self.writes.insert(Bytes::copy_from_slice(key), None);
     }
 
@@ -100,6 +127,7 @@ impl Transaction {
     /// caveat as the paper's implementation; see `wsi-oracle`'s
     /// range-read-set extension for the coarse-grained alternative (§5.2).
     pub fn scan(&mut self, start: &[u8], end: Option<&[u8]>, limit: usize) -> Vec<(Bytes, Bytes)> {
+        self.stamp(TxnPhase::FirstRead);
         let stored = self
             .db
             .mvcc
@@ -156,10 +184,18 @@ impl Transaction {
         self.finished = true;
         let writes = std::mem::take(&mut self.writes);
         let read_rows: Vec<RowId> = self.read_rows.drain().collect();
+        let span = self.span.take();
         let db = crate::Db {
             inner: Arc::clone(&self.db),
         };
-        db.commit_txn(self.start_ts, self.shard, read_rows, writes)
+        db.commit_txn(
+            self.start_ts,
+            self.shard,
+            read_rows,
+            writes,
+            self.began_us,
+            span,
+        )
     }
 
     /// Rolls back the transaction, discarding buffered writes.
@@ -173,7 +209,7 @@ impl Transaction {
             let db = crate::Db {
                 inner: Arc::clone(&self.db),
             };
-            db.rollback_txn(self.start_ts, self.shard);
+            db.rollback_txn(self.start_ts, self.shard, self.span.take());
         }
     }
 

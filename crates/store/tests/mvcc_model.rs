@@ -116,7 +116,7 @@ proptest! {
 
         let snap = db.snapshot();
         for key in KEYS {
-            let expected = model.get(&key.to_vec()).cloned();
+            let expected = model.get(key).cloned();
             let actual = snap.get(key).map(|b| b.to_vec());
             prop_assert_eq!(
                 actual,

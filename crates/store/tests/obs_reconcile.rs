@@ -1,0 +1,135 @@
+//! Cross-layer metric reconciliation under a concurrent workload.
+//!
+//! The observability layer is only trustworthy if independent counters
+//! agree: every transaction that begins must end exactly once (commit,
+//! read-only commit, or abort), and every commit the oracle counts must
+//! have exactly one durable commit record in the WAL. This test drives a
+//! racy multi-threaded workload and checks both identities, plus that the
+//! registry exposition sees the same numbers as `Db::stats()`.
+
+use std::sync::Arc;
+use std::thread;
+
+use wsi_core::IsolationLevel;
+use wsi_store::{decode_record, Db, DbOptions, StoreRecord};
+use wsi_wal::LedgerConfig;
+
+const THREADS: usize = 8;
+const TXNS_PER_THREAD: usize = 150;
+const KEYS: u64 = 64;
+
+#[test]
+fn lifecycle_counters_reconcile_across_layers() {
+    let db = Arc::new(Db::open(
+        DbOptions::new(IsolationLevel::WriteSnapshot).durable(LedgerConfig::default_replicated()),
+    ));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            thread::spawn(move || {
+                for i in 0..TXNS_PER_THREAD {
+                    let k1 = ((t * TXNS_PER_THREAD + i) as u64 * 7) % KEYS;
+                    let k2 = (k1 + 13) % KEYS;
+                    match i % 5 {
+                        // Read-modify-write pairs that race on a small key
+                        // space: some commit, some hit rw-conflicts.
+                        0..=2 => {
+                            let mut txn = db.begin();
+                            let _ = txn.get(k1.to_be_bytes().as_slice());
+                            let _ = txn.get(k2.to_be_bytes().as_slice());
+                            txn.put(k1.to_be_bytes().as_slice(), b"v");
+                            let _ = txn.commit();
+                        }
+                        // Client-side rollbacks.
+                        3 => {
+                            let mut txn = db.begin();
+                            txn.put(k1.to_be_bytes().as_slice(), b"discard");
+                            txn.rollback();
+                        }
+                        // Read-only transactions (never conflict-checked).
+                        _ => {
+                            let mut txn = db.begin();
+                            let _ = txn.get(k1.to_be_bytes().as_slice());
+                            let _ = txn.commit();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    // A handful of snapshots: their drops count as read-only commits.
+    for _ in 0..3 {
+        let snap = db.snapshot();
+        drop(snap);
+    }
+
+    let stats = db.stats();
+    let oracle = stats.oracle;
+
+    // Identity 1: every begin ended exactly once.
+    assert_eq!(
+        oracle.begins,
+        (THREADS * TXNS_PER_THREAD) as u64 + 3,
+        "begins match the driven workload"
+    );
+    assert_eq!(
+        oracle.begins,
+        oracle.commits + oracle.read_only_commits + oracle.total_aborts(),
+        "begins == commits + read-only commits + aborts"
+    );
+    assert!(oracle.commits > 0, "some writers must have committed");
+    assert!(
+        oracle.client_aborts >= (THREADS * TXNS_PER_THREAD / 5) as u64,
+        "every rollback counted"
+    );
+
+    // Identity 2: oracle commits == durable WAL commit records, and
+    // per-reason aborts (minus pre-WAL client rollbacks, which never reach
+    // the pipeline) == WAL abort records.
+    db.flush_wal().expect("healthy quorum");
+    let ledger = db.wal_snapshot().expect("db is durable");
+    let mut wal_commits = 0u64;
+    let mut wal_aborts = 0u64;
+    for payload in ledger.recover() {
+        match decode_record(&payload).expect("ledger uncorrupted") {
+            StoreRecord::Commit { .. } => wal_commits += 1,
+            StoreRecord::Abort { .. } => wal_aborts += 1,
+            StoreRecord::TsReserve { .. } => {}
+        }
+    }
+    assert_eq!(oracle.commits, wal_commits, "every commit persisted once");
+    assert_eq!(
+        oracle.total_aborts() - oracle.client_aborts,
+        wal_aborts,
+        "every conflict abort persisted once"
+    );
+
+    // Identity 3: the exposition registry sees the same counters.
+    let snap = db.obs_snapshot().expect("obs enabled by default");
+    assert_eq!(
+        snap.counters.get("oracle_begins_total"),
+        Some(&oracle.begins)
+    );
+    assert_eq!(
+        snap.counters.get("oracle_commits_total"),
+        Some(&oracle.commits)
+    );
+    assert_eq!(
+        snap.counters.get("wal_records_total"),
+        Some(&stats.wal.records)
+    );
+    let txn_us = snap.histograms.get("store_txn_us").expect("txn histogram");
+    assert_eq!(
+        txn_us.count, oracle.commits,
+        "one end-to-end latency sample per committed write transaction"
+    );
+
+    // The Prometheus text round-trips losslessly.
+    let text = db.render_prometheus().unwrap();
+    let parsed = wsi_obs::Snapshot::parse_prometheus(&text).unwrap();
+    assert_eq!(parsed, snap);
+}

@@ -103,6 +103,43 @@ impl LedgerStats {
     }
 }
 
+/// Lock-free observability handles for a [`Ledger`].
+///
+/// Mirrors [`LedgerStats`] onto [`wsi_obs`] counters and adds the series
+/// that only make sense as live metrics: flush wall-clock latency, batch
+/// size distribution, and quorum losses. `Clone` shares the underlying
+/// atomics, so an embedder can keep a handle and read WAL metrics without
+/// reaching into the ledger (which usually lives behind the commit
+/// pipeline's lock).
+#[derive(Debug, Clone, Default)]
+pub struct LedgerObs {
+    /// Records appended (mirrors [`LedgerStats::records`]).
+    pub records: wsi_obs::Counter,
+    /// Physical batch writes issued (mirrors [`LedgerStats::flushes`]).
+    pub flushes: wsi_obs::Counter,
+    /// Total payload bytes appended (mirrors [`LedgerStats::payload_bytes`]).
+    pub payload_bytes: wsi_obs::Counter,
+    /// Flush attempts that failed to reach the ack quorum.
+    pub quorum_losses: wsi_obs::Counter,
+    /// Wall-clock latency of each successful flush, in microseconds.
+    pub flush_us: wsi_obs::Histogram,
+    /// Records per physical flush (the paper's "batching factor" as a
+    /// distribution, not just a mean).
+    pub batch_records: wsi_obs::Histogram,
+}
+
+impl LedgerObs {
+    /// Registers every series in `registry` under `wal_*` names.
+    pub fn register_in(&self, registry: &wsi_obs::Registry) {
+        registry.register_counter("wal_records_total", &self.records);
+        registry.register_counter("wal_flushes_total", &self.flushes);
+        registry.register_counter("wal_payload_bytes_total", &self.payload_bytes);
+        registry.register_counter("wal_quorum_losses_total", &self.quorum_losses);
+        registry.register_histogram("wal_flush_us", &self.flush_us);
+        registry.register_histogram("wal_batch_records", &self.batch_records);
+    }
+}
+
 /// A replicated, batched, append-only log (one BookKeeper ledger).
 ///
 /// Appends buffer in memory; [`Ledger::maybe_flush`] (or an explicit
@@ -121,6 +158,10 @@ pub struct Ledger {
     buffer_oldest_us: u64,
     durable: Option<SeqNo>,
     stats: LedgerStats,
+    /// Attached observability handles; `None` keeps the write path free of
+    /// even relaxed atomic traffic. Cloning a ledger shares the handles —
+    /// the clone reports into the same series.
+    obs: Option<LedgerObs>,
 }
 
 impl Ledger {
@@ -146,7 +187,23 @@ impl Ledger {
             buffer_oldest_us: 0,
             durable: None,
             stats: LedgerStats::default(),
+            obs: None,
         }
+    }
+
+    /// Attaches observability handles; subsequent appends and flushes report
+    /// into them. Counters are synced to the ledger's cumulative stats so a
+    /// late attach (e.g. after recovery replay) does not lose history.
+    pub fn attach_obs(&mut self, obs: LedgerObs) {
+        obs.records.set(self.stats.records);
+        obs.flushes.set(self.stats.flushes);
+        obs.payload_bytes.set(self.stats.payload_bytes);
+        self.obs = Some(obs);
+    }
+
+    /// The attached observability handles, if any.
+    pub fn obs(&self) -> Option<&LedgerObs> {
+        self.obs.as_ref()
     }
 
     /// Appends a record to the buffer and returns its sequence number.
@@ -162,6 +219,10 @@ impl Ledger {
         self.buffer_bytes += payload.len();
         self.stats.records += 1;
         self.stats.payload_bytes += payload.len() as u64;
+        if let Some(obs) = &self.obs {
+            obs.records.inc();
+            obs.payload_bytes.add(payload.len() as u64);
+        }
         self.buffer.push(payload);
         seq
     }
@@ -194,6 +255,7 @@ impl Ledger {
             // Nothing to do; report the current watermark (or 0-record edge).
             return Ok(self.durable.unwrap_or(0));
         }
+        let flush_began = std::time::Instant::now();
         if self.config.flush_delay_us > 0 {
             std::thread::sleep(std::time::Duration::from_micros(self.config.flush_delay_us));
         }
@@ -205,6 +267,9 @@ impl Ledger {
             }
         }
         if acks < self.config.ack_quorum {
+            if let Some(obs) = &self.obs {
+                obs.quorum_losses.inc();
+            }
             return Err(WalError::QuorumLost {
                 acks,
                 required: self.config.ack_quorum,
@@ -212,6 +277,12 @@ impl Ledger {
         }
         let last = self.buffer_first_seq + self.buffer.len() as u64 - 1;
         self.durable = Some(last);
+        if let Some(obs) = &self.obs {
+            obs.flushes.inc();
+            obs.batch_records.record(self.buffer.len() as u64);
+            obs.flush_us
+                .record(flush_began.elapsed().as_micros() as u64);
+        }
         self.buffer.clear();
         self.buffer_bytes = 0;
         self.stats.flushes += 1;

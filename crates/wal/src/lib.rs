@@ -48,5 +48,5 @@ mod record;
 
 pub use batch::BatchPolicy;
 pub use bookie::{Bookie, BookieId};
-pub use ledger::{Ledger, LedgerConfig, LedgerStats, SeqNo, WalError};
+pub use ledger::{Ledger, LedgerConfig, LedgerObs, LedgerStats, SeqNo, WalError};
 pub use record::{decode_records, encode_record, DecodeError, TxnLogRecord};

@@ -35,11 +35,10 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
-use serde::{Deserialize, Serialize};
 use wsi_sim::{LatestGenerator, SimRng, Zipfian};
 
 /// How rows are selected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KeyDistribution {
     /// Uniform over the key space — "evenly distributes the load on all the
     /// data servers … the abort rate will be close to zero" (§6.4).
@@ -56,7 +55,7 @@ pub enum KeyDistribution {
 }
 
 /// Transaction type mix of the workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mix {
     /// Only complex transactions (used to stress the status oracle, §6.3).
     Complex,
@@ -100,7 +99,7 @@ impl TxnTemplate {
 }
 
 /// Workload parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadSpec {
     /// Key-space size (the paper uses 20 M rows for the conflict
     /// experiments).

@@ -16,15 +16,15 @@ fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
         1u64..30,
         0.0f64..0.5,
     )
-        .prop_map(|(rows, distribution, mix, max_txn_rows, insert_fraction)| {
-            WorkloadSpec {
+        .prop_map(
+            |(rows, distribution, mix, max_txn_rows, insert_fraction)| WorkloadSpec {
                 rows,
                 distribution,
                 mix,
                 max_txn_rows,
                 insert_fraction,
-            }
-        })
+            },
+        )
 }
 
 proptest! {

@@ -3,12 +3,21 @@
 #
 #   scripts/tier1.sh
 #
-# Builds the workspace in release mode (the benches depend on it), runs the
-# full test suite, and holds the code to a warning-free clippy bar.
+# Checks formatting, builds the workspace in release mode (the benches
+# depend on it), runs the full test suite, holds the code to a
+# warning-free clippy bar, and emits a metrics snapshot artifact from a
+# short instrumented bench run (BENCH_store_concurrency_metrics.{json,prom})
+# so every gate run leaves behind an inspectable picture of the commit
+# path's counters and latency histograms.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+cargo fmt --all --check
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --all-targets --workspace -- -D warnings
+
+# Metrics snapshot artifact: small op count — this is an exposition smoke
+# test, not a benchmark run.
+./target/release/store_concurrency 200 0

@@ -15,6 +15,7 @@
 //! * [`sim`] — the discrete-event simulation kernel.
 //! * [`wal`] — the BookKeeper-like replicated write-ahead log.
 //! * [`kvstore`] — the HBase-like region-partitioned MVCC store model.
+//! * [`obs`] — lock-free metrics, exposition, and transaction tracing.
 //! * [`oracle`] — the status-oracle server model.
 //! * [`workload`] — the transactional YCSB-like workload generator.
 //! * [`cluster`] — the full-cluster simulation and experiment runner.
@@ -38,6 +39,7 @@ pub use wsi_cluster as cluster;
 pub use wsi_core as core;
 pub use wsi_history as history;
 pub use wsi_kvstore as kvstore;
+pub use wsi_obs as obs;
 pub use wsi_oracle as oracle;
 pub use wsi_sim as sim;
 pub use wsi_store as store;

@@ -1,0 +1,285 @@
+//! Offline stand-in for the `criterion` crate (see `stubs/README.md`).
+//!
+//! Implements the harness surface the workspace's benches use:
+//! `criterion_group!` / `criterion_main!`, [`Criterion::benchmark_group`],
+//! `bench_function` / `bench_with_input`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput`], [`BenchmarkId`], and
+//! [`BatchSize`]. Instead of criterion's statistical sampling it runs each
+//! routine for a small fixed budget and prints one line of mean wall-clock
+//! per iteration — enough to compare configurations and to keep
+//! `cargo test` / `cargo bench` runs fast and dependency-free.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Iterations each routine runs after one warm-up call.
+const ITERS: u64 = 25;
+/// Wall-clock budget per routine; iteration stops early past this.
+const BUDGET: Duration = Duration::from_millis(200);
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput/config settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput (recorded, not reported).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Sets the sample count (accepted and ignored; the stub's budget is
+    /// fixed).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted and ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted where a benchmark id is expected (`&str` or
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Converts to a concrete id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Per-iteration throughput declaration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; drives the measured iterations.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the stub's fixed iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, outside the timed window
+        let started = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+            self.iters += 1;
+            if started.elapsed() > BUDGET {
+                break;
+            }
+        }
+        self.total = started.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is
+    /// in the timed window.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        let mut timed = Duration::ZERO;
+        for _ in 0..ITERS {
+            let input = setup();
+            let started = Instant::now();
+            black_box(routine(input));
+            timed += started.elapsed();
+            self.iters += 1;
+            if timed > BUDGET {
+                break;
+            }
+        }
+        self.total = timed;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    let mean = if bencher.iters > 0 {
+        bencher.total / u32::try_from(bencher.iters).unwrap_or(u32::MAX)
+    } else {
+        Duration::ZERO
+    };
+    println!("bench {label}: {mean:?}/iter ({} iters)", bencher.iters);
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Elements(1));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_groups() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher::default();
+        b.iter(|| 1 + 1);
+        assert!(b.iters > 0);
+    }
+}

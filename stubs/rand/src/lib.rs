@@ -1,0 +1,251 @@
+//! Offline stand-in for the `rand` crate (see `stubs/README.md`).
+//!
+//! Provides [`rngs::SmallRng`] (xoshiro256++, seeded through SplitMix64 —
+//! the same construction the real `SmallRng` family uses on 64-bit
+//! targets) and the [`Rng`]/[`SeedableRng`] surface the workspace calls:
+//! `gen_range` over integer and float ranges, `gen`, and `gen_bool`.
+//! Sequences are deterministic per seed but not bit-compatible with the
+//! real crate; nothing in-tree depends on the exact stream.
+
+/// Types that can be sampled uniformly from the full `u64` stream.
+pub trait Standard: Sized {
+    /// Draws one value from `next` (a source of uniform `u64`s).
+    fn draw(next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw(next: &mut dyn FnMut() -> u64) -> Self {
+        next()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(next: &mut dyn FnMut() -> u64) -> Self {
+        (next() >> 32) as u32
+    }
+}
+
+impl Standard for u8 {
+    fn draw(next: &mut dyn FnMut() -> u64) -> Self {
+        (next() >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    fn draw(next: &mut dyn FnMut() -> u64) -> Self {
+        next() as usize
+    }
+}
+
+impl Standard for bool {
+    fn draw(next: &mut dyn FnMut() -> u64) -> Self {
+        next() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw(next: &mut dyn FnMut() -> u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges that can be sampled by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value in the range from `next`.
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                // Modulo bias is < width / 2^64 — negligible for the
+                // workload-sized ranges used in-tree.
+                (self.start as i128 + (next() as u128 % width) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let width = (end as i128 - start as i128 + 1) as u128;
+                (start as i128 + (next() as u128 % width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + f64::draw(next) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range on empty range");
+        start + f64::draw(next) * (end - start)
+    }
+}
+
+/// The random-value interface.
+pub trait Rng {
+    /// The next uniform 64-bit value from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value in `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(&mut || self.next_u64())
+    }
+
+    /// A uniform value of `T` (full range for integers, `[0, 1)` for
+    /// floats).
+    #[allow(clippy::should_implement_trait)]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(&mut || self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed;
+
+    /// Constructs from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            if s == [0; 4] {
+                // The all-zero state is a fixed point; nudge it.
+                s[0] = 1;
+            }
+            SmallRng { s }
+        }
+
+        fn seed_from_u64(mut state: u64) -> Self {
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn floats_cover_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mean: f64 = (0..20_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 20_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((5_000..7_000).contains(&hits), "hits {hits}");
+    }
+}

@@ -6,7 +6,7 @@ use std::sync::{Arc, Barrier};
 
 use writesnap::core::{AbortReason, IsolationLevel, Timestamp};
 use writesnap::store::percolator::{CrashPoint, LockResolution, PercolatorDb};
-use writesnap::store::{Db, DbOptions, Durability, Error};
+use writesnap::store::{Db, DbOptions, Error};
 use writesnap::wal::LedgerConfig;
 
 fn k(i: u64) -> Vec<u8> {
@@ -34,7 +34,7 @@ fn concurrent_disjoint_writers_all_commit() {
         h.join().unwrap();
     }
     let stats = db.stats();
-    assert_eq!(stats.oracle.commits, (threads * per_thread) as u64);
+    assert_eq!(stats.oracle.commits, threads * per_thread);
     assert_eq!(stats.oracle.total_aborts(), 0);
     assert_eq!(stats.keys, (threads * per_thread) as usize);
 }

@@ -48,10 +48,10 @@ fn run_schedule(oracle: &mut StatusOracleCore, schedule: &Schedule) -> Vec<(Time
     let mut pending: Vec<usize> = Vec::new();
     let mut starts: Vec<Timestamp> = Vec::with_capacity(schedule.txns.len());
     let mut outcomes: Vec<(Timestamp, bool)> = vec![(Timestamp::ZERO, false); schedule.txns.len()];
-    let mut decide = |oracle: &mut StatusOracleCore,
-                      outcomes: &mut Vec<(Timestamp, bool)>,
-                      starts: &[Timestamp],
-                      i: usize| {
+    let decide = |oracle: &mut StatusOracleCore,
+                  outcomes: &mut Vec<(Timestamp, bool)>,
+                  starts: &[Timestamp],
+                  i: usize| {
         let (_, reads, writes) = &schedule.txns[i];
         let outcome = oracle.commit(CommitRequest::new(starts[i], rows(reads), rows(writes)));
         outcomes[i] = (starts[i], outcome.is_committed());
