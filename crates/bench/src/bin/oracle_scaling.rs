@@ -1,0 +1,381 @@
+//! Commit-decision throughput of the status oracle: sharded vs. serialized,
+//! across threads × shards × contention.
+//!
+//! ```text
+//! cargo run -p wsi-bench --release --bin oracle_scaling
+//! cargo run -p wsi-bench --release --bin oracle_scaling -- 4000 50
+//! #                                       ops per thread ^    ^ think time (µs)
+//! ```
+//!
+//! This measures the decision path in isolation — `begin` from the shared
+//! atomic counter, then one WSI read-two-write-one commit decision per op —
+//! with no version store or WAL in the way, so the numbers isolate exactly
+//! the critical section this PR shards. Backends:
+//!
+//! * `mutex`      — the pre-sharding path: one `StatusOracleCore` behind one
+//!   mutex, every decision serialized (the store's `OracleMode::Serial`).
+//! * `sharded-N`  — `ConcurrentOracle` with N `lastCommit` shards.
+//!
+//! Contention regimes:
+//!
+//! * `low`  — each thread owns a private 64-row range: decisions touch
+//!   disjoint shards and should scale.
+//! * `high` — all threads hammer the same 64 hot rows: decisions pile onto
+//!   the same shards and mutual exclusion (plus conflict aborts) dominates.
+//!
+//! Each regime runs twice: `raw` (think = 0, back-to-back decisions — the
+//! honest single-thread comparison of the two backends' fixed costs; these
+//! cells run 10× the ops and keep the best of three repeats, since
+//! millisecond-scale cells are otherwise at the mercy of the scheduler) and
+//! `think` (each op sleeps a client think time before its decision,
+//! modelling the paper's deployment where the oracle serves many concurrent
+//! clients over a network: the oracle is busy only a fraction of each
+//! client's cycle, so overlapping clients expose how much decision
+//! concurrency the backend admits — including on machines with few cores,
+//! where sleeps overlap even though spins cannot).
+//!
+//! A decision = one commit or one conflict abort. Results go to stdout and
+//! `BENCH_oracle_scaling.json` (a `results` array plus a `summary` with the
+//! acceptance ratios).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use wsi_core::{
+    CommitRequest, ConcurrentOracle, IsolationLevel, RowId, SharedTimestampSource, StatusOracleCore,
+};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+const KEYS_PER_THREAD: u64 = 64;
+const HOT_ROWS: u64 = 64;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Backend {
+    Mutex,
+    Sharded(usize),
+}
+
+impl Backend {
+    fn name(self) -> String {
+        match self {
+            Backend::Mutex => "mutex".to_string(),
+            Backend::Sharded(n) => format!("sharded-{n}"),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Contention {
+    Low,
+    High,
+}
+
+impl Contention {
+    fn name(self) -> &'static str {
+        match self {
+            Contention::Low => "low",
+            Contention::High => "high",
+        }
+    }
+}
+
+/// The two decision engines behind one dispatch, begins always via the
+/// shared atomic counter (lock-free in both, as in the store). The serial
+/// backend uses `parking_lot::Mutex` because that is exactly what the
+/// pre-sharding store wrapped its oracle in (`OracleMode::Serial` still
+/// does).
+enum Oracle {
+    Mutex(Mutex<StatusOracleCore>),
+    Sharded(ConcurrentOracle),
+}
+
+impl Oracle {
+    fn commit(&self, req: CommitRequest) -> bool {
+        match self {
+            Oracle::Mutex(m) => m.lock().commit(req).is_committed(),
+            Oracle::Sharded(o) => o.commit(req).is_committed(),
+        }
+    }
+}
+
+struct Row {
+    backend: Backend,
+    contention: Contention,
+    think_us: u64,
+    threads: usize,
+    decisions: u64,
+    commits: u64,
+    elapsed_us: u128,
+    shard_contention: u64,
+}
+
+impl Row {
+    fn throughput(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            0.0
+        } else {
+            self.decisions as f64 / (self.elapsed_us as f64 / 1e6)
+        }
+    }
+}
+
+/// The §6.3 read-two-write-one row shape for op `i` of thread `t`.
+fn rows_for(contention: Contention, t: usize, i: u64) -> (RowId, RowId) {
+    match contention {
+        Contention::Low => {
+            let base = t as u64 * 1_000_000;
+            (
+                RowId(base + i % KEYS_PER_THREAD),
+                RowId(base + (i + 1) % KEYS_PER_THREAD),
+            )
+        }
+        Contention::High => (RowId(i % HOT_ROWS), RowId((i + 1) % HOT_ROWS)),
+    }
+}
+
+fn bench_one(
+    backend: Backend,
+    contention: Contention,
+    think_us: u64,
+    threads: usize,
+    ops_per_thread: u64,
+) -> Row {
+    let ts = Arc::new(SharedTimestampSource::new());
+    let oracle = Arc::new(match backend {
+        Backend::Mutex => Oracle::Mutex(Mutex::new(StatusOracleCore::unbounded_shared(
+            IsolationLevel::WriteSnapshot,
+            Arc::clone(&ts),
+        ))),
+        Backend::Sharded(shards) => Oracle::Sharded(
+            ConcurrentOracle::unbounded(IsolationLevel::WriteSnapshot, shards, Arc::clone(&ts))
+                .with_obs_enabled(false),
+        ),
+    });
+
+    let started = Instant::now();
+    let commits: u64 = thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let oracle = Arc::clone(&oracle);
+                let ts = Arc::clone(&ts);
+                s.spawn(move || {
+                    let mut committed = 0u64;
+                    for i in 0..ops_per_thread {
+                        if think_us > 0 {
+                            // Client think time: the oracle is idle from this
+                            // client's perspective while other clients decide.
+                            thread::sleep(Duration::from_micros(think_us));
+                        }
+                        let start_ts = ts.next();
+                        let (r1, r2) = rows_for(contention, t, i);
+                        let req = CommitRequest::new(start_ts, vec![r1, r2], vec![r1]);
+                        if oracle.commit(req) {
+                            committed += 1;
+                        }
+                    }
+                    committed
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let elapsed_us = started.elapsed().as_micros();
+
+    let shard_contention = match oracle.as_ref() {
+        Oracle::Mutex(_) => 0,
+        Oracle::Sharded(o) => o.shard_obs().contention_total(),
+    };
+    Row {
+        backend,
+        contention,
+        think_us,
+        threads,
+        decisions: threads as u64 * ops_per_thread,
+        commits,
+        elapsed_us,
+        shard_contention,
+    }
+}
+
+fn find_throughput(
+    rows: &[Row],
+    backend: Backend,
+    contention: Contention,
+    think_us: u64,
+    threads: usize,
+) -> f64 {
+    rows.iter()
+        .find(|r| {
+            r.backend == backend
+                && r.contention == contention
+                && r.think_us == think_us
+                && r.threads == threads
+        })
+        .map(Row::throughput)
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ops_per_thread: u64 = args
+        .next()
+        .map(|a| a.parse().expect("ops per thread must be a number"))
+        .unwrap_or(3_000);
+    let think_us: u64 = args
+        .next()
+        .map(|a| a.parse().expect("think time must be microseconds"))
+        .unwrap_or(50);
+
+    let backends: Vec<Backend> = std::iter::once(Backend::Mutex)
+        .chain(SHARD_COUNTS.iter().map(|&n| Backend::Sharded(n)))
+        .collect();
+
+    println!(
+        "# oracle scaling: {ops_per_thread} decisions/thread, think {think_us} µs, \
+         WSI read-2-write-1"
+    );
+    println!(
+        "{:>11} {:>10} {:>6} {:>7} {:>10} {:>10} {:>12} {:>10}",
+        "backend", "contention", "think", "threads", "decisions", "commits", "tps", "shard_cont"
+    );
+
+    // Enumerate the cells, then run their repeats round-robin — every cell's
+    // best-of-N samples spread across the whole bench run, so a transiently
+    // slow stretch of wall-clock (scheduler interference, hypervisor steal on
+    // small hosts) cannot systematically penalize one backend. Raw cells
+    // finish in milliseconds, so they get 10× the ops and best-of-5;
+    // think-time cells are sleep-dominated and already stable.
+    struct Cell {
+        backend: Backend,
+        contention: Contention,
+        think_us: u64,
+        threads: usize,
+        ops: u64,
+        repeats: usize,
+        best: Option<Row>,
+    }
+    let mut cells = Vec::new();
+    for &backend in &backends {
+        for contention in [Contention::Low, Contention::High] {
+            for think in [0, think_us] {
+                for threads in THREAD_COUNTS {
+                    let (ops, repeats) = if think == 0 {
+                        (ops_per_thread * 10, 5)
+                    } else {
+                        (ops_per_thread, 1)
+                    };
+                    cells.push(Cell {
+                        backend,
+                        contention,
+                        think_us: think,
+                        threads,
+                        ops,
+                        repeats,
+                        best: None,
+                    });
+                }
+            }
+        }
+    }
+    let max_repeats = cells.iter().map(|c| c.repeats).max().unwrap_or(1);
+    for round in 0..max_repeats {
+        for cell in &mut cells {
+            if round >= cell.repeats {
+                continue;
+            }
+            let row = bench_one(
+                cell.backend,
+                cell.contention,
+                cell.think_us,
+                cell.threads,
+                cell.ops,
+            );
+            if cell
+                .best
+                .as_ref()
+                .is_none_or(|best| row.elapsed_us < best.elapsed_us)
+            {
+                cell.best = Some(row);
+            }
+        }
+    }
+    let rows: Vec<Row> = cells
+        .into_iter()
+        .map(|c| c.best.expect("every cell ran at least once"))
+        .collect();
+    for row in &rows {
+        println!(
+            "{:>11} {:>10} {:>6} {:>7} {:>10} {:>10} {:>12.0} {:>10}",
+            row.backend.name(),
+            row.contention.name(),
+            row.think_us,
+            row.threads,
+            row.decisions,
+            row.commits,
+            row.throughput(),
+            row.shard_contention,
+        );
+    }
+
+    // Acceptance ratios. The scaling ratio uses the think-time regime: with
+    // clients that do anything at all between commits, decision concurrency
+    // shows up as throughput even on few-core hosts. The backend-parity
+    // ratio uses the raw regime at one thread: pure fixed-cost comparison.
+    let sharded_max = Backend::Sharded(*SHARD_COUNTS.last().unwrap());
+    let speedup_8t = find_throughput(&rows, sharded_max, Contention::Low, think_us, 8)
+        / find_throughput(&rows, sharded_max, Contention::Low, think_us, 1);
+    let parity_1t = find_throughput(&rows, sharded_max, Contention::Low, 0, 1)
+        / find_throughput(&rows, Backend::Mutex, Contention::Low, 0, 1);
+    let mutex_8t = find_throughput(&rows, Backend::Mutex, Contention::Low, think_us, 8)
+        / find_throughput(&rows, Backend::Mutex, Contention::Low, think_us, 1);
+    println!(
+        "\nlow-contention speedup 8t/1t ({} think {} µs): {:.2}x (mutex: {:.2}x)",
+        sharded_max.name(),
+        think_us,
+        speedup_8t,
+        mutex_8t
+    );
+    println!(
+        "single-thread raw parity ({} / mutex): {:.3}",
+        sharded_max.name(),
+        parity_1t
+    );
+
+    let mut json = String::from("{\n  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"backend\": \"{}\", \"contention\": \"{}\", \"think_us\": {}, \
+             \"threads\": {}, \"decisions\": {}, \"commits\": {}, \"elapsed_us\": {}, \
+             \"throughput_tps\": {:.1}, \"shard_contention\": {}}}{}",
+            row.backend.name(),
+            row.contention.name(),
+            row.think_us,
+            row.threads,
+            row.decisions,
+            row.commits,
+            row.elapsed_us,
+            row.throughput(),
+            row.shard_contention,
+            if i + 1 == rows.len() { "\n" } else { ",\n" },
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"summary\": {{\n    \"ops_per_thread\": {ops_per_thread},\n    \
+         \"think_us\": {think_us},\n    \
+         \"low_contention_speedup_8t_vs_1t\": {speedup_8t:.3},\n    \
+         \"mutex_low_contention_speedup_8t_vs_1t\": {mutex_8t:.3},\n    \
+         \"sharded_vs_mutex_1t_raw\": {parity_1t:.3}\n  }}\n}}\n"
+    );
+    let path = "BENCH_oracle_scaling.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\n-> {path}"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+}

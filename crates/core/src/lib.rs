@@ -21,8 +21,9 @@
 //! (writes for SI, reads for WSI), captured by [`IsolationLevel`]. Higher
 //! layers embed this state machine in different shells:
 //!
-//! * `wsi-store` wraps it in a mutex to build an embedded, thread-safe
-//!   transactional multi-version store;
+//! * `wsi-store` builds an embedded, thread-safe transactional multi-version
+//!   store on the sharded [`ConcurrentOracle`] (or, behind a compatibility
+//!   option, on this state machine wrapped in a single mutex);
 //! * `wsi-oracle` wraps it in a simulated server with WAL persistence and a
 //!   CPU cost model to reproduce the paper's status-oracle experiments.
 //!
@@ -55,15 +56,17 @@ mod lastcommit;
 mod oracle;
 mod policy;
 mod row;
+mod sharded;
 pub mod ssi;
 mod ts;
 
 pub use commit_table::{CommitTable, TxnStatus};
 pub use error::{AbortReason, CommitOutcome, Error, Result};
-pub use lastcommit::{BoundedLastCommit, LastCommitTable, UnboundedLastCommit};
+pub use lastcommit::{BoundedLastCommit, LastCommitTable, Probe, UnboundedLastCommit};
 pub use oracle::{CommitRequest, OracleCounters, OracleStats, StatusOracleCore};
 pub use policy::{
     rw_spatial_overlap, rw_temporal_overlap, spatial_overlap, temporal_overlap, IsolationLevel,
 };
 pub use row::{hash_row_key, RowId, RowRange};
+pub use sharded::{ConcurrentOracle, DecisionGuard, ShardObs, ShardedLastCommit};
 pub use ts::{SharedTimestampSource, Timestamp, TimestampSource};

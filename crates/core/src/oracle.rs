@@ -48,8 +48,19 @@ pub struct CommitRequest {
 }
 
 impl CommitRequest {
-    /// Creates a commit request.
-    pub fn new(start_ts: Timestamp, read_rows: Vec<RowId>, write_rows: Vec<RowId>) -> Self {
+    /// Creates a commit request, sorting and deduplicating both row sets.
+    ///
+    /// Clients naturally produce duplicates (a transaction that reads the
+    /// same row twice reports it twice); probing or recording a row more
+    /// than once is wasted work that also inflates the oracle's
+    /// `rows_checked`/`rows_recorded` counters, distorting the §6.3
+    /// read-to-write load comparison. Sorting additionally gives the
+    /// sharded oracle its canonical lock order for free.
+    pub fn new(start_ts: Timestamp, mut read_rows: Vec<RowId>, mut write_rows: Vec<RowId>) -> Self {
+        read_rows.sort_unstable();
+        read_rows.dedup();
+        write_rows.sort_unstable();
+        write_rows.dedup();
         CommitRequest {
             start_ts,
             read_rows,
@@ -274,39 +285,100 @@ impl TsMode {
     }
 }
 
+/// A `lastCommit` table of either flavor. Shared with the sharded oracle
+/// (`crate::sharded`), whose shards are each one of these.
 #[derive(Debug, Clone)]
-enum Table {
+pub(crate) enum Table {
     Unbounded(UnboundedLastCommit),
     Bounded(BoundedLastCommit),
 }
 
 impl Table {
-    fn probe(&self, row: RowId) -> Probe {
+    pub(crate) fn probe(&self, row: RowId) -> Probe {
         match self {
             Table::Unbounded(t) => t.probe(row),
             Table::Bounded(t) => t.probe(row),
         }
     }
 
-    fn record(&mut self, row: RowId, ts: Timestamp) -> usize {
+    pub(crate) fn record(&mut self, row: RowId, ts: Timestamp) -> usize {
         match self {
             Table::Unbounded(t) => t.record(row, ts),
             Table::Bounded(t) => t.record(row, ts),
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match self {
             Table::Unbounded(t) => t.len(),
             Table::Bounded(t) => t.len(),
         }
     }
 
-    fn probe_range(&self, range: RowRange) -> Probe {
+    pub(crate) fn t_max(&self) -> Timestamp {
+        match self {
+            Table::Unbounded(_) => Timestamp::ZERO,
+            Table::Bounded(t) => t.t_max(),
+        }
+    }
+
+    pub(crate) fn probe_range(&self, range: RowRange) -> Probe {
         match self {
             Table::Unbounded(t) => t.probe_range(range.start, range.end),
             Table::Bounded(t) => t.probe_range(range.start, range.end),
         }
+    }
+}
+
+/// The per-row conflict predicate shared by every oracle shell (lines 2–9 of
+/// Algorithms 1–3): given the probe result for one checked row, decide
+/// whether the transaction may proceed. Factored out so the single-threaded
+/// and sharded oracles cannot drift apart.
+pub(crate) fn check_row_probe(
+    level: IsolationLevel,
+    row: RowId,
+    probe: Probe,
+    start_ts: Timestamp,
+) -> std::result::Result<(), AbortReason> {
+    match probe {
+        Probe::Resident(last) if last > start_ts => Err(match level {
+            IsolationLevel::Snapshot => AbortReason::WriteWriteConflict {
+                row,
+                committed_at: last,
+            },
+            IsolationLevel::WriteSnapshot => AbortReason::ReadWriteConflict {
+                row,
+                committed_at: last,
+            },
+        }),
+        Probe::Resident(_) | Probe::NeverWritten => Ok(()),
+        Probe::MaybeEvicted { t_max } if t_max > start_ts => {
+            // Algorithm 3, line 8: the row's state was evicted and a
+            // conflict cannot be ruled out — abort pessimistically.
+            Err(AbortReason::TmaxExceeded { start_ts, t_max })
+        }
+        Probe::MaybeEvicted { .. } => Ok(()),
+    }
+}
+
+/// The §5.2 range-probe conflict predicate, shared like
+/// [`check_row_probe`]. Ranges are only checked under write-snapshot
+/// isolation; the conflicting "row" reported is the range start, which
+/// identifies the scan.
+pub(crate) fn check_range_probe(
+    range: RowRange,
+    probe: Probe,
+    start_ts: Timestamp,
+) -> std::result::Result<(), AbortReason> {
+    match probe {
+        Probe::Resident(last) if last > start_ts => Err(AbortReason::ReadWriteConflict {
+            row: range.start,
+            committed_at: last,
+        }),
+        Probe::MaybeEvicted { t_max } if t_max > start_ts => {
+            Err(AbortReason::TmaxExceeded { start_ts, t_max })
+        }
+        Probe::Resident(_) | Probe::NeverWritten | Probe::MaybeEvicted { .. } => Ok(()),
     }
 }
 
@@ -486,51 +558,12 @@ impl StatusOracleCore {
         };
         for &row in check_rows {
             self.counters.rows_checked.inc();
-            match self.last_commit.probe(row) {
-                Probe::Resident(last) if last > req.start_ts => {
-                    return Err(match self.level {
-                        IsolationLevel::Snapshot => AbortReason::WriteWriteConflict {
-                            row,
-                            committed_at: last,
-                        },
-                        IsolationLevel::WriteSnapshot => AbortReason::ReadWriteConflict {
-                            row,
-                            committed_at: last,
-                        },
-                    });
-                }
-                Probe::Resident(_) | Probe::NeverWritten => {}
-                Probe::MaybeEvicted { t_max } if t_max > req.start_ts => {
-                    // Algorithm 3, line 8: the row's state was evicted and a
-                    // conflict cannot be ruled out — abort pessimistically.
-                    return Err(AbortReason::TmaxExceeded {
-                        start_ts: req.start_ts,
-                        t_max,
-                    });
-                }
-                Probe::MaybeEvicted { .. } => {}
-            }
+            check_row_probe(self.level, row, self.last_commit.probe(row), req.start_ts)?;
         }
         if self.level == IsolationLevel::WriteSnapshot {
             for &range in &req.read_ranges {
                 self.counters.ranges_checked.inc();
-                match self.last_commit.probe_range(range) {
-                    Probe::Resident(last) if last > req.start_ts => {
-                        return Err(AbortReason::ReadWriteConflict {
-                            // The range probe cannot name the single row; the
-                            // range start identifies the conflicting scan.
-                            row: range.start,
-                            committed_at: last,
-                        });
-                    }
-                    Probe::MaybeEvicted { t_max } if t_max > req.start_ts => {
-                        return Err(AbortReason::TmaxExceeded {
-                            start_ts: req.start_ts,
-                            t_max,
-                        });
-                    }
-                    Probe::Resident(_) | Probe::NeverWritten | Probe::MaybeEvicted { .. } => {}
-                }
+                check_range_probe(range, self.last_commit.probe_range(range), req.start_ts)?;
             }
         }
         Ok(())
@@ -632,6 +665,13 @@ impl StatusOracleCore {
     /// Number of rows resident in `lastCommit`.
     pub fn resident_rows(&self) -> usize {
         self.last_commit.len()
+    }
+
+    /// Probes the `lastCommit` table for one row without counting it as a
+    /// conflict check — diagnostic access for tests and state comparison
+    /// (e.g. the sharded-oracle equivalence suite).
+    pub fn probe_row(&self, row: RowId) -> Probe {
+        self.last_commit.probe(row)
     }
 
     /// The most recently issued timestamp.

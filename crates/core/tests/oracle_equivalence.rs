@@ -1,0 +1,255 @@
+//! Equivalence of the sharded [`ConcurrentOracle`] and the single-threaded
+//! [`StatusOracleCore`].
+//!
+//! The sharded oracle is supposed to be a *refactoring* of the decision
+//! logic, not a new algorithm: driven single-threaded, it must make exactly
+//! the decisions Algorithms 1–3 make. These property tests drive the same
+//! randomized transaction history through both oracles in lockstep and
+//! assert identical commit/abort outcomes, identical final `lastCommit`
+//! state, and identical activity statistics — for SI and WSI, with 1 shard
+//! and with many, unbounded and bounded.
+//!
+//! The one case where exact lockstep is impossible by construction is the
+//! bounded (Algorithm 3) table with *many* shards: capacity is divided
+//! across shards, so eviction order differs from a single bounded table and
+//! `T_max` diverges (it may only be more pessimistic for some probes, less
+//! for others — both tables are correct, they just bound different
+//! histories). For that configuration the test checks the safety invariant
+//! directly against an unbounded model: every commit the sharded bounded
+//! oracle *admits* must be conflict-free in the model; it may abort more
+//! often (pessimistic `T_max` aborts), never less.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wsi_core::{
+    AbortReason, CommitRequest, ConcurrentOracle, IsolationLevel, Probe, RowId, RowRange,
+    SharedTimestampSource, StatusOracleCore, Timestamp, TxnStatus,
+};
+
+/// Row universe: small enough that transactions collide constantly.
+const UNIVERSE: u64 = 24;
+
+/// One generated transaction in the history.
+#[derive(Debug, Clone)]
+struct Spec {
+    read_rows: Vec<u64>,
+    write_rows: Vec<u64>,
+    /// WSI-only §5.2 predicate ranges `[start, end)`.
+    ranges: Vec<(u64, u64)>,
+    /// Client-requested abort instead of a commit attempt.
+    client_abort: bool,
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..UNIVERSE, 0..5)
+}
+
+fn spec_strategy(with_ranges: bool) -> impl Strategy<Value = Spec> {
+    let ranges = if with_ranges {
+        prop::collection::vec((0u64..UNIVERSE, 1u64..6), 0..2)
+            .prop_map(|v| v.into_iter().map(|(s, w)| (s, s + w)).collect())
+            .boxed()
+    } else {
+        Just(Vec::new()).boxed()
+    };
+    // ~10% of transactions end in a client-requested abort.
+    let client_abort = (0u64..10).prop_map(|x| x == 0);
+    (rows_strategy(), rows_strategy(), ranges, client_abort).prop_map(
+        |(read_rows, write_rows, ranges, client_abort)| Spec {
+            read_rows,
+            write_rows,
+            ranges,
+            client_abort,
+        },
+    )
+}
+
+fn history(with_ranges: bool) -> impl Strategy<Value = Vec<Spec>> {
+    prop::collection::vec(spec_strategy(with_ranges), 1..40)
+}
+
+fn to_request(start_ts: Timestamp, spec: &Spec) -> CommitRequest {
+    let read_rows = spec.read_rows.iter().map(|&r| RowId(r)).collect();
+    let write_rows = spec.write_rows.iter().map(|&r| RowId(r)).collect();
+    let mut req = CommitRequest::new(start_ts, read_rows, write_rows);
+    if !spec.ranges.is_empty() {
+        req = req.with_read_ranges(
+            spec.ranges
+                .iter()
+                .map(|&(s, e)| RowRange::new(s, e))
+                .collect(),
+        );
+    }
+    req
+}
+
+/// Drives `history` through a serial oracle and a sharded oracle in
+/// lockstep, asserting outcome-by-outcome and final-state equality.
+fn assert_lockstep(mut serial: StatusOracleCore, sharded: ConcurrentOracle, history: &[Spec]) {
+    for spec in history {
+        let ts_a = serial.begin();
+        let ts_b = sharded.begin();
+        assert_eq!(ts_a, ts_b, "start timestamps must stay in lockstep");
+        if spec.client_abort {
+            serial.abort(ts_a);
+            sharded.abort(ts_b);
+            continue;
+        }
+        let out_a = serial.commit(to_request(ts_a, spec));
+        let out_b = sharded.commit(to_request(ts_b, spec));
+        assert_eq!(out_a, out_b, "decision diverged for {spec:?}");
+        assert_eq!(serial.status(ts_a), sharded.status(ts_b));
+    }
+    // Final conflict state: every row in the universe probes identically.
+    for row in 0..UNIVERSE {
+        assert_eq!(
+            serial.probe_row(RowId(row)),
+            sharded.probe_row(RowId(row)),
+            "lastCommit diverged at row {row}"
+        );
+    }
+    assert_eq!(serial.t_max(), sharded.t_max());
+    assert_eq!(serial.resident_rows(), sharded.resident_rows());
+    assert_eq!(serial.last_issued_ts(), sharded.last_issued_ts());
+    assert_eq!(
+        serial.stats(),
+        sharded.stats(),
+        "activity counters diverged"
+    );
+}
+
+fn serial_unbounded(level: IsolationLevel) -> StatusOracleCore {
+    StatusOracleCore::unbounded_shared(level, Arc::new(SharedTimestampSource::new()))
+}
+
+fn sharded_unbounded(level: IsolationLevel, shards: usize) -> ConcurrentOracle {
+    ConcurrentOracle::unbounded(level, shards, Arc::new(SharedTimestampSource::new()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Algorithm 1 (SI): sharded ≡ serial, with 1 shard and with 8.
+    #[test]
+    fn si_unbounded_equivalence(history in history(false)) {
+        for shards in [1usize, 8] {
+            assert_lockstep(
+                serial_unbounded(IsolationLevel::Snapshot),
+                sharded_unbounded(IsolationLevel::Snapshot, shards),
+                &history,
+            );
+        }
+    }
+
+    /// Algorithm 2 (WSI) including §5.2 range predicates (which exercise
+    /// the all-shard sweep): sharded ≡ serial, 1 shard and 8.
+    #[test]
+    fn wsi_unbounded_equivalence(history in history(true)) {
+        for shards in [1usize, 8] {
+            assert_lockstep(
+                serial_unbounded(IsolationLevel::WriteSnapshot),
+                sharded_unbounded(IsolationLevel::WriteSnapshot, shards),
+                &history,
+            );
+        }
+    }
+
+    /// Algorithm 3 (bounded, `T_max`): with a single shard the sharded
+    /// oracle holds literally the same bounded table, so it must stay in
+    /// exact lockstep — eviction order, `T_max`, and all.
+    #[test]
+    fn bounded_single_shard_equivalence(
+        history in history(true),
+        capacity in 1usize..12,
+    ) {
+        for level in [IsolationLevel::Snapshot, IsolationLevel::WriteSnapshot] {
+            assert_lockstep(
+                StatusOracleCore::bounded_shared(
+                    level,
+                    capacity,
+                    Arc::new(SharedTimestampSource::new()),
+                ),
+                ConcurrentOracle::bounded(
+                    level,
+                    1,
+                    capacity,
+                    Arc::new(SharedTimestampSource::new()),
+                ),
+                &history,
+            );
+        }
+    }
+
+    /// Algorithm 3 with many shards: eviction order differs from a single
+    /// bounded table, so instead of lockstep we check the safety invariant
+    /// against an exact unbounded model — every commit the bounded sharded
+    /// oracle admits is conflict-free, and the recorded timestamps match
+    /// the model wherever rows are still resident.
+    #[test]
+    fn bounded_sharded_is_safe(
+        history in history(false),
+        capacity in 1usize..12,
+        level_wsi in any::<bool>(),
+    ) {
+        let level = if level_wsi {
+            IsolationLevel::WriteSnapshot
+        } else {
+            IsolationLevel::Snapshot
+        };
+        let sharded = ConcurrentOracle::bounded(
+            level,
+            8,
+            capacity,
+            Arc::new(SharedTimestampSource::new()),
+        );
+        // Exact model of lastCommit with no eviction.
+        let mut model: HashMap<u64, Timestamp> = HashMap::new();
+        for spec in &history {
+            let start_ts = sharded.begin();
+            if spec.client_abort {
+                sharded.abort(start_ts);
+                continue;
+            }
+            let req = to_request(start_ts, spec);
+            let checked: &[u64] = if level == IsolationLevel::Snapshot {
+                &spec.write_rows
+            } else {
+                &spec.read_rows
+            };
+            let model_conflict = checked
+                .iter()
+                .any(|r| model.get(r).is_some_and(|&ts| ts > start_ts));
+            let out = sharded.commit(req);
+            if let Some(commit_ts) = out.commit_ts() {
+                prop_assert!(
+                    !model_conflict,
+                    "sharded bounded oracle admitted a conflicting commit: {spec:?}"
+                );
+                if !spec.write_rows.is_empty() {
+                    prop_assert_eq!(sharded.status(start_ts), TxnStatus::Committed(commit_ts));
+                    for &row in &spec.write_rows {
+                        model.insert(row, commit_ts);
+                    }
+                }
+            } else {
+                // Aborts beyond the model's are allowed only as pessimistic
+                // T_max aborts; genuine conflict reasons must be real.
+                match out.abort_reason() {
+                    Some(AbortReason::TmaxExceeded { .. }) => {}
+                    Some(_) => prop_assert!(
+                        model_conflict,
+                        "conflict abort without a model conflict: {spec:?}"
+                    ),
+                    None => unreachable!(),
+                }
+            }
+        }
+        // Wherever a row is still resident, its timestamp is the model's.
+        for (&row, &ts) in &model {
+            if let Probe::Resident(got) = sharded.probe_row(RowId(row)) {
+                prop_assert_eq!(got, ts, "resident row {} diverged from model", row);
+            }
+        }
+    }
+}

@@ -3,31 +3,44 @@
 //! # Concurrency architecture
 //!
 //! The paper costs the status oracle's critical section at "a few memory
-//! operations" (§6.3). This module keeps the embedded store honest to that
-//! number by holding the manager's mutex for **only** the conflict check and
-//! commit-timestamp assignment:
+//! operations" (§6.3). This module first kept the embedded store honest to
+//! that number by holding a single manager mutex for **only** the conflict
+//! check and commit-timestamp assignment — and now goes one step further:
+//! by default there is no global commit critical section at all.
 //!
-//! * `begin` never takes the manager lock: start timestamps come from a
+//! * Commit decisions go through [`wsi_core::ConcurrentOracle`]: the
+//!   `lastCommit` table is hash-sharded, a committer locks only the shards
+//!   its rows map to (in canonical order — deadlock-free), and transactions
+//!   over disjoint shards decide in parallel. The old single
+//!   `Mutex<`[`StatusOracleCore`]`>` path remains available behind
+//!   [`OracleMode::Serial`] as a compatibility/benchmark baseline.
+//! * `begin` never takes any oracle lock: start timestamps come from a
 //!   shared atomic counter via the lock-striped
 //!   [`registry::ActiveTxnRegistry`], with §6.2 batched reservation records
 //!   amortizing WAL writes for the counter.
 //! * WAL append + flush run in the [`pipeline::CommitPipeline`] *after* the
-//!   lock is released — group-commit with a leader/follower protocol. Under
-//!   [`Durability::Sync`] a commit becomes visible only once its batch is
-//!   durable; a quorum loss overturns the decision before any reader could
-//!   observe it.
+//!   shard (or manager) locks are released — group-commit with a
+//!   leader/follower protocol. Under [`Durability::Sync`] a commit becomes
+//!   visible only once its batch is durable; a quorum loss overturns the
+//!   decision before any reader could observe it.
 //! * Read-only commits and rollbacks touch no lock at all beyond their
 //!   registry shard.
+//!
+//! The lock hierarchy is strict and acyclic: `lastCommit` shard locks (in
+//! ascending index order) may be held while taking the commit index's write
+//! lock or the pipeline's queue lock, never the reverse; the oracle's
+//! status-table locks nest innermost and are never held across another
+//! acquisition. See `DESIGN.md` for the full protocol argument.
 
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use wsi_core::{
-    hash_row_key, CommitRequest, IsolationLevel, OracleCounters, OracleStats, RowId,
-    SharedTimestampSource, StatusOracleCore, Timestamp,
+    hash_row_key, AbortReason, CommitRequest, ConcurrentOracle, DecisionGuard, IsolationLevel,
+    OracleCounters, OracleStats, RowId, SharedTimestampSource, StatusOracleCore, Timestamp,
 };
 use wsi_obs::{SpanOutcome, TxnPhase, TxnSpan};
 use wsi_wal::{Ledger, LedgerConfig, LedgerObs, LedgerStats};
@@ -78,6 +91,34 @@ pub enum Durability {
     Sync,
 }
 
+/// How commit decisions are serialized (or not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleMode {
+    /// The sharded [`ConcurrentOracle`]: committers lock only the
+    /// `lastCommit` shards their rows hash to, so spatially-disjoint
+    /// transactions decide in parallel. `shards` is rounded up to a power
+    /// of two. The default (16 shards).
+    Sharded {
+        /// Number of `lastCommit` shards.
+        shards: usize,
+    },
+    /// The pre-sharding compatibility path: one [`StatusOracleCore`] behind
+    /// one mutex, every decision serialized. Kept as a baseline for
+    /// benchmarks and as an escape hatch.
+    Serial,
+}
+
+impl Default for OracleMode {
+    fn default() -> Self {
+        OracleMode::Sharded {
+            shards: DEFAULT_ORACLE_SHARDS,
+        }
+    }
+}
+
+/// Default shard count of the sharded oracle.
+const DEFAULT_ORACLE_SHARDS: usize = 16;
+
 /// Configuration of an embedded [`Db`].
 #[derive(Debug, Clone)]
 pub struct DbOptions {
@@ -97,6 +138,9 @@ pub struct DbOptions {
     /// removes every histogram record and span sample from the hot path,
     /// leaving only the plain activity counters that back [`Db::stats`].
     pub obs: bool,
+    /// Commit-decision concurrency: the sharded [`ConcurrentOracle`]
+    /// (default) or the serial `Mutex<StatusOracleCore>` compatibility path.
+    pub oracle: OracleMode,
 }
 
 impl DbOptions {
@@ -109,7 +153,24 @@ impl DbOptions {
             last_commit_capacity: None,
             wal: LedgerConfig::local_sync(),
             obs: true,
+            oracle: OracleMode::default(),
         }
+    }
+
+    /// Selects the serial `Mutex<StatusOracleCore>` commit path (see
+    /// [`OracleMode::Serial`]).
+    #[must_use]
+    pub fn serial_oracle(mut self) -> Self {
+        self.oracle = OracleMode::Serial;
+        self
+    }
+
+    /// Sets the sharded oracle's shard count (rounded up to a power of
+    /// two).
+    #[must_use]
+    pub fn oracle_shards(mut self, shards: usize) -> Self {
+        self.oracle = OracleMode::Sharded { shards };
+        self
     }
 
     /// Enables or disables the observability layer (see
@@ -141,12 +202,117 @@ impl DbOptions {
     }
 }
 
-/// State guarded by the manager's critical section — the embedded
+/// State guarded by the serial path's critical section — the embedded
 /// equivalent of the status oracle's single-threaded commit loop (§6.3).
 /// Nothing else lives here: begins, WAL persistence, and read-only commits
 /// all bypass this lock.
 pub(crate) struct Manager {
     pub(crate) oracle: StatusOracleCore,
+}
+
+/// The store's commit-decision engine: either the sharded concurrent oracle
+/// (default) or the serial mutex-wrapped core, selected by
+/// [`DbOptions::oracle`]. Both expose the same lock-then-decide shape via
+/// [`CommitOracle::lock_for`], so `commit_txn` is written once.
+pub(crate) enum CommitOracle {
+    /// One critical section for every decision ([`OracleMode::Serial`]).
+    Serial(Mutex<Manager>),
+    /// Sharded: lock only the touched shards ([`OracleMode::Sharded`]).
+    Sharded(ConcurrentOracle),
+}
+
+impl CommitOracle {
+    /// Acquires whatever mutual exclusion this request's decision needs:
+    /// the single manager mutex, or the request's `lastCommit` shards in
+    /// canonical order.
+    pub(crate) fn lock_for(&self, req: &CommitRequest) -> OracleGuard<'_> {
+        match self {
+            CommitOracle::Serial(manager) => OracleGuard::Serial(manager.lock()),
+            CommitOracle::Sharded(oracle) => OracleGuard::Sharded(oracle.lock_for(req)),
+        }
+    }
+
+    /// Overturns a decided-but-unpublished commit after a durability
+    /// failure (called by the pipeline's leader with no oracle lock held).
+    pub(crate) fn abort_after_decide(&self, start_ts: Timestamp) {
+        match self {
+            CommitOracle::Serial(manager) => manager.lock().oracle.abort_after_decide(start_ts),
+            CommitOracle::Sharded(oracle) => oracle.abort_after_decide(start_ts),
+        }
+    }
+
+    /// Re-applies a committed transaction during recovery (single-threaded).
+    fn replay_commit(&self, start_ts: Timestamp, commit_ts: Timestamp, rows: &[RowId]) {
+        match self {
+            CommitOracle::Serial(manager) => {
+                manager
+                    .lock()
+                    .oracle
+                    .replay_commit(start_ts, commit_ts, rows);
+            }
+            CommitOracle::Sharded(oracle) => oracle.replay_commit(start_ts, commit_ts, rows),
+        }
+    }
+
+    /// Re-applies an aborted transaction during recovery.
+    fn replay_abort(&self, start_ts: Timestamp) {
+        match self {
+            CommitOracle::Serial(manager) => manager.lock().oracle.replay_abort(start_ts),
+            CommitOracle::Sharded(oracle) => oracle.replay_abort(start_ts),
+        }
+    }
+
+    /// Burns timestamps up to `bound` during recovery.
+    fn advance_timestamps(&self, bound: Timestamp) {
+        match self {
+            CommitOracle::Serial(manager) => manager.lock().oracle.advance_timestamps(bound),
+            CommitOracle::Sharded(oracle) => oracle.advance_timestamps(bound),
+        }
+    }
+
+    /// Shared handle onto the oracle's lock-free activity counters.
+    fn counters(&self) -> OracleCounters {
+        match self {
+            CommitOracle::Serial(manager) => manager.lock().oracle.counters(),
+            CommitOracle::Sharded(oracle) => oracle.counters(),
+        }
+    }
+}
+
+/// The held decision scope returned by [`CommitOracle::lock_for`]: the
+/// manager mutex guard, or the request's shard-lock set.
+pub(crate) enum OracleGuard<'a> {
+    /// Serial path: the whole oracle is ours.
+    Serial(MutexGuard<'a, Manager>),
+    /// Sharded path: only the request's shards are ours.
+    Sharded(DecisionGuard<'a>),
+}
+
+impl OracleGuard<'_> {
+    /// Runs the conflict check of Algorithms 1–3 for `req`.
+    pub(crate) fn check(&mut self, req: &CommitRequest) -> std::result::Result<(), AbortReason> {
+        match self {
+            OracleGuard::Serial(m) => m.oracle.check(req),
+            OracleGuard::Sharded(g) => g.check(req),
+        }
+    }
+
+    /// Completes the bookkeeping for an admitted commit whose timestamp the
+    /// caller issued while this guard was held.
+    pub(crate) fn finish_commit_at(&mut self, req: &CommitRequest, commit_ts: Timestamp) {
+        match self {
+            OracleGuard::Serial(m) => m.oracle.finish_commit_at(req, commit_ts),
+            OracleGuard::Sharded(g) => g.finish_commit_at(req, commit_ts),
+        }
+    }
+
+    /// Registers a conflict abort decided by [`OracleGuard::check`].
+    pub(crate) fn abort_checked(&mut self, start_ts: Timestamp, reason: AbortReason) {
+        match self {
+            OracleGuard::Serial(m) => m.oracle.abort_checked(start_ts, reason),
+            OracleGuard::Sharded(g) => g.abort_checked(start_ts, reason),
+        }
+    }
 }
 
 /// Aggregate database statistics.
@@ -171,7 +337,7 @@ pub(crate) struct DbInner {
     pub(crate) options: DbOptions,
     pub(crate) mvcc: MvccStore,
     pub(crate) index: CommitIndex,
-    pub(crate) manager: Mutex<Manager>,
+    pub(crate) oracle: CommitOracle,
     /// The shared timestamp counter: lock-free starts, oracle-issued commits.
     pub(crate) ts: Arc<SharedTimestampSource>,
     /// In-flight transactions, for the GC low-water mark.
@@ -200,7 +366,7 @@ impl DbInner {
         PublishCtx {
             mvcc: &self.mvcc,
             index: &self.index,
-            manager: &self.manager,
+            oracle: &self.oracle,
         }
     }
 }
@@ -237,9 +403,25 @@ impl Db {
     /// Opens an empty database.
     pub fn open(options: DbOptions) -> Db {
         let ts = Arc::new(SharedTimestampSource::new());
-        let oracle = match options.last_commit_capacity {
-            Some(cap) => StatusOracleCore::bounded_shared(options.isolation, cap, Arc::clone(&ts)),
-            None => StatusOracleCore::unbounded_shared(options.isolation, Arc::clone(&ts)),
+        let oracle = match options.oracle {
+            OracleMode::Serial => {
+                let oracle = match options.last_commit_capacity {
+                    Some(cap) => {
+                        StatusOracleCore::bounded_shared(options.isolation, cap, Arc::clone(&ts))
+                    }
+                    None => StatusOracleCore::unbounded_shared(options.isolation, Arc::clone(&ts)),
+                };
+                CommitOracle::Serial(Mutex::new(Manager { oracle }))
+            }
+            OracleMode::Sharded { shards } => {
+                let oracle = match options.last_commit_capacity {
+                    Some(cap) => {
+                        ConcurrentOracle::bounded(options.isolation, shards, cap, Arc::clone(&ts))
+                    }
+                    None => ConcurrentOracle::unbounded(options.isolation, shards, Arc::clone(&ts)),
+                };
+                CommitOracle::Sharded(oracle.with_obs_enabled(options.obs))
+            }
         };
         let counters = oracle.counters();
         let obs = options.obs.then(|| Arc::new(StoreObs::new()));
@@ -261,13 +443,16 @@ impl Db {
             if let Some(wal_obs) = &wal_obs {
                 wal_obs.register_in(&obs.registry);
             }
+            if let CommitOracle::Sharded(sharded) = &oracle {
+                sharded.shard_obs().register_in(&obs.registry);
+            }
         }
         Db {
             inner: Arc::new(DbInner {
                 options,
                 mvcc: MvccStore::new(),
                 index: CommitIndex::new(),
-                manager: Mutex::new(Manager { oracle }),
+                oracle,
                 ts,
                 registry: ActiveTxnRegistry::new(
                     obs.as_ref().map(|o| o.registry_contention.clone()),
@@ -307,37 +492,33 @@ impl Db {
             }
             records.push(rec);
         }
-        {
-            let mut m = db.inner.manager.lock();
-            for rec in records {
-                match rec {
-                    StoreRecord::Commit {
-                        start_ts,
-                        commit_ts,
-                        writes,
-                    } => {
-                        if overturned.contains(&start_ts.raw()) {
-                            // Never acknowledged; the compensating abort is
-                            // replayed on its own record. Only the timestamp
-                            // must stay burned.
-                            m.oracle.advance_timestamps(commit_ts);
-                            continue;
-                        }
-                        let rows: Vec<RowId> =
-                            writes.iter().map(|(k, _)| hash_row_key(k)).collect();
-                        let keys: Vec<Bytes> = writes.iter().map(|(k, _)| k.clone()).collect();
-                        db.inner.mvcc.insert_versions(start_ts, writes);
-                        db.inner.mvcc.stamp_commit(start_ts, commit_ts, keys.iter());
-                        db.inner.index.record_commit(start_ts, commit_ts);
-                        m.oracle.replay_commit(start_ts, commit_ts, &rows);
+        for rec in records {
+            match rec {
+                StoreRecord::Commit {
+                    start_ts,
+                    commit_ts,
+                    writes,
+                } => {
+                    if overturned.contains(&start_ts.raw()) {
+                        // Never acknowledged; the compensating abort is
+                        // replayed on its own record. Only the timestamp
+                        // must stay burned.
+                        db.inner.oracle.advance_timestamps(commit_ts);
+                        continue;
                     }
-                    StoreRecord::Abort { start_ts } => {
-                        db.inner.index.record_abort(start_ts);
-                        m.oracle.replay_abort(start_ts);
-                    }
-                    StoreRecord::TsReserve { upto } => {
-                        db.inner.ts.note_reserved(upto);
-                    }
+                    let rows: Vec<RowId> = writes.iter().map(|(k, _)| hash_row_key(k)).collect();
+                    let keys: Vec<Bytes> = writes.iter().map(|(k, _)| k.clone()).collect();
+                    db.inner.mvcc.insert_versions(start_ts, writes);
+                    db.inner.mvcc.stamp_commit(start_ts, commit_ts, keys.iter());
+                    db.inner.index.record_commit(start_ts, commit_ts);
+                    db.inner.oracle.replay_commit(start_ts, commit_ts, &rows);
+                }
+                StoreRecord::Abort { start_ts } => {
+                    db.inner.index.record_abort(start_ts);
+                    db.inner.oracle.replay_abort(start_ts);
+                }
+                StoreRecord::TsReserve { upto } => {
+                    db.inner.ts.note_reserved(upto);
                 }
             }
         }
@@ -495,15 +676,16 @@ impl Db {
         let now_us = self.inner.now_us();
         let sync = self.inner.options.durability == Durability::Sync;
 
-        // The manager's critical section: conflict check + commit-timestamp
-        // assignment + oracle bookkeeping. No WAL I/O in here.
+        // The decision scope: conflict check + commit-timestamp assignment +
+        // oracle bookkeeping, under the request's shard locks (sharded
+        // oracle) or the manager mutex (serial). No WAL I/O in here.
         if let Some(span) = &mut span {
             span.stamp(TxnPhase::ConflictCheck, now_us);
         }
         let check_began_us = self.inner.now_us();
         let decision: Result<Timestamp> = {
-            let mut m = self.inner.manager.lock();
-            match m.oracle.check(&req) {
+            let mut guard = self.inner.oracle.lock_for(&req);
+            match guard.check(&req) {
                 Ok(()) => {
                     let commit_ts = if sync {
                         // Queued unpublished; the timestamp is issued inside
@@ -528,11 +710,11 @@ impl Db {
                         }
                         commit_ts
                     };
-                    m.oracle.finish_commit_at(&req, commit_ts);
+                    guard.finish_commit_at(&req, commit_ts);
                     Ok(commit_ts)
                 }
                 Err(reason) => {
-                    m.oracle.abort_checked(start_ts, reason);
+                    guard.abort_checked(start_ts, reason);
                     self.inner.index.record_abort(start_ts);
                     if let Some(pipeline) = &self.inner.pipeline {
                         pipeline.push_abort(start_ts);

@@ -62,7 +62,7 @@ pub mod ssi_db;
 mod txn;
 
 pub use commit_index::CommitIndex;
-pub use db::{Db, DbOptions, DbStats, Durability};
+pub use db::{Db, DbOptions, DbStats, Durability, OracleMode};
 pub use error::{Error, Result};
 pub use mvcc::{GcStats, MvccStore, SnapshotRead, VersionResolver};
 pub use record::{decode as decode_record, encode as encode_record, StoreRecord};

@@ -8,9 +8,14 @@
 //! memory operations"; Appendix A pipelines the log writes). This module
 //! restores that separation for the embedded store:
 //!
-//! * The manager's critical section now covers only conflict detection and
-//!   commit-timestamp assignment. Decided commits are *queued* here, in
-//!   commit-timestamp order.
+//! * The commit decision scope — the touched `lastCommit` shards under the
+//!   sharded oracle, or the manager mutex on the serial compatibility path —
+//!   covers only conflict detection and commit-timestamp assignment.
+//!   Decided commits are *queued* here. Sync commits enqueue in global
+//!   commit-timestamp order (the timestamp is issued inside the pipeline's
+//!   own lock); batched commits enqueue in timestamp order *per row* —
+//!   spatially-disjoint commits may interleave, which replay tolerates (see
+//!   [`CommitPipeline::push_batched`]).
 //! * A **leader** — the first waiter to find the ledger free — takes the
 //!   ledger out of the pipeline, drains the queue, encodes and flushes the
 //!   batch entirely outside every lock, then publishes the outcomes and
@@ -43,7 +48,7 @@ use wsi_core::{SharedTimestampSource, Timestamp};
 use wsi_wal::{Ledger, LedgerStats, WalError};
 
 use crate::commit_index::CommitIndex;
-use crate::db::{Manager, WriteBatch};
+use crate::db::{CommitOracle, WriteBatch};
 use crate::mvcc::MvccStore;
 use crate::obs::StoreObs;
 use crate::record;
@@ -53,7 +58,7 @@ use crate::record;
 pub(crate) struct PublishCtx<'a> {
     pub(crate) mvcc: &'a MvccStore,
     pub(crate) index: &'a CommitIndex,
-    pub(crate) manager: &'a Mutex<Manager>,
+    pub(crate) oracle: &'a CommitOracle,
 }
 
 /// A decided commit awaiting persistence.
@@ -136,8 +141,10 @@ impl CommitPipeline {
     /// what makes [`CommitPipeline::wait_snapshot_stable`] sound: a begin
     /// that observes `S > commit_ts` must have entered this critical section
     /// after the commit was queued, so the gate cannot miss it. The caller
-    /// holds the manager lock (which serializes decides) and completes the
-    /// oracle bookkeeping with the returned timestamp.
+    /// holds its decision scope (shard locks or manager mutex) across this
+    /// call and completes the oracle bookkeeping with the returned
+    /// timestamp; the pipeline lock nests *inside* that scope, never the
+    /// reverse.
     pub(crate) fn push_sync(
         &self,
         ts: &SharedTimestampSource,
@@ -156,8 +163,14 @@ impl CommitPipeline {
     }
 
     /// Enqueues an already-published batched/none-mode commit for eventual
-    /// persistence. Must be called while still holding the manager lock, so
-    /// queue order equals commit-timestamp order.
+    /// persistence. Must be called while still holding the decision scope
+    /// that issued `commit_ts`. Under the serial oracle that makes queue
+    /// order equal commit-timestamp order; under the sharded oracle only
+    /// commits that share a shard are ordered, so spatially-disjoint commits
+    /// may land in the WAL out of timestamp order. Replay tolerates that:
+    /// same-row commits share a shard (hence are ordered), recovery's
+    /// per-row `lastCommit` and version stamping only need per-row order,
+    /// and the timestamp counter advances by `max`.
     pub(crate) fn push_batched(
         &self,
         start_ts: Timestamp,
@@ -392,11 +405,8 @@ impl CommitPipeline {
                 // on a minority of bookies, so compensating abort records —
                 // appended to the retained buffer — overrule them at
                 // recovery. Owners remove their own invisible versions.
-                {
-                    let mut m = ctx.manager.lock();
-                    for c in &commits {
-                        m.oracle.abort_after_decide(c.start_ts);
-                    }
+                for c in &commits {
+                    ctx.oracle.abort_after_decide(c.start_ts);
                 }
                 for c in &commits {
                     ctx.index.record_abort(c.start_ts);

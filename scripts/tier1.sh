@@ -18,6 +18,13 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --all-targets --workspace -- -D warnings
 
+# Sharded-oracle gates: the serial/concurrent equivalence property tests
+# must hold for SI, WSI, and the bounded Algorithm-3 variant, and the
+# multi-threaded stress suite runs again in release mode (the debug run
+# above is too slow to shake out interleavings).
+cargo test -q -p wsi-core --test oracle_equivalence
+cargo test -q --release -p wsi-store --test sharded_stress
+
 # Metrics snapshot artifact: small op count — this is an exposition smoke
 # test, not a benchmark run.
 ./target/release/store_concurrency 200 0

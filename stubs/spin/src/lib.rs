@@ -1,0 +1,210 @@
+//! Offline stand-in for the `spin` crate.
+//!
+//! The workspace vendors the handful of external crates it uses as minimal
+//! local implementations (see `stubs/README.md`), so the build is hermetic.
+//! This one provides `spin::Mutex`: a test-and-set spinlock whose
+//! uncontended lock/unlock is a single compare-exchange plus a release
+//! store — a fraction of the cost of a general-purpose blocking mutex, which
+//! is the point of using it for critical sections that are a few memory
+//! operations long.
+//!
+//! One deliberate divergence from the real crate: after a short bounded spin
+//! a waiter calls `std::thread::yield_now()` instead of spinning forever.
+//! The real `spin` crate is `no_std` and cannot yield; on the small hosts
+//! this workspace tests on (including single-core machines, where a pure
+//! spin against a descheduled lock holder burns the whole timeslice) the
+//! yield fallback is strictly better and changes no semantics.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// How many busy-spin iterations to attempt before yielding the CPU.
+const SPINS_BEFORE_YIELD: u32 = 64;
+
+/// A test-and-set spinlock protecting `T`.
+pub struct Mutex<T: ?Sized> {
+    locked: AtomicBool,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the lock provides the exclusion; `T: Send` is all that is needed
+// to move or share the mutex across threads (same bounds as `std`'s).
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+/// RAII guard for [`Mutex`]; releases the lock on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            locked: AtomicBool::new(false),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, spinning (then yielding) until it is free.
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        loop {
+            if let Some(guard) = self.try_lock() {
+                return guard;
+            }
+            // Wait for the holder to release before retrying the RMW, so
+            // waiters hammer a shared read instead of the cache line's
+            // exclusive state; yield once the wait stops being short.
+            let mut spins = 0u32;
+            while self.locked.load(Ordering::Relaxed) {
+                spins += 1;
+                if spins < SPINS_BEFORE_YIELD {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Attempts to acquire the lock without waiting.
+    #[inline]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(MutexGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Whether the lock is currently held by someone.
+    pub fn is_locked(&self) -> bool {
+        self.locked.load(Ordering::Relaxed)
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_struct("Mutex").field("data", &&*guard).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // SAFETY: the guard exists only while the lock is held, and the lock
+        // is exclusive, so no other reference to the data can be live.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above; `&mut self` additionally guarantees this guard
+        // itself hands out no aliasing borrow.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn lock_round_trips_value() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let m = Mutex::new(());
+        let g = m.lock();
+        assert!(m.is_locked());
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(!m.is_locked());
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn get_mut_bypasses_locking() {
+        let mut m = Mutex::new(1);
+        *m.get_mut() = 7;
+        assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn contended_increments_are_exclusive() {
+        let m = Arc::new(Mutex::new(0u64));
+        let threads = 8;
+        let per_thread = 10_000u64;
+        thread::scope(|s| {
+            for _ in 0..threads {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn debug_formats_without_deadlock() {
+        let m = Mutex::new(5);
+        assert!(format!("{m:?}").contains('5'));
+        let g = m.lock();
+        assert!(format!("{m:?}").contains("locked"));
+        drop(g);
+    }
+}
