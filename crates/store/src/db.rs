@@ -33,6 +33,7 @@
 //! acquisition. See `DESIGN.md` for the full protocol argument.
 
 use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -48,8 +49,8 @@ use wsi_wal::{Ledger, LedgerConfig, LedgerObs, LedgerStats};
 use crate::{
     commit_index::CommitIndex,
     error::{Error, Result},
-    mvcc::{GcStats, MvccStore},
-    obs::StoreObs,
+    mvcc::{GcStats, MvccStore, VersionStamps},
+    obs::{StoreObs, StoreShardObs},
     pipeline::{CommitPipeline, PublishCtx},
     record::{self, StoreRecord},
     registry::ActiveTxnRegistry,
@@ -119,6 +120,16 @@ impl Default for OracleMode {
 /// Default shard count of the sharded oracle.
 const DEFAULT_ORACLE_SHARDS: usize = 16;
 
+/// Default shard count of the partitioned version store, matched to the
+/// oracle's so the data plane scales with the decision plane.
+const DEFAULT_STORE_SHARDS: usize = 16;
+
+/// A commit-path counter period: every this many write commits, the GC
+/// watermark hint feeding insert-time chain pruning is recomputed from the
+/// active-transaction registry. Keeps hot-key chains bounded between
+/// explicit [`Db::gc`] runs at negligible amortized cost.
+const WATERMARK_HINT_EVERY: u64 = 256;
+
 /// Configuration of an embedded [`Db`].
 #[derive(Debug, Clone)]
 pub struct DbOptions {
@@ -141,6 +152,10 @@ pub struct DbOptions {
     /// Commit-decision concurrency: the sharded [`ConcurrentOracle`]
     /// (default) or the serial `Mutex<StatusOracleCore>` compatibility path.
     pub oracle: OracleMode,
+    /// Shard count of the partitioned version store (rounded up to a power
+    /// of two). `1` selects the single-lock layout — exactly the
+    /// pre-sharding store, kept for equivalence tests and as a baseline.
+    pub store_shards: usize,
 }
 
 impl DbOptions {
@@ -154,7 +169,16 @@ impl DbOptions {
             wal: LedgerConfig::local_sync(),
             obs: true,
             oracle: OracleMode::default(),
+            store_shards: DEFAULT_STORE_SHARDS,
         }
+    }
+
+    /// Sets the version store's shard count (rounded up to a power of two;
+    /// `1` = the single-lock layout).
+    #[must_use]
+    pub fn store_shards(mut self, shards: usize) -> Self {
+        self.store_shards = shards;
+        self
     }
 
     /// Selects the serial `Mutex<StatusOracleCore>` commit path (see
@@ -354,6 +378,9 @@ pub(crate) struct DbInner {
     /// Metric registry + histograms + span recorder; `None` when opened
     /// with [`DbOptions::with_obs`]`(false)`.
     pub(crate) obs: Option<Arc<StoreObs>>,
+    /// Write commits since the last watermark-hint refresh (see
+    /// [`WATERMARK_HINT_EVERY`]).
+    wm_tick: AtomicU64,
     epoch: Instant,
 }
 
@@ -438,6 +465,7 @@ impl Db {
                 )
             }
         };
+        let mut mvcc = MvccStore::with_shards(options.store_shards);
         if let Some(obs) = &obs {
             counters.register_in(&obs.registry);
             if let Some(wal_obs) = &wal_obs {
@@ -446,11 +474,14 @@ impl Db {
             if let CommitOracle::Sharded(sharded) = &oracle {
                 sharded.shard_obs().register_in(&obs.registry);
             }
+            let shard_obs = Arc::new(StoreShardObs::new(mvcc.shard_count()));
+            shard_obs.register_in(&obs.registry);
+            mvcc.attach_obs(shard_obs);
         }
         Db {
             inner: Arc::new(DbInner {
                 options,
-                mvcc: MvccStore::new(),
+                mvcc,
                 index: CommitIndex::new(),
                 oracle,
                 ts,
@@ -461,6 +492,7 @@ impl Db {
                 counters,
                 wal_obs,
                 obs,
+                wm_tick: AtomicU64::new(0),
                 epoch: Instant::now(),
             }),
         }
@@ -766,6 +798,7 @@ impl Db {
                             span.stamp(TxnPhase::QuorumAck, self.inner.now_us());
                         }
                         self.inner.registry.deregister(start_ts, shard);
+                        self.tick_watermark_hint();
                         Ok(commit_ts)
                     }
                     Err(e) => {
@@ -787,6 +820,7 @@ impl Db {
                     .mvcc
                     .stamp_commit(start_ts, commit_ts, batch.iter().map(|(k, _)| k));
                 self.inner.registry.deregister(start_ts, shard);
+                self.tick_watermark_hint();
                 if let Some(pipeline) = &self.inner.pipeline {
                     // Batched mode: give the ledger's batch policy a chance,
                     // outside every lock. Quorum loss cannot un-acknowledge
@@ -911,8 +945,25 @@ impl Db {
             obs.gc_runs.inc();
             obs.gc_versions_removed
                 .add(stats.versions_dropped + stats.aborted_removed);
+            // Post-sweep footprint, refreshed into the per-shard gauges.
+            let _ = self.inner.mvcc.shard_footprint();
         }
         stats
+    }
+
+    /// Every [`WATERMARK_HINT_EVERY`] write commits, recompute the GC
+    /// low-water mark and feed it to the store's per-shard watermarks so
+    /// insert-time chain pruning stays armed between explicit [`Db::gc`]
+    /// runs. The registry's watermark is a true lower bound on every active
+    /// and future snapshot, so the hint is always sound (if stale,
+    /// conservative).
+    fn tick_watermark_hint(&self) {
+        if self.inner.wm_tick.fetch_add(1, Ordering::Relaxed) % WATERMARK_HINT_EVERY
+            == WATERMARK_HINT_EVERY - 1
+        {
+            let watermark = self.inner.registry.watermark(&self.inner.ts);
+            self.inner.mvcc.note_watermark(watermark);
+        }
     }
 
     /// Aggregate statistics.
@@ -930,14 +981,26 @@ impl Db {
             },
             None => LedgerStats::default(),
         };
+        // One pass over the shards yields both totals and (when
+        // instrumented) refreshes the per-shard footprint gauges, so the
+        // exposition and `DbStats` always agree.
+        let footprint = self.inner.mvcc.shard_footprint();
         DbStats {
             oracle: self.inner.counters.view(),
             active_transactions: self.inner.registry.count(),
-            keys: self.inner.mvcc.key_count(),
-            versions: self.inner.mvcc.version_count(),
+            keys: footprint.iter().map(|(k, _)| k).sum(),
+            versions: footprint.iter().map(|(_, v)| v).sum(),
             wal,
             wal_enabled: self.inner.pipeline.is_some(),
         }
+    }
+
+    /// Dumps every stored version's `(writer_start, committed_at)` raw
+    /// timestamp stamps, keyed and ordered by key — a diagnostic accessor
+    /// letting tests assert that a post-crash WAL replay re-derives exactly
+    /// the eager commit stamps the live database had.
+    pub fn version_stamps(&self) -> VersionStamps {
+        self.inner.mvcc.dump_stamps()
     }
 
     /// The store's metric registry, or `None` when observability is

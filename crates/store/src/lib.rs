@@ -64,7 +64,7 @@ mod txn;
 pub use commit_index::CommitIndex;
 pub use db::{Db, DbOptions, DbStats, Durability, OracleMode};
 pub use error::{Error, Result};
-pub use mvcc::{GcStats, MvccStore, SnapshotRead, VersionResolver};
+pub use mvcc::{GcStats, MvccStore, SnapshotRead, VersionResolver, VersionStamps};
 pub use record::{decode as decode_record, encode as encode_record, StoreRecord};
 pub use snapshot::Snapshot;
 pub use txn::Transaction;

@@ -1,4 +1,4 @@
-//! The multi-version storage layer.
+//! The multi-version storage layer: a region-partitioned version store.
 //!
 //! "Multi-version databases maintain multiple versions for the data and add
 //! the new data as a new version instead of rewriting the old data. This
@@ -9,18 +9,54 @@
 //! the main store, invisible until the writer's commit is published in the
 //! commit table).
 //!
-//! Visibility is resolved through a caller-supplied [`VersionResolver`]: a
-//! version is readable in a snapshot `T_s` if its writer committed with
-//! `T_c < T_s` (§2.2). Versions carry a cached `committed_at` stamp, filled
-//! in by the garbage collector, so old versions stay resolvable after the
-//! commit table has been pruned.
+//! # Sharding
+//!
+//! The paper's deployment spreads the data plane over 25 HBase region
+//! servers while the status oracle stays centralized (§6, §A). The embedded
+//! analogue: the key space is partitioned into N **shards** (a Fibonacci
+//! hash of the key, same spreading function as the sharded oracle's
+//! `lastCommit` table), each with its own readers-writer lock, its own
+//! version chains, its own recent-commit cache, and its own GC watermark.
+//! Transactions over disjoint shards never contend; a commit applying to
+//! multiple shards visits them one at a time in **canonical ascending shard
+//! order** — the same deadlock-free protocol as `wsi_core::sharded` — and
+//! never holds two shard locks at once.
+//!
+//! Holding only one shard lock at a time is sound because nothing in this
+//! layer requires cross-shard atomicity: versions are invisible until the
+//! writer's commit is published in the commit index (a single linearization
+//! point), commit-timestamp stamping is a read-path optimization, and abort
+//! cleanup removes versions that were never visible. Snapshot reads are
+//! timestamp-based and monotone, so a scan that visits shards sequentially
+//! observes exactly the state its `reader_start` defines in every shard.
+//!
+//! # Visibility
+//!
+//! Visibility is resolved in three tiers, cheapest first:
+//!
+//! 1. the version's cached `committed_at` stamp — filled in **eagerly at
+//!    commit publish time** (and re-derived identically by WAL replay and by
+//!    the GC), so steady-state reads are one shard-local binary search;
+//! 2. the shard's **recent-commit cache** — a small direct-mapped
+//!    `writer_start → commit_ts` table populated under the same write lock
+//!    as the stamps, covering versions whose stamping pass has not reached
+//!    this shard yet;
+//! 3. the caller-supplied [`VersionResolver`] (the commit index) — the §2.2
+//!    commit-table detour, now the slow path.
+//!
+//! A version is readable in a snapshot `T_s` if its writer committed with
+//! `T_c < T_s` (§2.2).
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
-use wsi_core::{Timestamp, TxnStatus};
+use wsi_core::{hash_row_key, Timestamp, TxnStatus};
+
+use crate::obs::StoreShardObs;
 
 /// Resolves the fate of the transaction that wrote a version.
 ///
@@ -37,6 +73,18 @@ impl<F: Fn(Timestamp) -> TxnStatus> VersionResolver for F {
     }
 }
 
+/// Fibonacci multiplicative-hash constant (2^64 / φ), the same spreading
+/// function as the sharded oracle's `lastCommit` table.
+const FIB_HASH: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Chains longer than this are pruned against the shard's GC watermark
+/// before inserting, bounding both memory and the `Vec::insert` memmove on
+/// hot keys (see [`VersionChain::insert`]).
+const PRUNE_CHAIN_LEN: usize = 32;
+
+/// Slots in each shard's direct-mapped recent-commit cache.
+const RECENT_COMMITS: usize = 128;
+
 /// One version of a key's value.
 #[derive(Debug, Clone)]
 pub(crate) struct Version {
@@ -44,8 +92,9 @@ pub(crate) struct Version {
     pub writer_start: Timestamp,
     /// `None` encodes a tombstone (the transaction deleted the key).
     pub value: Option<Bytes>,
-    /// Commit timestamp, once known and stamped (by the GC, or eagerly by
-    /// the committer). `None` means "consult the commit table".
+    /// Commit timestamp, once known and stamped (eagerly by the committer at
+    /// publish time, by WAL replay, or by the GC). `None` means "consult the
+    /// recent-commit cache, then the commit table".
     pub committed_at: Option<Timestamp>,
 }
 
@@ -56,9 +105,23 @@ pub(crate) struct VersionChain {
 }
 
 impl VersionChain {
-    fn insert(&mut self, version: Version) {
-        // Writers are concurrent, so insertion is not always at the tail;
-        // binary-search for the slot to keep the chain sorted.
+    /// Inserts a version, keeping the chain sorted by writer start.
+    ///
+    /// Writers are concurrent, so insertion is not always at the tail;
+    /// binary-search for the slot. A mid-chain `Vec::insert` shifts the
+    /// tail, which on a hot key with a long chain turns every concurrent
+    /// writer into an O(n) memmove — so chains longer than
+    /// [`PRUNE_CHAIN_LEN`] are first pruned against the shard's GC
+    /// `watermark`: stamped versions strictly older than the newest stamped
+    /// commit below the watermark are invisible to every current and future
+    /// snapshot (the GC's own keep rule) and can be dropped inline. Returns
+    /// the number of versions pruned.
+    fn insert(&mut self, version: Version, watermark: Timestamp) -> u64 {
+        let pruned = if self.versions.len() >= PRUNE_CHAIN_LEN {
+            self.prune_stamped_below(watermark)
+        } else {
+            0
+        };
         match self
             .versions
             .binary_search_by_key(&version.writer_start, |v| v.writer_start)
@@ -66,6 +129,29 @@ impl VersionChain {
             Ok(i) => self.versions[i] = version, // same txn overwrote its own write
             Err(i) => self.versions.insert(i, version),
         }
+        pruned
+    }
+
+    /// Drops stamped versions superseded below `watermark`: among versions
+    /// with `committed_at < watermark`, the newest is retained (it is the
+    /// visible version for the oldest possible snapshot) and the rest are
+    /// removed. Unstamped versions (pending, or not yet stamped) are always
+    /// kept — classifying them needs the resolver, which is the full GC's
+    /// job. Returns how many versions were dropped.
+    fn prune_stamped_below(&mut self, watermark: Timestamp) -> u64 {
+        let keep_bound = self
+            .versions
+            .iter()
+            .filter_map(|v| v.committed_at)
+            .filter(|&ts| ts < watermark)
+            .max();
+        let Some(bound) = keep_bound else {
+            return 0;
+        };
+        let before = self.versions.len();
+        self.versions
+            .retain(|v| v.committed_at.is_none_or(|ts| ts >= bound));
+        (before - self.versions.len()) as u64
     }
 
     fn remove(&mut self, writer_start: Timestamp) -> bool {
@@ -87,6 +173,7 @@ impl VersionChain {
     fn read<R: VersionResolver + ?Sized>(
         &self,
         reader_start: Timestamp,
+        recent: &RecentCommits,
         resolver: &R,
     ) -> Option<&Version> {
         let mut best: Option<(&Version, Timestamp)> = None;
@@ -95,7 +182,10 @@ impl VersionChain {
         for v in &self.versions {
             let commit_ts = match v.committed_at {
                 Some(ts) => Some(ts),
-                None => resolver.resolve(v.writer_start).commit_ts(),
+                None => match recent.lookup(v.writer_start) {
+                    Some(ts) => Some(ts),
+                    None => resolver.resolve(v.writer_start).commit_ts(),
+                },
             };
             let Some(commit_ts) = commit_ts else {
                 continue; // pending or aborted writer
@@ -105,6 +195,75 @@ impl VersionChain {
             }
         }
         best.map(|(v, _)| v)
+    }
+}
+
+/// A small direct-mapped `writer_start → commit_ts` cache of recent commits
+/// that touched a shard.
+///
+/// Mutated only under the shard's write lock and read under its read lock,
+/// so plain (non-atomic) slots are race-free. Populated exclusively at
+/// commit *publish* time ([`MvccStore::stamp_commit`]) — never at version
+/// insert — so an entry can only exist for a commit that is already visible
+/// in the commit index; a decided-but-overturned sync commit
+/// (`abort_after_decide`) is never cached because it is never stamped.
+#[derive(Debug, Clone)]
+struct RecentCommits {
+    /// `(writer_start, commit_ts)` raw pairs; start 0 marks an empty slot
+    /// (timestamp 0 is never issued to a transaction).
+    slots: Vec<(u64, u64)>,
+}
+
+impl Default for RecentCommits {
+    fn default() -> Self {
+        RecentCommits {
+            slots: vec![(0, 0); RECENT_COMMITS],
+        }
+    }
+}
+
+impl RecentCommits {
+    #[inline]
+    fn slot_of(start: Timestamp) -> usize {
+        (start.raw().wrapping_mul(FIB_HASH) >> 32) as usize & (RECENT_COMMITS - 1)
+    }
+
+    #[inline]
+    fn record(&mut self, start: Timestamp, commit: Timestamp) {
+        self.slots[Self::slot_of(start)] = (start.raw(), commit.raw());
+    }
+
+    #[inline]
+    fn lookup(&self, start: Timestamp) -> Option<Timestamp> {
+        let (s, c) = self.slots[Self::slot_of(start)];
+        (s == start.raw()).then_some(Timestamp(c))
+    }
+}
+
+/// The locked interior of one shard: its slice of the key space plus its
+/// recent-commit cache.
+#[derive(Debug, Default)]
+struct ShardData {
+    map: BTreeMap<Bytes, VersionChain>,
+    recent: RecentCommits,
+}
+
+/// One region of the partitioned key space.
+#[derive(Debug, Default)]
+struct Shard {
+    data: RwLock<ShardData>,
+    /// The GC low-water mark last propagated to this shard (raw timestamp);
+    /// consulted by insert-time chain pruning. Monotone non-decreasing.
+    watermark: AtomicU64,
+}
+
+impl Shard {
+    fn raise_watermark(&self, ts: Timestamp) {
+        self.watermark.fetch_max(ts.raw(), Ordering::Relaxed);
+    }
+
+    fn watermark(&self) -> Timestamp {
+        Timestamp(self.watermark.load(Ordering::Relaxed))
     }
 }
 
@@ -128,6 +287,10 @@ impl SnapshotRead {
     }
 }
 
+/// Per-key version stamps: `(key, [(writer_start, committed_at)])` as raw
+/// timestamps, in key order. Returned by [`MvccStore::dump_stamps`].
+pub type VersionStamps = Vec<(Bytes, Vec<(u64, Option<u64>)>)>;
+
 /// Counters describing GC activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GcStats {
@@ -142,93 +305,270 @@ pub struct GcStats {
     pub keys_removed: u64,
 }
 
-/// The concurrent multi-version key space.
+impl GcStats {
+    fn merge(&mut self, other: GcStats) {
+        self.versions_dropped += other.versions_dropped;
+        self.versions_stamped += other.versions_stamped;
+        self.aborted_removed += other.aborted_removed;
+        self.keys_removed += other.keys_removed;
+    }
+}
+
+/// The concurrent multi-version key space, partitioned into independently
+/// locked shards.
 ///
-/// A single ordered map under a readers-writer lock: snapshot reads and
-/// scans take the shared lock (the dominant operation mix — the paper's
-/// workloads are ≥50 % reads), while commit application, abort cleanup, and
-/// GC take the exclusive lock briefly.
-#[derive(Debug, Default)]
+/// [`MvccStore::new`] builds the single-lock compatibility layout (one
+/// shard — exactly the pre-sharding store); [`MvccStore::with_shards`]
+/// builds the partitioned layout. Snapshot reads and scans take a shard's
+/// shared lock (the dominant operation mix — the paper's workloads are
+/// ≥50 % reads); commit application, abort cleanup, and GC take exclusive
+/// shard locks briefly, visiting multi-shard sets in ascending order.
+#[derive(Debug)]
 pub struct MvccStore {
-    map: RwLock<BTreeMap<Bytes, VersionChain>>,
+    shards: Vec<Shard>,
+    /// `64 - log2(shard count)`; unused when there is one shard.
+    shift: u32,
+    /// Per-shard lock metrics; `None` outside an instrumented `Db`.
+    obs: Option<Arc<StoreShardObs>>,
+}
+
+impl Default for MvccStore {
+    fn default() -> Self {
+        Self::with_shards(1)
+    }
 }
 
 impl MvccStore {
-    /// Creates an empty store.
+    /// Creates an empty single-shard store (the single-lock layout).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty store partitioned into `shards` regions (rounded up
+    /// to a power of two, minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        MvccStore {
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            shift: 64 - (n as u64).trailing_zeros(),
+            obs: None,
+        }
+    }
+
+    /// Attaches per-shard lock/contention metrics (built by `Db::open`).
+    pub(crate) fn attach_obs(&mut self, obs: Arc<StoreShardObs>) {
+        self.obs = Some(obs);
+    }
+
+    /// Number of shards (always a power of two).
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key belongs to. Deterministic: the same key always maps
+    /// to the same shard, which is what makes per-shard watermarks sound.
+    #[inline]
+    fn shard_of(&self, key: &[u8]) -> usize {
+        if self.shards.len() == 1 {
+            0
+        } else {
+            (hash_row_key(key).raw().wrapping_mul(FIB_HASH) >> self.shift) as usize
+        }
+    }
+
+    /// Acquires a shard's read lock, counting the acquisition as contended
+    /// when the non-blocking fast path fails. No clock reads on this path:
+    /// snapshot reads stay as close to a bare `RwLock::read` as possible.
+    #[inline]
+    fn read_shard(&self, i: usize) -> parking_lot::RwLockReadGuard<'_, ShardData> {
+        match self.shards[i].data.try_read() {
+            Some(guard) => guard,
+            None => {
+                if let Some(obs) = &self.obs {
+                    obs.note_contended(i);
+                }
+                self.shards[i].data.read()
+            }
+        }
+    }
+
+    /// Acquires a shard's write lock, counting contention and (when
+    /// instrumented) recording the acquisition wait.
+    #[inline]
+    fn write_shard(&self, i: usize) -> parking_lot::RwLockWriteGuard<'_, ShardData> {
+        match self.shards[i].data.try_write() {
+            Some(guard) => guard,
+            None => {
+                let began = self
+                    .obs
+                    .as_ref()
+                    .map(|obs| (obs, std::time::Instant::now()));
+                let guard = self.shards[i].data.write();
+                if let Some((obs, began)) = began {
+                    obs.note_contended(i);
+                    obs.note_lock_wait(began.elapsed().as_micros() as u64);
+                }
+                guard
+            }
+        }
+    }
+
+    /// Groups `keys` (any iterator of borrowable keys with payloads) by
+    /// shard and yields the groups in ascending shard order — the canonical
+    /// acquisition order shared with `wsi_core::sharded`. At most one shard
+    /// lock is ever held at a time (see the module docs for why that is
+    /// enough).
+    fn by_shard<T>(&self, items: Vec<(usize, T)>) -> Vec<(usize, Vec<T>)> {
+        let mut items = items;
+        items.sort_by_key(|(shard, _)| *shard);
+        let mut groups: Vec<(usize, Vec<T>)> = Vec::new();
+        for (shard, item) in items {
+            match groups.last_mut() {
+                Some((s, group)) if *s == shard => group.push(item),
+                _ => groups.push((shard, vec![item])),
+            }
+        }
+        groups
     }
 
     /// Inserts an (invisible) version for `key`, tagged with its writer's
     /// start timestamp. `value = None` writes a tombstone.
     pub fn insert_version(&self, key: Bytes, writer_start: Timestamp, value: Option<Bytes>) {
-        let mut map = self.map.write();
-        map.entry(key).or_default().insert(Version {
-            writer_start,
-            value,
-            committed_at: None,
-        });
+        let shard = self.shard_of(&key);
+        let watermark = self.shards[shard].watermark();
+        let mut data = self.write_shard(shard);
+        let pruned = data.map.entry(key).or_default().insert(
+            Version {
+                writer_start,
+                value,
+                committed_at: None,
+            },
+            watermark,
+        );
+        drop(data);
+        self.note_pruned(pruned);
     }
 
-    /// Inserts a batch of versions under one lock acquisition (commit apply).
+    /// Inserts a batch of versions (commit apply), visiting the touched
+    /// shards in ascending order, one write lock at a time.
     pub fn insert_versions<I>(&self, writer_start: Timestamp, writes: I)
     where
         I: IntoIterator<Item = (Bytes, Option<Bytes>)>,
     {
-        let mut map = self.map.write();
-        for (key, value) in writes {
-            map.entry(key).or_default().insert(Version {
-                writer_start,
-                value,
-                committed_at: None,
-            });
+        if self.shards.len() == 1 {
+            let watermark = self.shards[0].watermark();
+            let mut data = self.write_shard(0);
+            let mut pruned = 0;
+            for (key, value) in writes {
+                pruned += data.map.entry(key).or_default().insert(
+                    Version {
+                        writer_start,
+                        value,
+                        committed_at: None,
+                    },
+                    watermark,
+                );
+            }
+            drop(data);
+            self.note_pruned(pruned);
+            return;
         }
+        let tagged: Vec<(usize, (Bytes, Option<Bytes>))> = writes
+            .into_iter()
+            .map(|(key, value)| (self.shard_of(&key), (key, value)))
+            .collect();
+        let mut pruned = 0;
+        for (shard, group) in self.by_shard(tagged) {
+            let watermark = self.shards[shard].watermark();
+            let mut data = self.write_shard(shard);
+            for (key, value) in group {
+                pruned += data.map.entry(key).or_default().insert(
+                    Version {
+                        writer_start,
+                        value,
+                        committed_at: None,
+                    },
+                    watermark,
+                );
+            }
+        }
+        self.note_pruned(pruned);
     }
 
-    /// Stamps the commit timestamp onto a writer's versions (eager variant
-    /// of the §2.2 "written back into the database" option).
+    /// Stamps the commit timestamp onto a writer's versions — the eager
+    /// variant of the §2.2 "written back into the database" option — and
+    /// records the commit in each touched shard's recent-commit cache.
+    ///
+    /// Called only after the commit is published (commit index for
+    /// immediate-publish modes, post-quorum for `Durability::Sync`) or
+    /// replayed from the WAL, so a stamp can never name an uncommitted
+    /// transaction. Versions already removed by abort cleanup are silently
+    /// skipped: stamping is keyed by `(key, writer_start)` and a missing
+    /// version is a no-op, so the abort path cannot be stamped.
     pub fn stamp_commit<'a, I>(&self, writer_start: Timestamp, commit_ts: Timestamp, keys: I)
     where
         I: IntoIterator<Item = &'a Bytes>,
     {
-        let mut map = self.map.write();
-        for key in keys {
-            if let Some(chain) = map.get_mut(key) {
-                if let Ok(i) = chain
-                    .versions
-                    .binary_search_by_key(&writer_start, |v| v.writer_start)
-                {
-                    chain.versions[i].committed_at = Some(commit_ts);
+        let tagged: Vec<(usize, &Bytes)> = keys
+            .into_iter()
+            .map(|key| (self.shard_of(key), key))
+            .collect();
+        for (shard, group) in self.by_shard(tagged) {
+            let mut data = self.write_shard(shard);
+            data.recent.record(writer_start, commit_ts);
+            for key in group {
+                if let Some(chain) = data.map.get_mut(key) {
+                    if let Ok(i) = chain
+                        .versions
+                        .binary_search_by_key(&writer_start, |v| v.writer_start)
+                    {
+                        chain.versions[i].committed_at = Some(commit_ts);
+                    }
                 }
             }
         }
     }
 
-    /// Removes a writer's versions (abort cleanup).
+    /// Removes a writer's versions (abort cleanup), visiting shards in
+    /// ascending order.
     pub fn remove_versions<'a, I>(&self, writer_start: Timestamp, keys: I)
     where
         I: IntoIterator<Item = &'a Bytes>,
     {
-        let mut map = self.map.write();
-        for key in keys {
-            if let Some(chain) = map.get_mut(key) {
-                chain.remove(writer_start);
-                if chain.versions.is_empty() {
-                    map.remove(key);
+        let tagged: Vec<(usize, &Bytes)> = keys
+            .into_iter()
+            .map(|key| (self.shard_of(key), key))
+            .collect();
+        for (shard, group) in self.by_shard(tagged) {
+            let mut data = self.write_shard(shard);
+            for key in group {
+                if let Some(chain) = data.map.get_mut(key) {
+                    chain.remove(writer_start);
+                    if chain.versions.is_empty() {
+                        data.map.remove(key);
+                    }
                 }
             }
         }
     }
 
-    /// Reads `key` in the snapshot `reader_start`.
+    /// Reads `key` in the snapshot `reader_start`, holding only the key's
+    /// shard lock. Hot-key reads resolve through the version stamp or the
+    /// shard's recent-commit cache — a single binary search plus a cache
+    /// probe, no commit-table detour.
     pub fn read<R: VersionResolver + ?Sized>(
         &self,
         key: &[u8],
         reader_start: Timestamp,
         resolver: &R,
     ) -> SnapshotRead {
-        let map = self.map.read();
-        match map.get(key).and_then(|c| c.read(reader_start, resolver)) {
+        let data = self.read_shard(self.shard_of(key));
+        match data
+            .map
+            .get(key)
+            .and_then(|c| c.read(reader_start, &data.recent, resolver))
+        {
             Some(v) => match &v.value {
                 Some(bytes) => SnapshotRead::Value(bytes.clone()),
                 None => SnapshotRead::Absent, // tombstone
@@ -239,6 +579,11 @@ impl MvccStore {
 
     /// Scans `[start, end)` in the snapshot, returning visible key/value
     /// pairs in key order. Tombstoned keys are omitted.
+    ///
+    /// Shards are visited one read lock at a time; because visibility is
+    /// decided purely by `commit_ts < reader_start` and publication is
+    /// monotone, the merged result equals what a single-lock scan at the
+    /// same snapshot would return.
     pub fn scan<R: VersionResolver + ?Sized>(
         &self,
         start: &[u8],
@@ -247,36 +592,108 @@ impl MvccStore {
         resolver: &R,
         limit: usize,
     ) -> Vec<(Bytes, Bytes)> {
-        let map = self.map.read();
         let upper = match end {
             Some(e) => Bound::Excluded(e),
             None => Bound::Unbounded,
         };
         let mut out = Vec::new();
-        for (key, chain) in map.range::<[u8], _>((Bound::Included(start), upper)) {
-            if out.len() >= limit {
-                break;
-            }
-            if let Some(v) = chain.read(reader_start, resolver) {
-                if let Some(bytes) = &v.value {
-                    out.push((key.clone(), bytes.clone()));
+        for i in 0..self.shards.len() {
+            let data = self.read_shard(i);
+            let mut taken = 0usize;
+            for (key, chain) in data.map.range::<[u8], _>((Bound::Included(start), upper)) {
+                // Each shard contributes at most `limit` pairs: the merged
+                // prefix of length `limit` can only contain keys that are
+                // within the first `limit` of their own shard.
+                if taken >= limit {
+                    break;
+                }
+                if let Some(v) = chain.read(reader_start, &data.recent, resolver) {
+                    if let Some(bytes) = &v.value {
+                        out.push((key.clone(), bytes.clone()));
+                        taken += 1;
+                    }
                 }
             }
         }
+        if self.shards.len() > 1 {
+            out.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        }
+        out.truncate(limit);
         out
     }
 
     /// Number of keys with at least one version.
     pub fn key_count(&self) -> usize {
-        self.map.read().len()
+        (0..self.shards.len())
+            .map(|i| self.read_shard(i).map.len())
+            .sum()
     }
 
     /// Total number of stored versions (for GC tests and memory accounting).
     pub fn version_count(&self) -> usize {
-        self.map.read().values().map(|c| c.versions.len()).sum()
+        (0..self.shards.len())
+            .map(|i| {
+                self.read_shard(i)
+                    .map
+                    .values()
+                    .map(|c| c.versions.len())
+                    .sum::<usize>()
+            })
+            .sum()
     }
 
-    /// Garbage-collects versions no active or future snapshot can read.
+    /// Per-shard `(keys, versions)` footprint, refreshing the registered
+    /// per-shard gauges when instrumented.
+    pub fn shard_footprint(&self) -> Vec<(usize, usize)> {
+        let footprint: Vec<(usize, usize)> = (0..self.shards.len())
+            .map(|i| {
+                let data = self.read_shard(i);
+                (
+                    data.map.len(),
+                    data.map.values().map(|c| c.versions.len()).sum(),
+                )
+            })
+            .collect();
+        if let Some(obs) = &self.obs {
+            obs.set_footprint(&footprint);
+        }
+        footprint
+    }
+
+    /// Raises every shard's GC watermark to at least `watermark` without
+    /// sweeping. Feeds insert-time chain pruning between full GC runs; the
+    /// caller must guarantee `watermark` is ≤ the minimum start timestamp of
+    /// any active or future snapshot.
+    pub fn note_watermark(&self, watermark: Timestamp) {
+        for shard in &self.shards {
+            shard.raise_watermark(watermark);
+        }
+    }
+
+    /// Dumps every version's `(writer_start, committed_at)` stamps, keyed by
+    /// key, in key order. Diagnostic accessor: lets tests assert that WAL
+    /// replay re-derives exactly the stamps the live database had.
+    pub fn dump_stamps(&self) -> VersionStamps {
+        let mut out: VersionStamps = Vec::new();
+        for i in 0..self.shards.len() {
+            let data = self.read_shard(i);
+            for (key, chain) in data.map.iter() {
+                out.push((
+                    key.clone(),
+                    chain
+                        .versions
+                        .iter()
+                        .map(|v| (v.writer_start.raw(), v.committed_at.map(Timestamp::raw)))
+                        .collect(),
+                ));
+            }
+        }
+        out.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        out
+    }
+
+    /// Garbage-collects versions no active or future snapshot can read,
+    /// sweeping shards one at a time in ascending order.
     ///
     /// `watermark` must be ≤ the minimum start timestamp of any active
     /// transaction. For each key the newest committed version with
@@ -284,10 +701,29 @@ impl MvccStore {
     /// oldest possible snapshot); committed versions older than it are
     /// dropped, aborted versions are dropped, and surviving committed
     /// versions get their `committed_at` stamp so the commit table can be
-    /// pruned afterwards.
+    /// pruned afterwards. Each swept shard's watermark is raised, arming
+    /// insert-time pruning for subsequent writes.
     pub fn gc<R: VersionResolver + ?Sized>(&self, watermark: Timestamp, resolver: &R) -> GcStats {
         let mut stats = GcStats::default();
-        let mut map = self.map.write();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut data = self.write_shard(i);
+            stats.merge(Self::gc_shard(&mut data.map, watermark, resolver));
+            drop(data);
+            shard.raise_watermark(watermark);
+        }
+        if let Some(obs) = &self.obs {
+            obs.note_gc_sweep();
+        }
+        stats
+    }
+
+    /// The GC sweep over one shard's key space.
+    fn gc_shard<R: VersionResolver + ?Sized>(
+        map: &mut BTreeMap<Bytes, VersionChain>,
+        watermark: Timestamp,
+        resolver: &R,
+    ) -> GcStats {
+        let mut stats = GcStats::default();
         map.retain(|_, chain| {
             // Pass 1: resolve and stamp; collect fates.
             let mut newest_old_commit: Option<Timestamp> = None;
@@ -351,6 +787,14 @@ impl MvccStore {
         });
         stats
     }
+
+    fn note_pruned(&self, pruned: u64) {
+        if pruned > 0 {
+            if let Some(obs) = &self.obs {
+                obs.note_inline_pruned(pruned);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -372,25 +816,39 @@ mod tests {
         }
     }
 
+    /// Every test layout: the single-lock store and a partitioned one.
+    fn layouts() -> [MvccStore; 2] {
+        [MvccStore::new(), MvccStore::with_shards(8)]
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        for (req, got) in [(0, 1), (1, 1), (3, 4), (8, 8), (9, 16)] {
+            assert_eq!(MvccStore::with_shards(req).shard_count(), got);
+        }
+    }
+
     #[test]
     fn uncommitted_versions_are_invisible() {
-        let store = MvccStore::new();
-        store.insert_version(b("k"), Timestamp(1), Some(b("v")));
-        let r = table(&[]);
-        assert_eq!(store.read(b"k", Timestamp(100), &r), SnapshotRead::Absent);
+        for store in layouts() {
+            store.insert_version(b("k"), Timestamp(1), Some(b("v")));
+            let r = table(&[]);
+            assert_eq!(store.read(b"k", Timestamp(100), &r), SnapshotRead::Absent);
+        }
     }
 
     #[test]
     fn committed_version_visible_after_commit_ts() {
-        let store = MvccStore::new();
-        store.insert_version(b("k"), Timestamp(1), Some(b("v")));
-        let r = table(&[(1, TxnStatus::Committed(Timestamp(2)))]);
-        assert_eq!(
-            store.read(b"k", Timestamp(3), &r),
-            SnapshotRead::Value(b("v"))
-        );
-        // Snapshot at exactly the commit timestamp: not visible (strict <).
-        assert_eq!(store.read(b"k", Timestamp(2), &r), SnapshotRead::Absent);
+        for store in layouts() {
+            store.insert_version(b("k"), Timestamp(1), Some(b("v")));
+            let r = table(&[(1, TxnStatus::Committed(Timestamp(2)))]);
+            assert_eq!(
+                store.read(b"k", Timestamp(3), &r),
+                SnapshotRead::Value(b("v"))
+            );
+            // Snapshot at exactly the commit timestamp: not visible (strict <).
+            assert_eq!(store.read(b"k", Timestamp(2), &r), SnapshotRead::Absent);
+        }
     }
 
     #[test]
@@ -398,156 +856,204 @@ mod tests {
         // Writer A starts first (ts 1) but commits last (ts 6); writer B
         // starts second (ts 2), commits first (ts 3). A snapshot at 10 must
         // see A's value because commit order decides.
-        let store = MvccStore::new();
-        store.insert_version(b("k"), Timestamp(1), Some(b("from-A")));
-        store.insert_version(b("k"), Timestamp(2), Some(b("from-B")));
-        let r = table(&[
-            (1, TxnStatus::Committed(Timestamp(6))),
-            (2, TxnStatus::Committed(Timestamp(3))),
-        ]);
-        assert_eq!(
-            store.read(b"k", Timestamp(10), &r),
-            SnapshotRead::Value(b("from-A"))
-        );
-        // A snapshot between the commits sees B's value.
-        assert_eq!(
-            store.read(b"k", Timestamp(5), &r),
-            SnapshotRead::Value(b("from-B"))
-        );
+        for store in layouts() {
+            store.insert_version(b("k"), Timestamp(1), Some(b("from-A")));
+            store.insert_version(b("k"), Timestamp(2), Some(b("from-B")));
+            let r = table(&[
+                (1, TxnStatus::Committed(Timestamp(6))),
+                (2, TxnStatus::Committed(Timestamp(3))),
+            ]);
+            assert_eq!(
+                store.read(b"k", Timestamp(10), &r),
+                SnapshotRead::Value(b("from-A"))
+            );
+            // A snapshot between the commits sees B's value.
+            assert_eq!(
+                store.read(b"k", Timestamp(5), &r),
+                SnapshotRead::Value(b("from-B"))
+            );
+        }
     }
 
     #[test]
     fn aborted_versions_are_skipped() {
-        let store = MvccStore::new();
-        store.insert_version(b("k"), Timestamp(1), Some(b("old")));
-        store.insert_version(b("k"), Timestamp(3), Some(b("doomed")));
-        let r = table(&[
-            (1, TxnStatus::Committed(Timestamp(2))),
-            (3, TxnStatus::Aborted),
-        ]);
-        assert_eq!(
-            store.read(b"k", Timestamp(10), &r),
-            SnapshotRead::Value(b("old"))
-        );
+        for store in layouts() {
+            store.insert_version(b("k"), Timestamp(1), Some(b("old")));
+            store.insert_version(b("k"), Timestamp(3), Some(b("doomed")));
+            let r = table(&[
+                (1, TxnStatus::Committed(Timestamp(2))),
+                (3, TxnStatus::Aborted),
+            ]);
+            assert_eq!(
+                store.read(b"k", Timestamp(10), &r),
+                SnapshotRead::Value(b("old"))
+            );
+        }
     }
 
     #[test]
     fn tombstone_hides_key() {
-        let store = MvccStore::new();
-        store.insert_version(b("k"), Timestamp(1), Some(b("v")));
-        store.insert_version(b("k"), Timestamp(3), None);
-        let r = table(&[
-            (1, TxnStatus::Committed(Timestamp(2))),
-            (3, TxnStatus::Committed(Timestamp(4))),
-        ]);
-        assert_eq!(store.read(b"k", Timestamp(10), &r), SnapshotRead::Absent);
-        // Older snapshot still sees the value: time travel works.
-        assert_eq!(
-            store.read(b"k", Timestamp(3), &r),
-            SnapshotRead::Value(b("v"))
-        );
+        for store in layouts() {
+            store.insert_version(b("k"), Timestamp(1), Some(b("v")));
+            store.insert_version(b("k"), Timestamp(3), None);
+            let r = table(&[
+                (1, TxnStatus::Committed(Timestamp(2))),
+                (3, TxnStatus::Committed(Timestamp(4))),
+            ]);
+            assert_eq!(store.read(b"k", Timestamp(10), &r), SnapshotRead::Absent);
+            // Older snapshot still sees the value: time travel works.
+            assert_eq!(
+                store.read(b"k", Timestamp(3), &r),
+                SnapshotRead::Value(b("v"))
+            );
+        }
     }
 
     #[test]
     fn remove_versions_cleans_up_abort() {
-        let store = MvccStore::new();
-        store.insert_version(b("k"), Timestamp(1), Some(b("v")));
-        store.remove_versions(Timestamp(1), [&b("k")]);
-        assert_eq!(store.key_count(), 0);
+        for store in layouts() {
+            store.insert_version(b("k"), Timestamp(1), Some(b("v")));
+            store.remove_versions(Timestamp(1), [&b("k")]);
+            assert_eq!(store.key_count(), 0);
+        }
     }
 
     #[test]
     fn scan_returns_visible_keys_in_order() {
-        let store = MvccStore::new();
-        for (i, key) in ["a", "b", "c", "d"].iter().enumerate() {
-            store.insert_version(b(key), Timestamp(i as u64 + 1), Some(b("v")));
+        for store in layouts() {
+            for (i, key) in ["a", "b", "c", "d"].iter().enumerate() {
+                store.insert_version(b(key), Timestamp(i as u64 + 1), Some(b("v")));
+            }
+            let r = table(&[
+                (1, TxnStatus::Committed(Timestamp(10))),
+                (2, TxnStatus::Aborted),
+                (3, TxnStatus::Committed(Timestamp(11))),
+                (4, TxnStatus::Pending),
+            ]);
+            let hits = store.scan(b"a", None, Timestamp(20), &r, usize::MAX);
+            let keys: Vec<_> = hits.iter().map(|(k, _)| k.clone()).collect();
+            assert_eq!(keys, vec![b("a"), b("c")]);
         }
-        let r = table(&[
-            (1, TxnStatus::Committed(Timestamp(10))),
-            (2, TxnStatus::Aborted),
-            (3, TxnStatus::Committed(Timestamp(11))),
-            (4, TxnStatus::Pending),
-        ]);
-        let hits = store.scan(b"a", None, Timestamp(20), &r, usize::MAX);
-        let keys: Vec<_> = hits.iter().map(|(k, _)| k.clone()).collect();
-        assert_eq!(keys, vec![b("a"), b("c")]);
     }
 
     #[test]
     fn scan_respects_bounds_and_limit() {
-        let store = MvccStore::new();
-        for key in ["a", "b", "c", "d"] {
-            store.insert_version(b(key), Timestamp(1), Some(b("v")));
+        for store in layouts() {
+            for key in ["a", "b", "c", "d"] {
+                store.insert_version(b(key), Timestamp(1), Some(b("v")));
+            }
+            let r = table(&[(1, TxnStatus::Committed(Timestamp(2)))]);
+            let hits = store.scan(b"b", Some(b"d"), Timestamp(10), &r, usize::MAX);
+            assert_eq!(hits.len(), 2);
+            let hits = store.scan(b"a", None, Timestamp(10), &r, 3);
+            assert_eq!(hits.len(), 3);
+            assert_eq!(
+                hits.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+                vec![b("a"), b("b"), b("c")],
+                "limited scan keeps the smallest keys across shards"
+            );
         }
-        let r = table(&[(1, TxnStatus::Committed(Timestamp(2)))]);
-        let hits = store.scan(b"b", Some(b"d"), Timestamp(10), &r, usize::MAX);
-        assert_eq!(hits.len(), 2);
-        let hits = store.scan(b"a", None, Timestamp(10), &r, 3);
-        assert_eq!(hits.len(), 3);
     }
 
     #[test]
     fn stamped_commit_resolves_without_table() {
+        for store in layouts() {
+            store.insert_version(b("k"), Timestamp(1), Some(b("v")));
+            store.stamp_commit(Timestamp(1), Timestamp(2), [&b("k")]);
+            // Resolver claims Pending: the stamp must win.
+            let r = table(&[]);
+            assert_eq!(
+                store.read(b"k", Timestamp(5), &r),
+                SnapshotRead::Value(b("v"))
+            );
+        }
+    }
+
+    #[test]
+    fn recent_commit_cache_resolves_sibling_unstamped_versions() {
+        // Two keys in the same (only) shard; stamp only key "a", then ask
+        // for "b": the shard's recent-commit cache must resolve the same
+        // writer without the resolver.
         let store = MvccStore::new();
-        store.insert_version(b("k"), Timestamp(1), Some(b("v")));
-        store.stamp_commit(Timestamp(1), Timestamp(2), [&b("k")]);
-        // Resolver claims Pending: the stamp must win.
-        let r = table(&[]);
+        store.insert_version(b("a"), Timestamp(1), Some(b("va")));
+        store.insert_version(b("b"), Timestamp(1), Some(b("vb")));
+        store.stamp_commit(Timestamp(1), Timestamp(2), [&b("a")]);
+        let r = table(&[]); // resolver would answer Pending
         assert_eq!(
-            store.read(b"k", Timestamp(5), &r),
-            SnapshotRead::Value(b("v"))
+            store.read(b"b", Timestamp(5), &r),
+            SnapshotRead::Value(b("vb"))
         );
+    }
+
+    #[test]
+    fn stamping_a_removed_version_is_a_no_op() {
+        // The abort path: versions removed before any stamp can land. A
+        // late stamp for the same (key, writer) must not resurrect or
+        // mis-stamp anything.
+        for store in layouts() {
+            store.insert_version(b("k"), Timestamp(3), Some(b("doomed")));
+            store.remove_versions(Timestamp(3), [&b("k")]);
+            store.stamp_commit(Timestamp(3), Timestamp(4), [&b("k")]);
+            let r = table(&[]);
+            assert_eq!(store.read(b"k", Timestamp(10), &r), SnapshotRead::Absent);
+            assert_eq!(store.version_count(), 0);
+            // And the stamps dump shows no resurrected version.
+            assert!(store.dump_stamps().is_empty());
+        }
     }
 
     #[test]
     fn gc_drops_superseded_and_aborted_versions() {
-        let store = MvccStore::new();
-        store.insert_version(b("k"), Timestamp(1), Some(b("v1")));
-        store.insert_version(b("k"), Timestamp(3), Some(b("v2")));
-        store.insert_version(b("k"), Timestamp(5), Some(b("dead")));
-        store.insert_version(b("k"), Timestamp(7), Some(b("pending")));
-        let r = table(&[
-            (1, TxnStatus::Committed(Timestamp(2))),
-            (3, TxnStatus::Committed(Timestamp(4))),
-            (5, TxnStatus::Aborted),
-        ]);
-        let stats = store.gc(Timestamp(100), &r);
-        assert_eq!(stats.versions_dropped, 1); // v1 superseded by v2
-        assert_eq!(stats.aborted_removed, 1); // dead
-        assert_eq!(store.version_count(), 2); // v2 + pending
-                                              // v2 still readable, now via its stamp.
-        assert_eq!(
-            store.read(b"k", Timestamp(100), &|_ts: Timestamp| TxnStatus::Pending),
-            SnapshotRead::Value(b("v2"))
-        );
+        for store in layouts() {
+            store.insert_version(b("k"), Timestamp(1), Some(b("v1")));
+            store.insert_version(b("k"), Timestamp(3), Some(b("v2")));
+            store.insert_version(b("k"), Timestamp(5), Some(b("dead")));
+            store.insert_version(b("k"), Timestamp(7), Some(b("pending")));
+            let r = table(&[
+                (1, TxnStatus::Committed(Timestamp(2))),
+                (3, TxnStatus::Committed(Timestamp(4))),
+                (5, TxnStatus::Aborted),
+            ]);
+            let stats = store.gc(Timestamp(100), &r);
+            assert_eq!(stats.versions_dropped, 1); // v1 superseded by v2
+            assert_eq!(stats.aborted_removed, 1); // dead
+            assert_eq!(store.version_count(), 2); // v2 + pending
+                                                  // v2 still readable, now via its stamp.
+            assert_eq!(
+                store.read(b"k", Timestamp(100), &|_ts: Timestamp| TxnStatus::Pending),
+                SnapshotRead::Value(b("v2"))
+            );
+        }
     }
 
     #[test]
     fn gc_keeps_versions_above_watermark() {
-        let store = MvccStore::new();
-        store.insert_version(b("k"), Timestamp(1), Some(b("v1")));
-        store.insert_version(b("k"), Timestamp(3), Some(b("v2")));
-        let r = table(&[
-            (1, TxnStatus::Committed(Timestamp(2))),
-            (3, TxnStatus::Committed(Timestamp(4))),
-        ]);
-        // Watermark 3: an active snapshot at 3 must still read v1.
-        let stats = store.gc(Timestamp(3), &r);
-        assert_eq!(stats.versions_dropped, 0);
-        assert_eq!(
-            store.read(b"k", Timestamp(3), &r),
-            SnapshotRead::Value(b("v1"))
-        );
+        for store in layouts() {
+            store.insert_version(b("k"), Timestamp(1), Some(b("v1")));
+            store.insert_version(b("k"), Timestamp(3), Some(b("v2")));
+            let r = table(&[
+                (1, TxnStatus::Committed(Timestamp(2))),
+                (3, TxnStatus::Committed(Timestamp(4))),
+            ]);
+            // Watermark 3: an active snapshot at 3 must still read v1.
+            let stats = store.gc(Timestamp(3), &r);
+            assert_eq!(stats.versions_dropped, 0);
+            assert_eq!(
+                store.read(b"k", Timestamp(3), &r),
+                SnapshotRead::Value(b("v1"))
+            );
+        }
     }
 
     #[test]
     fn gc_removes_empty_keys() {
-        let store = MvccStore::new();
-        store.insert_version(b("k"), Timestamp(1), Some(b("v")));
-        let r = table(&[(1, TxnStatus::Aborted)]);
-        let stats = store.gc(Timestamp(100), &r);
-        assert_eq!(stats.keys_removed, 1);
-        assert_eq!(store.key_count(), 0);
+        for store in layouts() {
+            store.insert_version(b("k"), Timestamp(1), Some(b("v")));
+            let r = table(&[(1, TxnStatus::Aborted)]);
+            let stats = store.gc(Timestamp(100), &r);
+            assert_eq!(stats.keys_removed, 1);
+            assert_eq!(store.key_count(), 0);
+        }
     }
 
     #[test]
@@ -555,15 +1061,122 @@ mod tests {
         // A tombstone that is the newest committed version below the
         // watermark must be kept: it proves the key is deleted for old
         // snapshots still above its commit.
+        for store in layouts() {
+            store.insert_version(b("k"), Timestamp(1), Some(b("v")));
+            store.insert_version(b("k"), Timestamp(3), None);
+            let r = table(&[
+                (1, TxnStatus::Committed(Timestamp(2))),
+                (3, TxnStatus::Committed(Timestamp(4))),
+            ]);
+            store.gc(Timestamp(100), &r);
+            assert_eq!(store.version_count(), 1);
+            assert_eq!(store.read(b"k", Timestamp(100), &r), SnapshotRead::Absent);
+        }
+    }
+
+    #[test]
+    fn insert_prunes_long_chains_below_the_watermark() {
+        // A hot key written by thousands of already-stamped writers: with
+        // the watermark raised past them, the chain must stay bounded by
+        // insert-time pruning alone (no explicit GC sweep).
         let store = MvccStore::new();
-        store.insert_version(b("k"), Timestamp(1), Some(b("v")));
-        store.insert_version(b("k"), Timestamp(3), None);
-        let r = table(&[
-            (1, TxnStatus::Committed(Timestamp(2))),
-            (3, TxnStatus::Committed(Timestamp(4))),
-        ]);
-        store.gc(Timestamp(100), &r);
-        assert_eq!(store.version_count(), 1);
-        assert_eq!(store.read(b"k", Timestamp(100), &r), SnapshotRead::Absent);
+        for i in 1..=4_000u64 {
+            let start = 2 * i - 1;
+            let commit = 2 * i;
+            store.insert_version(b("hot"), Timestamp(start), Some(b("v")));
+            store.stamp_commit(Timestamp(start), Timestamp(commit), [&b("hot")]);
+            store.note_watermark(Timestamp(commit + 1));
+        }
+        assert!(
+            store.version_count() <= PRUNE_CHAIN_LEN + 1,
+            "chain stayed bounded: {} versions",
+            store.version_count()
+        );
+        // The newest committed version is still the visible one.
+        let r = table(&[]);
+        assert_eq!(
+            store.read(b"hot", Timestamp(u64::MAX), &r),
+            SnapshotRead::Value(b("v"))
+        );
+    }
+
+    #[test]
+    fn insert_pruning_never_drops_unstamped_or_kept_versions() {
+        // Mixed chain: stamped-old (prunable), stamped-new (keep bound),
+        // unstamped pending (must keep). Grow past the threshold and check
+        // the survivors.
+        let store = MvccStore::new();
+        // An unstamped pending version from writer 1.
+        store.insert_version(b("k"), Timestamp(1), Some(b("pending")));
+        for i in 2..=(PRUNE_CHAIN_LEN as u64 + 8) {
+            store.insert_version(b("k"), Timestamp(10 * i), Some(b("v")));
+            store.stamp_commit(Timestamp(10 * i), Timestamp(10 * i + 1), [&b("k")]);
+        }
+        store.note_watermark(Timestamp(u64::MAX));
+        // Next insert triggers the prune.
+        store.insert_version(b("k"), Timestamp(3), Some(b("pending2")));
+        let stamps = store.dump_stamps();
+        let chain = &stamps[0].1;
+        // Both unstamped versions survive; exactly one stamped version (the
+        // newest below the watermark) survives.
+        assert!(chain.contains(&(1, None)));
+        assert!(chain.contains(&(3, None)));
+        assert_eq!(chain.iter().filter(|(_, c)| c.is_some()).count(), 1);
+        let newest = (PRUNE_CHAIN_LEN as u64 + 8) * 10;
+        assert!(chain.contains(&(newest, Some(newest + 1))));
+    }
+
+    #[test]
+    fn sharded_and_single_lock_agree_on_a_mixed_workload() {
+        let single = MvccStore::new();
+        let sharded = MvccStore::with_shards(8);
+        let entries: Vec<(u64, TxnStatus)> = (0..50u64)
+            .map(|i| {
+                let fate = match i % 3 {
+                    0 => TxnStatus::Committed(Timestamp(1000 + i)),
+                    1 => TxnStatus::Aborted,
+                    _ => TxnStatus::Pending,
+                };
+                (i + 1, fate)
+            })
+            .collect();
+        for store in [&single, &sharded] {
+            for i in 0..50u64 {
+                let key = b(&format!("key-{:03}", i * 7 % 40));
+                let value = (i % 5 != 4).then(|| b(&format!("v{i}")));
+                store.insert_version(key, Timestamp(i + 1), value);
+            }
+        }
+        let r = table(&entries);
+        for snap in [
+            Timestamp(1),
+            Timestamp(1010),
+            Timestamp(1025),
+            Timestamp(2000),
+        ] {
+            for i in 0..40u64 {
+                let key = format!("key-{i:03}");
+                assert_eq!(
+                    single.read(key.as_bytes(), snap, &r),
+                    sharded.read(key.as_bytes(), snap, &r),
+                    "key {key} at snapshot {snap:?}"
+                );
+            }
+            assert_eq!(
+                single.scan(b"", None, snap, &r, usize::MAX),
+                sharded.scan(b"", None, snap, &r, usize::MAX)
+            );
+            assert_eq!(
+                single.scan(b"key-010", Some(b"key-030"), snap, &r, 7),
+                sharded.scan(b"key-010", Some(b"key-030"), snap, &r, 7)
+            );
+        }
+        let s1 = single.gc(Timestamp(1015), &r);
+        let s2 = sharded.gc(Timestamp(1015), &r);
+        assert_eq!(s1, s2, "GC stats agree across layouts");
+        assert_eq!(
+            single.scan(b"", None, Timestamp(2000), &r, usize::MAX),
+            sharded.scan(b"", None, Timestamp(2000), &r, usize::MAX)
+        );
     }
 }

@@ -128,6 +128,32 @@ fn lifecycle_counters_reconcile_across_layers() {
         "one end-to-end latency sample per committed write transaction"
     );
 
+    // Identity 4: the partitioned store's per-shard footprint gauges
+    // (refreshed by the `db.stats()` call above) sum to exactly the
+    // aggregate key/version totals that `DbStats` reports — the shard
+    // decomposition loses nothing.
+    let shards = 16; // DbOptions default store_shards
+    let mut gauge_keys = 0u64;
+    let mut gauge_versions = 0u64;
+    for i in 0..shards {
+        gauge_keys += snap
+            .gauges
+            .get(&format!("store_shard_{i}_keys"))
+            .unwrap_or_else(|| panic!("missing store_shard_{i}_keys gauge"));
+        gauge_versions += snap
+            .gauges
+            .get(&format!("store_shard_{i}_versions"))
+            .unwrap_or_else(|| panic!("missing store_shard_{i}_versions gauge"));
+    }
+    assert_eq!(
+        gauge_keys, stats.keys as u64,
+        "shard key gauges sum to stats"
+    );
+    assert_eq!(
+        gauge_versions, stats.versions as u64,
+        "shard version gauges sum to stats"
+    );
+
     // The Prometheus text round-trips losslessly.
     let text = db.render_prometheus().unwrap();
     let parsed = wsi_obs::Snapshot::parse_prometheus(&text).unwrap();

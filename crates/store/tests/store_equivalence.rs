@@ -1,0 +1,241 @@
+//! Observational equivalence of the partitioned version store and the
+//! single-lock layout, plus the eager-stamping replay property.
+//!
+//! The sharded `MvccStore` is a pure performance restructuring: given the
+//! same sequence of transactions, a database on the partitioned store
+//! (`store_shards(16)`) must be indistinguishable — every read, every
+//! commit outcome, every scan, before and after GC — from one on the
+//! single-lock layout (`store_shards(1)`, exactly the pre-sharding store).
+//! These properties drive both databases through identical randomized
+//! interleavings (same shape as `oracle_equivalence.rs` in `wsi-core`) and
+//! compare everything observable.
+//!
+//! The second family covers the eager `committed_at` stamps themselves:
+//! a post-crash WAL replay must re-derive exactly the stamps the live
+//! database had, and aborted writers must never leave a stamp behind.
+
+use proptest::prelude::*;
+use wsi_core::IsolationLevel;
+use wsi_store::{Db, DbOptions, Transaction};
+use wsi_wal::LedgerConfig;
+
+const KEYS: [&[u8]; 7] = [b"a", b"b", b"c", b"d", b"e", b"f", b"g"];
+
+#[derive(Debug, Clone)]
+enum Step {
+    Read(usize),
+    Write(usize, u8),
+    Delete(usize),
+    Scan(usize, usize),
+}
+
+#[derive(Debug, Clone)]
+struct Plan {
+    txns: Vec<Vec<Step>>,
+    schedule: Vec<usize>,
+    gc_every: usize,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..KEYS.len()).prop_map(Step::Read),
+        ((0..KEYS.len()), any::<u8>()).prop_map(|(k, v)| Step::Write(k, v)),
+        (0..KEYS.len()).prop_map(Step::Delete),
+        ((0..KEYS.len()), (1..4usize)).prop_map(|(k, l)| Step::Scan(k, l)),
+    ]
+}
+
+fn plan() -> impl Strategy<Value = Plan> {
+    (2usize..=6)
+        .prop_flat_map(|n| {
+            prop::collection::vec(prop::collection::vec(step(), 1..6), n..=n).prop_flat_map(
+                move |txns| {
+                    let slots: usize = txns.iter().map(|t| t.len() + 1).sum();
+                    (
+                        Just(txns),
+                        prop::collection::vec(0..n, slots..=slots),
+                        1usize..6,
+                    )
+                },
+            )
+        })
+        .prop_map(|(txns, schedule, gc_every)| Plan {
+            txns,
+            schedule,
+            gc_every,
+        })
+}
+
+/// Observable outcome of one database run: every in-transaction read and
+/// scan result in schedule order, every commit outcome, the final snapshot
+/// contents, and the final stats the store reports.
+#[derive(Debug, PartialEq, Eq)]
+struct Trace {
+    reads: Vec<Option<Vec<u8>>>,
+    scans: Vec<Vec<(Vec<u8>, Vec<u8>)>>,
+    commits: Vec<bool>,
+    finale: Vec<(Vec<u8>, Vec<u8>)>,
+    keys: usize,
+    versions: usize,
+}
+
+/// Drives `plan` against `db` single-threaded (the interleaving lives in
+/// the schedule, so both layouts see the very same operation sequence) and
+/// records everything observable. `gc_every` commits, runs a GC sweep.
+fn run(db: &Db, p: &Plan) -> Trace {
+    let mut open: Vec<Option<Transaction>> = (0..p.txns.len()).map(|_| None).collect();
+    let mut cursors = vec![0usize; p.txns.len()];
+    let mut trace = Trace {
+        reads: Vec::new(),
+        scans: Vec::new(),
+        commits: Vec::new(),
+        finale: Vec::new(),
+        keys: 0,
+        versions: 0,
+    };
+    let mut commits = 0usize;
+    for &t in &p.schedule {
+        if cursors[t] > p.txns[t].len() {
+            continue;
+        }
+        let txn = open[t].get_or_insert_with(|| db.begin());
+        if cursors[t] == p.txns[t].len() {
+            let txn = open[t].take().expect("open");
+            trace.commits.push(txn.commit().is_ok());
+            cursors[t] += 1;
+            commits += 1;
+            if commits.is_multiple_of(p.gc_every) {
+                db.gc();
+            }
+            continue;
+        }
+        match p.txns[t][cursors[t]] {
+            Step::Read(k) => trace.reads.push(txn.get(KEYS[k]).map(|b| b.to_vec())),
+            Step::Write(k, v) => txn.put(KEYS[k], &[v]),
+            Step::Delete(k) => txn.delete(KEYS[k]),
+            Step::Scan(k, limit) => trace.scans.push(
+                txn.scan(KEYS[k], None, limit)
+                    .into_iter()
+                    .map(|(k, v)| (k.to_vec(), v.to_vec()))
+                    .collect(),
+            ),
+        }
+        cursors[t] += 1;
+    }
+    drop(open);
+    db.gc();
+    let snap = db.snapshot();
+    trace.finale = snap
+        .scan(b"", None, usize::MAX)
+        .into_iter()
+        .map(|(k, v)| (k.to_vec(), v.to_vec()))
+        .collect();
+    drop(snap);
+    let stats = db.stats();
+    trace.keys = stats.keys;
+    trace.versions = stats.versions;
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Reads, scans, commit outcomes, GC, and final state are identical on
+    /// the partitioned store and the single-lock layout, under both
+    /// isolation levels.
+    #[test]
+    fn sharded_store_is_observationally_equivalent(p in plan()) {
+        for isolation in [IsolationLevel::WriteSnapshot, IsolationLevel::Snapshot] {
+            let single = Db::open(DbOptions::new(isolation).store_shards(1));
+            let sharded = Db::open(DbOptions::new(isolation).store_shards(16));
+            let t1 = run(&single, &p);
+            let t2 = run(&sharded, &p);
+            prop_assert_eq!(&t1, &t2, "layouts diverged under {:?}", isolation);
+        }
+    }
+
+    /// Post-crash WAL replay re-derives exactly the eager `committed_at`
+    /// stamps the live database had — on both layouts.
+    #[test]
+    fn replay_re_derives_identical_stamps(p in plan()) {
+        for shards in [1usize, 16] {
+            let options = DbOptions::new(IsolationLevel::WriteSnapshot)
+                .store_shards(shards)
+                .durable(LedgerConfig::default_replicated());
+            let db = Db::open(options.clone());
+            let mut open: Vec<Option<Transaction>> =
+                (0..p.txns.len()).map(|_| None).collect();
+            let mut cursors = vec![0usize; p.txns.len()];
+            for &t in &p.schedule {
+                if cursors[t] > p.txns[t].len() {
+                    continue;
+                }
+                let txn = open[t].get_or_insert_with(|| db.begin());
+                if cursors[t] == p.txns[t].len() {
+                    let _ = open[t].take().expect("open").commit();
+                    cursors[t] += 1;
+                    continue;
+                }
+                match p.txns[t][cursors[t]] {
+                    Step::Read(k) => {
+                        let _ = txn.get(KEYS[k]);
+                    }
+                    Step::Write(k, v) => txn.put(KEYS[k], &[v]),
+                    Step::Delete(k) => txn.delete(KEYS[k]),
+                    Step::Scan(k, limit) => {
+                        let _ = txn.scan(KEYS[k], None, limit);
+                    }
+                }
+                cursors[t] += 1;
+            }
+            drop(open);
+            db.flush_wal().unwrap();
+
+            let live = db.version_stamps();
+            // Sync mode stamps at publish time, so by now every surviving
+            // version carries its commit timestamp.
+            for (key, chain) in &live {
+                for (start, stamp) in chain {
+                    prop_assert!(
+                        stamp.is_some(),
+                        "unstamped surviving version: key {:?} writer {}",
+                        key, start
+                    );
+                }
+            }
+            let wal = db.wal_snapshot().expect("durable db");
+            drop(db);
+            let recovered = Db::recover(options, wal).expect("clean log");
+            prop_assert_eq!(live, recovered.version_stamps(),
+                "replay diverged with {} store shards", shards);
+        }
+    }
+}
+
+/// The abort path leaves no stamp behind: a conflict-aborted writer's
+/// versions are removed before any stamping could happen, and the stamps
+/// dump shows only the surviving committer.
+#[test]
+fn aborted_writers_are_never_stamped() {
+    for shards in [1usize, 16] {
+        let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot).store_shards(shards));
+        let mut a = db.begin();
+        let mut b = db.begin();
+        // b reads k then a commits a write to k: b's later write-commit is a
+        // read-write conflict under WSI and must abort.
+        let _ = b.get(b"k");
+        a.put(b"k", b"winner");
+        let a_commit = a.commit().expect("first committer wins").raw();
+        b.put(b"k", b"loser");
+        assert!(b.commit().is_err(), "read-write conflict must abort");
+        let stamps = db.version_stamps();
+        assert_eq!(stamps.len(), 1, "only key k has versions");
+        let chain = &stamps[0].1;
+        assert_eq!(chain.len(), 1, "the aborted writer's version is gone");
+        assert_eq!(
+            chain[0].1,
+            Some(a_commit),
+            "the surviving version is the committer's, eagerly stamped"
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! 8-thread invariant stress for the partitioned version store.
+//!
+//! The sharded `MvccStore`'s claims are concurrency claims: disjoint-key
+//! transactions proceed through different shard locks, snapshot readers
+//! run concurrently with committers and the GC, and multi-shard applies
+//! take shard locks one at a time in ascending order. The herd here
+//! exercises exactly those paths — private per-thread counters (disjoint:
+//! must never conflict-abort), shared hot counters (contended: classic
+//! lost-update bait), wide multi-shard write batches, concurrent snapshot
+//! scans, and a GC thread sweeping throughout — and then checks the
+//! observable invariants:
+//!
+//! * **No lost updates** — every counter's final value equals the number of
+//!   successful increments against it; private counters never abort.
+//! * **Monotone snapshot reads** — an observer taking successive snapshots
+//!   of a counter sees a non-decreasing value sequence (commit publication
+//!   is monotone in snapshot order, GC notwithstanding).
+//! * **Reconciliation** — `begins == commits + read-only commits + aborts`,
+//!   no transaction left registered, and `Db::stats` key/version totals
+//!   (summed over shards) agree with a full scan.
+//!
+//! Gated in release mode by `scripts/tier1.sh`; the debug run in the
+//! workspace suite uses the same herd at the same scale.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+
+use wsi_core::IsolationLevel;
+use wsi_store::{Db, DbOptions};
+
+const THREADS: usize = 8;
+const HOT_KEYS: usize = 4;
+const OPS: u64 = 150;
+
+fn private_key(t: usize) -> Vec<u8> {
+    format!("private/{t}").into_bytes()
+}
+
+fn hot_key(k: usize) -> Vec<u8> {
+    format!("hot/{k}").into_bytes()
+}
+
+fn parse(v: Option<bytes::Bytes>) -> u64 {
+    v.map(|b| String::from_utf8_lossy(&b).parse().unwrap())
+        .unwrap_or(0)
+}
+
+/// Runs the herd against `db`: each thread increments its private counter
+/// every round (these must never abort — no other writer touches the key),
+/// increments a hot shared counter with retries, and every few rounds
+/// commits a wide batch spanning every shard plus takes a snapshot scan.
+/// Returns the per-hot-key successful increment counts.
+fn run_herd(db: &Db) -> Vec<u64> {
+    let stop = AtomicBool::new(false);
+    let mut hot_success = vec![0u64; HOT_KEYS];
+    thread::scope(|s| {
+        // The GC thread: sweeps continuously while the herd runs.
+        let gc_db = db.clone();
+        let stop_ref = &stop;
+        s.spawn(move || {
+            while !stop_ref.load(Ordering::Relaxed) {
+                gc_db.gc();
+                thread::yield_now();
+            }
+        });
+
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let db = db.clone();
+                s.spawn(move || {
+                    let mut successes = vec![0u64; HOT_KEYS];
+                    let mut last_seen_private = 0u64;
+                    for i in 0..OPS {
+                        // Private counter: disjoint keys must never abort.
+                        let key = private_key(t);
+                        let mut txn = db.begin();
+                        let n = parse(txn.get(&key));
+                        assert_eq!(n, i, "thread {t}: private counter skipped");
+                        txn.put(&key, (n + 1).to_string().as_bytes());
+                        txn.commit()
+                            .expect("disjoint-key transactions never conflict");
+
+                        // Hot counter: contended increment with retries.
+                        let k = (t + i as usize) % HOT_KEYS;
+                        let key = hot_key(k);
+                        for _ in 0..100_000 {
+                            let mut txn = db.begin();
+                            let n = parse(txn.get(&key));
+                            txn.put(&key, (n + 1).to_string().as_bytes());
+                            match txn.commit() {
+                                Ok(_) => {
+                                    successes[k] += 1;
+                                    break;
+                                }
+                                Err(wsi_store::Error::Aborted(_)) => continue,
+                                Err(e) => panic!("non-conflict failure: {e:?}"),
+                            }
+                        }
+
+                        if i % 8 == 0 {
+                            // Wide batch: one commit spanning many shards
+                            // (ascending-order multi-shard apply).
+                            let mut txn = db.begin();
+                            for j in 0..16 {
+                                txn.put(format!("wide/{t}/{j}").as_bytes(), b"x");
+                            }
+                            txn.commit().expect("wide disjoint batch commits");
+
+                            // Snapshot: concurrent reader + monotonicity.
+                            let snap = db.snapshot();
+                            let seen = parse(snap.get(&private_key(t)));
+                            assert!(
+                                seen >= last_seen_private,
+                                "thread {t}: snapshot went backwards"
+                            );
+                            last_seen_private = seen;
+                            let hits = snap.scan(b"hot/", Some(b"hot0"), usize::MAX);
+                            assert!(hits.len() <= HOT_KEYS, "phantom hot keys");
+                        }
+                    }
+                    successes
+                })
+            })
+            .collect();
+        for handle in handles {
+            let successes = handle.join().expect("herd thread panicked");
+            for (k, n) in successes.into_iter().enumerate() {
+                hot_success[k] += n;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    hot_success
+}
+
+fn assert_invariants(db: &Db, hot_success: &[u64]) {
+    let snap = db.snapshot();
+    for t in 0..THREADS {
+        assert_eq!(
+            parse(snap.get(&private_key(t))),
+            OPS,
+            "thread {t}: lost private update"
+        );
+    }
+    for (k, &expect) in hot_success.iter().enumerate() {
+        assert_eq!(
+            parse(snap.get(&hot_key(k))),
+            expect,
+            "hot key {k}: lost update"
+        );
+    }
+    // Stats totals (summed over shards) agree with a full scan.
+    let all = snap.scan(b"", None, usize::MAX);
+    drop(snap);
+    db.gc();
+    let stats = db.stats();
+    assert_eq!(stats.keys, all.len(), "per-shard key totals diverge");
+    assert!(
+        stats.versions >= stats.keys,
+        "fewer versions than live keys"
+    );
+    assert_eq!(stats.active_transactions, 0, "every txn deregistered");
+    assert_eq!(
+        stats.oracle.begins,
+        stats.oracle.commits + stats.oracle.total_aborts() + stats.oracle.read_only_commits,
+        "begins must reconcile with outcomes: {stats:?}"
+    );
+}
+
+#[test]
+fn sharded_store_herd_keeps_invariants() {
+    let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot).store_shards(16));
+    let hot = run_herd(&db);
+    assert_invariants(&db, &hot);
+}
+
+#[test]
+fn single_lock_store_herd_keeps_invariants() {
+    // The compatibility layout under the same herd: identical invariants.
+    let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot).store_shards(1));
+    let hot = run_herd(&db);
+    assert_invariants(&db, &hot);
+}
+
+#[test]
+fn sharded_store_metrics_are_registered() {
+    let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot).store_shards(8));
+    let hot = run_herd(&db);
+    assert_invariants(&db, &hot);
+    let prom = db.render_prometheus().expect("obs on by default");
+    for series in [
+        "store_shard_contention_total",
+        "store_shard_lock_wait_us",
+        "store_shard_inline_pruned_total",
+        "store_shard_gc_sweeps_total",
+        "store_shard_0_contention_total",
+        "store_shard_7_contention_total",
+        "store_shard_0_keys",
+        "store_shard_7_versions",
+    ] {
+        assert!(prom.contains(series), "missing series {series}");
+    }
+}

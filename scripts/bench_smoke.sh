@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Bench smoke: every wsi-bench binary must still run end-to-end, and every
+# BENCH_*.json artifact it emits must parse and carry a non-empty `results`
+# array. Seconds-scale op counts — this checks the harnesses, not the
+# numbers; the committed full-scale artifacts are produced by the
+# ops-per-thread defaults documented in each binary.
+#
+#   scripts/bench_smoke.sh [bin_dir]
+#
+# Runs inside a scratch directory so the reduced-scale runs never clobber
+# the committed full-scale BENCH_*.json artifacts in the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+bin="${1:-target/release}"
+bin="$(cd "$bin" && pwd)"
+
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+cd "$scratch"
+
+echo "== bench smoke (binaries from $bin, scratch $scratch) =="
+
+# Simulation harnesses: stdout-only, no JSON artifact.
+"$bin/figures" m1 >/dev/null
+"$bin/probe" 10 uniform complex 100000 2 2 >/dev/null
+
+# Artifact-producing benches, reduced scale.
+"$bin/store_concurrency" 200 0 >/dev/null
+"$bin/oracle_scaling" 150 5 >/dev/null
+"$bin/mvcc_scaling" 100 5 >/dev/null
+
+# Every artifact must parse as JSON with a non-empty `results` array (and
+# the metrics snapshot with non-empty counters).
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+import sys
+
+for path, key in [
+    ("BENCH_store_concurrency.json", None),  # top-level array
+    ("BENCH_store_concurrency_metrics.json", None),  # top-level array
+    ("BENCH_oracle_scaling.json", "results"),
+    ("BENCH_mvcc_scaling.json", "results"),
+]:
+    with open(path) as f:
+        doc = json.load(f)
+    entries = doc if key is None else doc.get(key)
+    if not entries:
+        sys.exit(f"{path}: empty or missing '{key or 'top-level array'}'")
+    print(f"  {path}: ok ({len(entries)} entries)")
+EOF
+else
+    echo "  warning: python3 unavailable, skipping JSON validation"
+    for artifact in BENCH_store_concurrency.json BENCH_oracle_scaling.json \
+        BENCH_mvcc_scaling.json; do
+        test -s "$artifact" || { echo "missing $artifact" >&2; exit 1; }
+    done
+fi
+
+echo "== bench smoke ok =="

@@ -25,6 +25,16 @@ cargo clippy --all-targets --workspace -- -D warnings
 cargo test -q -p wsi-core --test oracle_equivalence
 cargo test -q --release -p wsi-store --test sharded_stress
 
+# Partitioned-store gates: the sharded layout must be observationally
+# equivalent to the single-lock layout (proptest over randomized
+# interleavings, both isolation levels), and the 8-thread invariant herd
+# runs in release mode against both layouts plus the metrics exposition.
+cargo test -q -p wsi-store --test store_equivalence
+cargo test -q --release -p wsi-store --test store_shard_stress
+
 # Metrics snapshot artifact: small op count — this is an exposition smoke
 # test, not a benchmark run.
 ./target/release/store_concurrency 200 0
+
+# Every bench harness still runs and emits parseable artifacts.
+scripts/bench_smoke.sh
