@@ -1,6 +1,6 @@
-//! Data-plane throughput of the embedded store: partitioned version store
-//! vs. the single-lock layout, across shards × threads × contention ×
-//! read/write mix.
+//! Data-plane throughput of the embedded store: lock-free arena vs.
+//! partitioned vs. single-lock layouts, across backend × threads ×
+//! contention × read/write mix.
 //!
 //! ```text
 //! cargo run -p wsi-bench --release --bin mvcc_scaling
@@ -10,13 +10,15 @@
 //!
 //! Where `oracle_scaling` isolated the commit-*decision* path, this drives
 //! the full embedded stack — `begin`/snapshot, version-store reads, commit
-//! apply with eager stamping — so the store's shard locks sit exactly where
-//! they sit in production. The oracle is the default sharded one in every
-//! cell; only `DbOptions::store_shards` varies:
+//! apply with eager stamping — so the store's synchronization sits exactly
+//! where it sits in production. The oracle is the default sharded one in
+//! every cell; only the store layout varies:
 //!
 //! * `store-1`  — the single-lock layout: every get, scan, apply, and GC
 //!   funnels through one `RwLock` (the pre-sharding store).
 //! * `store-N`  — the partitioned store with N region shards.
+//! * `arena`    — the lock-free layout: chunked version arena, CAS-published
+//!   chain heads, epoch-based reclamation; readers take no locks at all.
 //!
 //! Mixes (all WSI; writers don't read, so nothing ever conflict-aborts and
 //! every cell measures pure data-plane cost):
@@ -35,18 +37,16 @@
 //! deployment of many concurrent clients per region server; sleeps overlap,
 //! so an 8-thread cell keeps ~8 requests in flight on any host).
 //!
-//! Acceptance ratios (the `summary` block): the headline is the partitioned
-//! store at 8 overlapped clients vs the single-lock path's serial baseline
-//! — the same shape as `oracle_scaling`'s acceptance bar — plus the
-//! same-thread-count 8t ratio, the sharded 8t/1t self-scaling, and the
-//! single-thread raw parity bar (sharding's fixed costs must be ~free).
-//! Read the same-thread-count ratio with the host's core count in mind: on
-//! a multi-core host it is where lock blocking shows directly (blocked
-//! threads idle a core), while on a single core every layout is bound by
-//! the same CPU ceiling — a blocked reader donates its only core to the
-//! lock holder, so the ratio sits near 1.0 by construction and the
-//! separation shows up in the contention counters
-//! (`store_shard_contention_total`) and tail latency instead.
+//! Acceptance ratios (the `summary` block): the headline pair for the
+//! lock-free layout is measured in the **raw** regime, where the store is
+//! actually the bottleneck on any host — arena vs `store-16` at 8
+//! saturated threads (lock-free readers vs shard read-locks under
+//! contention, the ≥1.3× bar) and at 1 thread (the fixed-cost parity bar,
+//! ≥0.95). The think-time cells are reported for completeness but are
+//! sleep-dominated: on a single-core host every layout meets the same
+//! ~think-bound ceiling there (see EXPERIMENTS.md for the methodology
+//! caveat). The sharded-vs-single-lock ratios from the PR-4 harness are
+//! kept unchanged alongside.
 //!
 //! Results go to stdout and `BENCH_mvcc_scaling.json` (a `results` array
 //! plus a `summary` with the acceptance ratios).
@@ -56,10 +56,15 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use wsi_core::IsolationLevel;
-use wsi_store::{Db, DbOptions};
+use wsi_store::{Db, DbOptions, StoreLayout};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
-const STORE_SHARDS: [usize; 3] = [1, 4, 16];
+const BACKENDS: [Backend; 4] = [
+    Backend::Locked(1),
+    Backend::Locked(4),
+    Backend::Locked(16),
+    Backend::Arena,
+];
 /// Private key range per thread under low contention.
 const RANGE_PER_THREAD: u64 = 8 * 1024;
 /// Shared hot range under high contention.
@@ -68,6 +73,31 @@ const HOT_RANGE: u64 = 2 * 1024;
 const READS_PER_OP: usize = 4;
 /// Keys per write-batch commit.
 const WRITE_BATCH: u64 = 64;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Backend {
+    /// The locked layout with N region shards (`store_shards(N)`).
+    Locked(usize),
+    /// The lock-free chunked-arena layout.
+    Arena,
+}
+
+impl Backend {
+    fn name(self) -> String {
+        match self {
+            Backend::Locked(n) => format!("store-{n}"),
+            Backend::Arena => "arena".into(),
+        }
+    }
+
+    fn options(self) -> DbOptions {
+        let options = DbOptions::new(IsolationLevel::WriteSnapshot).with_obs(false);
+        match self {
+            Backend::Locked(n) => options.store_shards(n),
+            Backend::Arena => options.store_layout(StoreLayout::Arena),
+        }
+    }
+}
 
 #[derive(Clone, Copy, PartialEq)]
 enum Contention {
@@ -137,7 +167,7 @@ fn xorshift(state: &mut u64) -> u64 {
 }
 
 struct Row {
-    shards: usize,
+    backend: Backend,
     contention: Contention,
     mix: Mix,
     think_us: u64,
@@ -159,30 +189,29 @@ impl Row {
 }
 
 fn bench_one(
-    shards: usize,
+    backend: Backend,
     contention: Contention,
     mix: Mix,
     think_us: u64,
     threads: usize,
     ops_per_thread: u64,
 ) -> Row {
-    let db = Db::open(
-        DbOptions::new(IsolationLevel::WriteSnapshot)
-            .store_shards(shards)
-            .with_obs(false),
-    );
-    // Pre-populate every key the cell can touch, in chunked commits.
+    let db = Db::open(backend.options());
+    // Pre-compute every key byte-string the cell can touch (so the timed
+    // loops never pay `format!`), then pre-populate in chunked commits.
     let total_keys = contention.keys_needed(threads);
-    let mut next = 0u64;
-    while next < total_keys {
+    let keys: Vec<Vec<u8>> = (0..total_keys).map(key).collect();
+    let mut next = 0usize;
+    while next < keys.len() {
         let mut txn = db.begin();
-        for n in next..(next + 4096).min(total_keys) {
-            txn.put(&key(n), b"initial-value");
+        for k in &keys[next..(next + 4096).min(keys.len())] {
+            txn.put(k, b"initial-value");
         }
         txn.commit().expect("setup commit");
         next += 4096;
     }
 
+    let keys = &keys;
     let started = Instant::now();
     let (reads, writes) = thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
@@ -199,12 +228,13 @@ fn bench_one(
                         }
                         if i % mix.write_every() == 0 {
                             // The apply path: one commit spreading a 64-key
-                            // batch across the store (all one write-lock
-                            // hold on store-1; per-shard visits on store-N).
+                            // batch across the store (one write-lock hold on
+                            // store-1; per-shard visits on store-N; CAS
+                            // publishes on the arena).
                             let mut txn = db.begin();
                             for _ in 0..WRITE_BATCH {
                                 let n = base + xorshift(&mut rng) % range;
-                                txn.put(&key(n), i.to_be_bytes().as_slice());
+                                txn.put(&keys[n as usize], i.to_be_bytes().as_slice());
                             }
                             txn.commit().expect("writers never read: no conflicts");
                             writes += 1;
@@ -212,7 +242,7 @@ fn bench_one(
                             let snap = db.snapshot();
                             for _ in 0..READS_PER_OP {
                                 let n = base + xorshift(&mut rng) % range;
-                                std::hint::black_box(snap.get(&key(n)));
+                                std::hint::black_box(snap.get(&keys[n as usize]));
                             }
                             reads += 1;
                         }
@@ -228,7 +258,7 @@ fn bench_one(
     });
     let elapsed_us = started.elapsed().as_micros();
     Row {
-        shards,
+        backend,
         contention,
         mix,
         think_us,
@@ -242,7 +272,7 @@ fn bench_one(
 
 fn find_throughput(
     rows: &[Row],
-    shards: usize,
+    backend: Backend,
     contention: Contention,
     mix: Mix,
     think_us: u64,
@@ -250,7 +280,7 @@ fn find_throughput(
 ) -> f64 {
     rows.iter()
         .find(|r| {
-            r.shards == shards
+            r.backend == backend
                 && r.contention == contention
                 && r.mix == mix
                 && r.think_us == think_us
@@ -286,7 +316,7 @@ fn main() {
     // so they get extra ops and best-of-3; think cells are sleep-dominated
     // and get best-of-2.
     struct Cell {
-        shards: usize,
+        backend: Backend,
         contention: Contention,
         mix: Mix,
         think_us: u64,
@@ -296,7 +326,7 @@ fn main() {
         best: Option<Row>,
     }
     let mut cells = Vec::new();
-    for &shards in &STORE_SHARDS {
+    for &backend in &BACKENDS {
         for contention in [Contention::Low, Contention::High] {
             for mix in [Mix::ReadHeavy, Mix::WriteHeavy] {
                 for think in [0, think_us] {
@@ -307,7 +337,7 @@ fn main() {
                             (ops_per_thread, 2)
                         };
                         cells.push(Cell {
-                            shards,
+                            backend,
                             contention,
                             mix,
                             think_us: think,
@@ -328,7 +358,7 @@ fn main() {
                 continue;
             }
             let row = bench_one(
-                cell.shards,
+                cell.backend,
                 cell.contention,
                 cell.mix,
                 cell.think_us,
@@ -351,7 +381,7 @@ fn main() {
     for row in &rows {
         println!(
             "{:>9} {:>10} {:>12} {:>6} {:>7} {:>8} {:>8} {:>8} {:>12.0}",
-            format!("store-{}", row.shards),
+            row.backend.name(),
             row.contention.name(),
             row.mix.name(),
             row.think_us,
@@ -365,67 +395,127 @@ fn main() {
 
     // Acceptance ratios, all from the read-heavy low-contention column.
     //
-    // * The headline (the ≥2× bar, same shape as `oracle_scaling`'s
-    //   acceptance): the partitioned store serving 8 overlapped clients vs
-    //   the single-lock path serving one — "does taking the global lock off
-    //   the data plane let added clients buy throughput over the serial
-    //   baseline". Think-time regime, where client overlap exists on any
-    //   host.
-    // * The same-thread-count ratio is reported alongside for honesty: on a
-    //   multi-core host it is where sharding shows directly; on a
-    //   single-core host every lock layout is CPU-ceiling-bound and the
-    //   ratio sits near 1.0 (blocked readers donate their only core to the
-    //   lock holder), so the scaling headline is the informative number.
-    // * The parity ratio (the ≥0.90 bar) uses the raw regime at one thread:
-    //   pure fixed-cost comparison — shard hashing and per-shard lock
-    //   visits must cost ~nothing.
-    let max_shards = *STORE_SHARDS.last().unwrap();
-    let sharded_8t_vs_single_1t =
+    // * The arena pair uses the **raw** regime, where the store (not the
+    //   client sleep) is the bottleneck on any host: at 8 saturated threads
+    //   lock-free chain walks vs shard read-locks (the ≥1.3× bar), and at 1
+    //   thread the fixed-cost parity bar (≥0.95 — arena allocation, hashing,
+    //   and epoch pins must cost ~nothing over the locked fast path).
+    // * The sharded-vs-single-lock ratios keep the PR-4 shape: the headline
+    //   is think-regime 8 overlapped clients vs the serial single-lock
+    //   baseline; the same-thread-count ratio is reported for honesty (≈1.0
+    //   on single-core hosts where every layout is CPU-ceiling-bound); the
+    //   parity bar (≥0.90) is raw single-thread.
+    let locked_1 = Backend::Locked(1);
+    let locked_max = *BACKENDS
+        .iter()
+        .rfind(|b| matches!(b, Backend::Locked(_)))
+        .unwrap();
+    let max_shards = match locked_max {
+        Backend::Locked(n) => n,
+        Backend::Arena => unreachable!(),
+    };
+    let arena_raw_8t =
+        find_throughput(&rows, Backend::Arena, Contention::Low, Mix::ReadHeavy, 0, 8)
+            / find_throughput(&rows, locked_max, Contention::Low, Mix::ReadHeavy, 0, 8);
+    let arena_raw_1t =
+        find_throughput(&rows, Backend::Arena, Contention::Low, Mix::ReadHeavy, 0, 1)
+            / find_throughput(&rows, locked_max, Contention::Low, Mix::ReadHeavy, 0, 1);
+    let arena_raw_high_8t =
         find_throughput(
             &rows,
-            max_shards,
-            Contention::Low,
+            Backend::Arena,
+            Contention::High,
             Mix::ReadHeavy,
-            think_us,
+            0,
             8,
-        ) / find_throughput(&rows, 1, Contention::Low, Mix::ReadHeavy, think_us, 1);
-    let same_threads_8t =
+        ) / find_throughput(&rows, locked_max, Contention::High, Mix::ReadHeavy, 0, 8);
+    let arena_write_raw_8t =
         find_throughput(
             &rows,
-            max_shards,
+            Backend::Arena,
             Contention::Low,
-            Mix::ReadHeavy,
-            think_us,
+            Mix::WriteHeavy,
+            0,
             8,
-        ) / find_throughput(&rows, 1, Contention::Low, Mix::ReadHeavy, think_us, 8);
-    let parity_1t = find_throughput(&rows, max_shards, Contention::Low, Mix::ReadHeavy, 0, 1)
-        / find_throughput(&rows, 1, Contention::Low, Mix::ReadHeavy, 0, 1);
-    let scaling_8t = find_throughput(
+        ) / find_throughput(&rows, locked_max, Contention::Low, Mix::WriteHeavy, 0, 8);
+    let sharded_8t_vs_single_1t = find_throughput(
         &rows,
-        max_shards,
+        locked_max,
         Contention::Low,
         Mix::ReadHeavy,
         think_us,
         8,
     ) / find_throughput(
         &rows,
-        max_shards,
+        locked_1,
         Contention::Low,
         Mix::ReadHeavy,
         think_us,
         1,
     );
-    let write_heavy_8t =
-        find_throughput(
-            &rows,
-            max_shards,
-            Contention::Low,
-            Mix::WriteHeavy,
-            think_us,
-            8,
-        ) / find_throughput(&rows, 1, Contention::Low, Mix::WriteHeavy, think_us, 8);
+    let same_threads_8t = find_throughput(
+        &rows,
+        locked_max,
+        Contention::Low,
+        Mix::ReadHeavy,
+        think_us,
+        8,
+    ) / find_throughput(
+        &rows,
+        locked_1,
+        Contention::Low,
+        Mix::ReadHeavy,
+        think_us,
+        8,
+    );
+    let parity_1t = find_throughput(&rows, locked_max, Contention::Low, Mix::ReadHeavy, 0, 1)
+        / find_throughput(&rows, locked_1, Contention::Low, Mix::ReadHeavy, 0, 1);
+    let scaling_8t = find_throughput(
+        &rows,
+        locked_max,
+        Contention::Low,
+        Mix::ReadHeavy,
+        think_us,
+        8,
+    ) / find_throughput(
+        &rows,
+        locked_max,
+        Contention::Low,
+        Mix::ReadHeavy,
+        think_us,
+        1,
+    );
+    let write_heavy_8t = find_throughput(
+        &rows,
+        locked_max,
+        Contention::Low,
+        Mix::WriteHeavy,
+        think_us,
+        8,
+    ) / find_throughput(
+        &rows,
+        locked_1,
+        Contention::Low,
+        Mix::WriteHeavy,
+        think_us,
+        8,
+    );
     println!(
-        "\nread-heavy low-contention: store-{max_shards} at 8 clients vs single-lock serial \
+        "\narena vs store-{max_shards}, read-heavy low-contention raw 8t: {arena_raw_8t:.2}x \
+         (acceptance bar: ≥1.30)"
+    );
+    println!(
+        "arena vs store-{max_shards}, read-heavy low-contention raw 1t parity: \
+         {arena_raw_1t:.3} (acceptance bar: ≥0.95)"
+    );
+    println!(
+        "arena vs store-{max_shards}, read-heavy high-contention raw 8t: {arena_raw_high_8t:.2}x"
+    );
+    println!(
+        "arena vs store-{max_shards}, write-heavy low-contention raw 8t: {arena_write_raw_8t:.2}x"
+    );
+    println!(
+        "read-heavy low-contention: store-{max_shards} at 8 clients vs single-lock serial \
          baseline (think {think_us} µs): {sharded_8t_vs_single_1t:.2}x"
     );
     println!(
@@ -440,10 +530,10 @@ fn main() {
     for (i, row) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"backend\": \"store-{}\", \"contention\": \"{}\", \"mix\": \"{}\", \
+            "    {{\"backend\": \"{}\", \"contention\": \"{}\", \"mix\": \"{}\", \
              \"think_us\": {}, \"threads\": {}, \"ops\": {}, \"reads\": {}, \"writes\": {}, \
              \"elapsed_us\": {}, \"throughput_tps\": {:.1}}}{}",
-            row.shards,
+            row.backend.name(),
             row.contention.name(),
             row.mix.name(),
             row.think_us,
@@ -460,6 +550,10 @@ fn main() {
         json,
         "  ],\n  \"summary\": {{\n    \"ops_per_thread\": {ops_per_thread},\n    \
          \"think_us\": {think_us},\n    \
+         \"read_heavy_low_raw_8t_arena_vs_locked{max_shards}\": {arena_raw_8t:.3},\n    \
+         \"read_heavy_low_raw_1t_arena_vs_locked{max_shards}\": {arena_raw_1t:.3},\n    \
+         \"read_heavy_high_raw_8t_arena_vs_locked{max_shards}\": {arena_raw_high_8t:.3},\n    \
+         \"write_heavy_low_raw_8t_arena_vs_locked{max_shards}\": {arena_write_raw_8t:.3},\n    \
          \"read_heavy_low_sharded_8t_vs_single_lock_1t\": {sharded_8t_vs_single_1t:.3},\n    \
          \"read_heavy_low_8t_same_threads_sharded_vs_single_lock\": {same_threads_8t:.3},\n    \
          \"write_heavy_low_8t_same_threads_sharded_vs_single_lock\": {write_heavy_8t:.3},\n    \

@@ -49,8 +49,8 @@ use wsi_wal::{Ledger, LedgerConfig, LedgerObs, LedgerStats};
 use crate::{
     commit_index::CommitIndex,
     error::{Error, Result},
-    mvcc::{GcStats, MvccStore, VersionStamps},
-    obs::{StoreObs, StoreShardObs},
+    mvcc::{GcStats, MvccStore, StoreLayout, VersionStamps},
+    obs::{ArenaObs, StoreObs, StoreShardObs},
     pipeline::{CommitPipeline, PublishCtx},
     record::{self, StoreRecord},
     registry::ActiveTxnRegistry,
@@ -155,7 +155,13 @@ pub struct DbOptions {
     /// Shard count of the partitioned version store (rounded up to a power
     /// of two). `1` selects the single-lock layout — exactly the
     /// pre-sharding store, kept for equivalence tests and as a baseline.
+    /// Only meaningful under [`StoreLayout::Locked`].
     pub store_shards: usize,
+    /// Version-store data-plane layout: the lock-free chunked arena
+    /// (default) or the locked-shard layout. [`DbOptions::store_shards`]
+    /// selects [`StoreLayout::Locked`] implicitly, so existing call sites
+    /// that ask for a shard count keep their meaning.
+    pub store_layout: StoreLayout,
 }
 
 impl DbOptions {
@@ -170,14 +176,24 @@ impl DbOptions {
             obs: true,
             oracle: OracleMode::default(),
             store_shards: DEFAULT_STORE_SHARDS,
+            store_layout: StoreLayout::default(),
         }
     }
 
-    /// Sets the version store's shard count (rounded up to a power of two;
-    /// `1` = the single-lock layout).
+    /// Selects the locked layout and sets its shard count (rounded up to a
+    /// power of two; `1` = the single-lock layout).
     #[must_use]
     pub fn store_shards(mut self, shards: usize) -> Self {
+        self.store_layout = StoreLayout::Locked;
         self.store_shards = shards;
+        self
+    }
+
+    /// Sets the version-store layout explicitly. [`StoreLayout::Locked`]
+    /// uses the current [`DbOptions::store_shards`] count.
+    #[must_use]
+    pub fn store_layout(mut self, layout: StoreLayout) -> Self {
+        self.store_layout = layout;
         self
     }
 
@@ -465,7 +481,10 @@ impl Db {
                 )
             }
         };
-        let mut mvcc = MvccStore::with_shards(options.store_shards);
+        let mut mvcc = match options.store_layout {
+            StoreLayout::Locked => MvccStore::with_shards(options.store_shards),
+            StoreLayout::Arena => MvccStore::arena(),
+        };
         if let Some(obs) = &obs {
             counters.register_in(&obs.registry);
             if let Some(wal_obs) = &wal_obs {
@@ -474,9 +493,15 @@ impl Db {
             if let CommitOracle::Sharded(sharded) = &oracle {
                 sharded.shard_obs().register_in(&obs.registry);
             }
-            let shard_obs = Arc::new(StoreShardObs::new(mvcc.shard_count()));
-            shard_obs.register_in(&obs.registry);
-            mvcc.attach_obs(shard_obs);
+            if mvcc.is_arena() {
+                let arena_obs = Arc::new(ArenaObs::new());
+                arena_obs.register_in(&obs.registry);
+                mvcc.attach_arena_obs(arena_obs);
+            } else {
+                let shard_obs = Arc::new(StoreShardObs::new(mvcc.shard_count()));
+                shard_obs.register_in(&obs.registry);
+                mvcc.attach_obs(shard_obs);
+            }
         }
         Db {
             inner: Arc::new(DbInner {
@@ -963,6 +988,10 @@ impl Db {
         {
             let watermark = self.inner.registry.watermark(&self.inner.ts);
             self.inner.mvcc.note_watermark(watermark);
+            // Arena layout: the same amortized tick advances the
+            // reclamation epoch and frees matured limbo entries, so
+            // retired versions are reclaimed even without explicit GC.
+            self.inner.mvcc.maintain();
         }
     }
 
@@ -993,6 +1022,14 @@ impl Db {
             wal,
             wal_enabled: self.inner.pipeline.is_some(),
         }
+    }
+
+    /// Epoch-reclamation accounting of the arena store layout; `None` under
+    /// [`StoreLayout::Locked`]. Reads the same atomics as the exported
+    /// `store_versions_*` series, so the identity `retired == freed + limbo`
+    /// is exact at any quiescent point.
+    pub fn reclamation(&self) -> Option<crate::mvcc::ReclamationStats> {
+        self.inner.mvcc.reclamation()
     }
 
     /// Dumps every stored version's `(writer_start, committed_at)` raw

@@ -48,6 +48,7 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+mod arena;
 mod commit_index;
 mod db;
 mod error;
@@ -64,7 +65,9 @@ mod txn;
 pub use commit_index::CommitIndex;
 pub use db::{Db, DbOptions, DbStats, Durability, OracleMode};
 pub use error::{Error, Result};
-pub use mvcc::{GcStats, MvccStore, SnapshotRead, VersionResolver, VersionStamps};
+pub use mvcc::{
+    GcStats, MvccStore, ReclamationStats, SnapshotRead, StoreLayout, VersionResolver, VersionStamps,
+};
 pub use record::{decode as decode_record, encode as encode_record, StoreRecord};
 pub use snapshot::Snapshot;
 pub use txn::Transaction;

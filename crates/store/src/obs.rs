@@ -178,3 +178,64 @@ impl StoreShardObs {
         }
     }
 }
+
+/// Epoch/reclamation metrics of the lock-free arena store, registered under
+/// `store_epoch` / `store_versions_*` / `store_arena_*` names.
+///
+/// The reconciliation identity `store_versions_retired_total ==
+/// store_versions_freed_total + store_limbo_versions` is asserted by the
+/// `obs_reconcile` integration test against `MvccStore::reclamation`, which
+/// reads the same underlying atomics — so the exported series can never
+/// drift from `Db::stats()`.
+#[derive(Debug)]
+pub(crate) struct ArenaObs {
+    /// Current global reclamation epoch.
+    pub(crate) epoch: Gauge,
+    /// Versions unlinked and retired to the limbo list (lifetime total).
+    pub(crate) retired: Counter,
+    /// Retired versions whose grace period expired and whose slots were
+    /// recycled (lifetime total).
+    pub(crate) freed: Counter,
+    /// Versions currently in limbo (retired − freed).
+    pub(crate) limbo: Gauge,
+    /// Arena chunks allocated (each holds a fixed number of version slots).
+    pub(crate) chunks: Gauge,
+    /// Keys with at least one published version, refreshed on GC and
+    /// `Db::stats`.
+    pub(crate) keys: Gauge,
+    /// Published versions resident, refreshed on GC and `Db::stats`.
+    pub(crate) versions: Gauge,
+    /// Versions unlinked by insert-time chain pruning (between GC sweeps).
+    pub(crate) inline_pruned: Counter,
+    /// Full store sweeps performed by the GC.
+    pub(crate) gc_sweeps: Counter,
+}
+
+impl ArenaObs {
+    pub(crate) fn new() -> Self {
+        ArenaObs {
+            epoch: Gauge::new(),
+            retired: Counter::new(),
+            freed: Counter::new(),
+            limbo: Gauge::new(),
+            chunks: Gauge::new(),
+            keys: Gauge::new(),
+            versions: Gauge::new(),
+            inline_pruned: Counter::new(),
+            gc_sweeps: Counter::new(),
+        }
+    }
+
+    /// Registers every series under its exported name.
+    pub(crate) fn register_in(&self, registry: &Registry) {
+        registry.register_gauge("store_epoch", &self.epoch);
+        registry.register_counter("store_versions_retired_total", &self.retired);
+        registry.register_counter("store_versions_freed_total", &self.freed);
+        registry.register_gauge("store_limbo_versions", &self.limbo);
+        registry.register_gauge("store_arena_chunks", &self.chunks);
+        registry.register_gauge("store_arena_keys", &self.keys);
+        registry.register_gauge("store_arena_versions", &self.versions);
+        registry.register_counter("store_arena_inline_pruned_total", &self.inline_pruned);
+        registry.register_counter("store_arena_gc_sweeps_total", &self.gc_sweeps);
+    }
+}

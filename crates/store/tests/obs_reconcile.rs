@@ -2,10 +2,11 @@
 //!
 //! The observability layer is only trustworthy if independent counters
 //! agree: every transaction that begins must end exactly once (commit,
-//! read-only commit, or abort), and every commit the oracle counts must
-//! have exactly one durable commit record in the WAL. This test drives a
-//! racy multi-threaded workload and checks both identities, plus that the
-//! registry exposition sees the same numbers as `Db::stats()`.
+//! read-only commit, or abort), every commit the oracle counts must have
+//! exactly one durable commit record in the WAL, and every version the
+//! arena store retires must be accounted as freed or in limbo. This test
+//! drives a racy multi-threaded workload and checks the identities, plus
+//! that the registry exposition sees the same numbers as `Db::stats()`.
 
 use std::sync::Arc;
 use std::thread;
@@ -18,15 +19,12 @@ const THREADS: usize = 8;
 const TXNS_PER_THREAD: usize = 150;
 const KEYS: u64 = 64;
 
-#[test]
-fn lifecycle_counters_reconcile_across_layers() {
-    let db = Arc::new(Db::open(
-        DbOptions::new(IsolationLevel::WriteSnapshot).durable(LedgerConfig::default_replicated()),
-    ));
-
+/// Drives the racy mixed workload (read-modify-writes, rollbacks,
+/// read-only transactions) from [`THREADS`] threads.
+fn drive_workload(db: &Arc<Db>) {
     let workers: Vec<_> = (0..THREADS)
         .map(|t| {
-            let db = Arc::clone(&db);
+            let db = Arc::clone(db);
             thread::spawn(move || {
                 for i in 0..TXNS_PER_THREAD {
                     let k1 = ((t * TXNS_PER_THREAD + i) as u64 * 7) % KEYS;
@@ -61,11 +59,23 @@ fn lifecycle_counters_reconcile_across_layers() {
     for w in workers {
         w.join().unwrap();
     }
+}
+
+#[test]
+fn lifecycle_counters_reconcile_across_layers() {
+    // Default options: the lock-free arena store layout.
+    let db = Arc::new(Db::open(
+        DbOptions::new(IsolationLevel::WriteSnapshot).durable(LedgerConfig::default_replicated()),
+    ));
+    drive_workload(&db);
     // A handful of snapshots: their drops count as read-only commits.
     for _ in 0..3 {
         let snap = db.snapshot();
         drop(snap);
     }
+    // A GC pass exercises the retire path so the reclamation identity below
+    // is checked against non-trivial counts.
+    let _ = db.gc();
 
     let stats = db.stats();
     let oracle = stats.oracle;
@@ -128,11 +138,68 @@ fn lifecycle_counters_reconcile_across_layers() {
         "one end-to-end latency sample per committed write transaction"
     );
 
-    // Identity 4: the partitioned store's per-shard footprint gauges
-    // (refreshed by the `db.stats()` call above) sum to exactly the
-    // aggregate key/version totals that `DbStats` reports — the shard
-    // decomposition loses nothing.
-    let shards = 16; // DbOptions default store_shards
+    // Identity 4: the arena store's footprint gauges (refreshed by the
+    // `db.stats()` call above) equal the aggregate key/version totals that
+    // `DbStats` reports — the exposition loses nothing.
+    assert_eq!(
+        snap.gauges.get("store_arena_keys"),
+        Some(&(stats.keys as u64)),
+        "arena key gauge equals stats"
+    );
+    assert_eq!(
+        snap.gauges.get("store_arena_versions"),
+        Some(&(stats.versions as u64)),
+        "arena version gauge equals stats"
+    );
+
+    // Identity 5: epoch reclamation balances. Every retired version is
+    // either freed or still in limbo — across `Db::reclamation()`, the
+    // exported counters, and the limbo gauge.
+    let rec = db.reclamation().expect("default layout is the arena");
+    assert_eq!(
+        rec.retired,
+        rec.freed + rec.limbo,
+        "retired == freed + limbo"
+    );
+    assert!(
+        rec.retired > 0,
+        "the GC pass retired superseded/aborted versions"
+    );
+    assert_eq!(
+        snap.counters.get("store_versions_retired_total"),
+        Some(&rec.retired)
+    );
+    assert_eq!(
+        snap.counters.get("store_versions_freed_total"),
+        Some(&rec.freed)
+    );
+    assert_eq!(snap.gauges.get("store_limbo_versions"), Some(&rec.limbo));
+    assert_eq!(snap.gauges.get("store_epoch"), Some(&rec.epoch));
+    assert_eq!(snap.gauges.get("store_arena_chunks"), Some(&rec.chunks));
+    assert!(rec.chunks > 0, "the workload allocated at least one chunk");
+
+    // The Prometheus text round-trips losslessly.
+    let text = db.render_prometheus().unwrap();
+    let parsed = wsi_obs::Snapshot::parse_prometheus(&text).unwrap();
+    assert_eq!(parsed, snap);
+}
+
+#[test]
+fn locked_layout_shard_gauges_reconcile() {
+    // The locked-shard layout keeps its per-shard footprint decomposition:
+    // the 16 shard gauges must sum to exactly the aggregate totals.
+    let shards = 16usize;
+    let db = Arc::new(Db::open(
+        DbOptions::new(IsolationLevel::WriteSnapshot).store_shards(shards),
+    ));
+    drive_workload(&db);
+
+    let stats = db.stats();
+    let snap = db.obs_snapshot().expect("obs enabled by default");
+    assert!(
+        db.reclamation().is_none(),
+        "locked layout has no limbo list"
+    );
     let mut gauge_keys = 0u64;
     let mut gauge_versions = 0u64;
     for i in 0..shards {
@@ -153,9 +220,4 @@ fn lifecycle_counters_reconcile_across_layers() {
         gauge_versions, stats.versions as u64,
         "shard version gauges sum to stats"
     );
-
-    // The Prometheus text round-trips losslessly.
-    let text = db.render_prometheus().unwrap();
-    let parsed = wsi_obs::Snapshot::parse_prometheus(&text).unwrap();
-    assert_eq!(parsed, snap);
 }

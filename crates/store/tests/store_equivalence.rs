@@ -1,25 +1,41 @@
-//! Observational equivalence of the partitioned version store and the
-//! single-lock layout, plus the eager-stamping replay property.
+//! Observational equivalence across every version-store layout, plus the
+//! eager-stamping replay property.
 //!
-//! The sharded `MvccStore` is a pure performance restructuring: given the
-//! same sequence of transactions, a database on the partitioned store
-//! (`store_shards(16)`) must be indistinguishable — every read, every
+//! Both restructured stores are pure performance work: given the same
+//! sequence of transactions, a database on the partitioned store
+//! (`store_shards(16)`) or on the lock-free arena (the default
+//! `StoreLayout::Arena`) must be indistinguishable — every read, every
 //! commit outcome, every scan, before and after GC — from one on the
 //! single-lock layout (`store_shards(1)`, exactly the pre-sharding store).
-//! These properties drive both databases through identical randomized
+//! These properties drive all three databases through identical randomized
 //! interleavings (same shape as `oracle_equivalence.rs` in `wsi-core`) and
 //! compare everything observable.
 //!
 //! The second family covers the eager `committed_at` stamps themselves:
 //! a post-crash WAL replay must re-derive exactly the stamps the live
-//! database had, and aborted writers must never leave a stamp behind.
+//! database had, and aborted writers must never leave a stamp behind — on
+//! all three layouts.
 
 use proptest::prelude::*;
 use wsi_core::IsolationLevel;
-use wsi_store::{Db, DbOptions, Transaction};
+use wsi_store::{Db, DbOptions, StoreLayout, Transaction};
 use wsi_wal::LedgerConfig;
 
 const KEYS: [&[u8]; 7] = [b"a", b"b", b"c", b"d", b"e", b"f", b"g"];
+
+/// The three store layouts every property in this file quantifies over:
+/// single-lock (the seed layout), locked 16-way sharding (PR 4), and the
+/// lock-free chunked arena.
+fn layout_matrix(isolation: IsolationLevel) -> [(&'static str, DbOptions); 3] {
+    [
+        ("locked-1", DbOptions::new(isolation).store_shards(1)),
+        ("locked-16", DbOptions::new(isolation).store_shards(16)),
+        (
+            "arena",
+            DbOptions::new(isolation).store_layout(StoreLayout::Arena),
+        ),
+    ]
+}
 
 #[derive(Debug, Clone)]
 enum Step {
@@ -141,27 +157,30 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     /// Reads, scans, commit outcomes, GC, and final state are identical on
-    /// the partitioned store and the single-lock layout, under both
+    /// the single-lock, sharded, and lock-free arena layouts, under both
     /// isolation levels.
     #[test]
-    fn sharded_store_is_observationally_equivalent(p in plan()) {
+    fn all_store_layouts_are_observationally_equivalent(p in plan()) {
         for isolation in [IsolationLevel::WriteSnapshot, IsolationLevel::Snapshot] {
-            let single = Db::open(DbOptions::new(isolation).store_shards(1));
-            let sharded = Db::open(DbOptions::new(isolation).store_shards(16));
-            let t1 = run(&single, &p);
-            let t2 = run(&sharded, &p);
-            prop_assert_eq!(&t1, &t2, "layouts diverged under {:?}", isolation);
+            let [(_, single), (sharded_name, sharded), (arena_name, arena)] =
+                layout_matrix(isolation);
+            let reference = run(&Db::open(single), &p);
+            for (name, options) in [(sharded_name, sharded), (arena_name, arena)] {
+                let t = run(&Db::open(options), &p);
+                prop_assert_eq!(
+                    &reference, &t,
+                    "{} diverged from locked-1 under {:?}", name, isolation
+                );
+            }
         }
     }
 
     /// Post-crash WAL replay re-derives exactly the eager `committed_at`
-    /// stamps the live database had — on both layouts.
+    /// stamps the live database had — on all three layouts.
     #[test]
     fn replay_re_derives_identical_stamps(p in plan()) {
-        for shards in [1usize, 16] {
-            let options = DbOptions::new(IsolationLevel::WriteSnapshot)
-                .store_shards(shards)
-                .durable(LedgerConfig::default_replicated());
+        for (name, base) in layout_matrix(IsolationLevel::WriteSnapshot) {
+            let options = base.durable(LedgerConfig::default_replicated());
             let db = Db::open(options.clone());
             let mut open: Vec<Option<Transaction>> =
                 (0..p.txns.len()).map(|_| None).collect();
@@ -207,18 +226,18 @@ proptest! {
             drop(db);
             let recovered = Db::recover(options, wal).expect("clean log");
             prop_assert_eq!(live, recovered.version_stamps(),
-                "replay diverged with {} store shards", shards);
+                "replay diverged on the {} layout", name);
         }
     }
 }
 
-/// The abort path leaves no stamp behind: a conflict-aborted writer's
-/// versions are removed before any stamping could happen, and the stamps
-/// dump shows only the surviving committer.
+/// The abort path leaves no stamp behind on any layout: a conflict-aborted
+/// writer's versions are removed before any stamping could happen, and the
+/// stamps dump shows only the surviving committer.
 #[test]
 fn aborted_writers_are_never_stamped() {
-    for shards in [1usize, 16] {
-        let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot).store_shards(shards));
+    for (_, options) in layout_matrix(IsolationLevel::WriteSnapshot) {
+        let db = Db::open(options);
         let mut a = db.begin();
         let mut b = db.begin();
         // b reads k then a commits a write to k: b's later write-commit is a

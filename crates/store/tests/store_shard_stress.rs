@@ -1,9 +1,12 @@
-//! 8-thread invariant stress for the partitioned version store.
+//! 8-thread invariant stress for the restructured version stores.
 //!
-//! The sharded `MvccStore`'s claims are concurrency claims: disjoint-key
-//! transactions proceed through different shard locks, snapshot readers
-//! run concurrently with committers and the GC, and multi-shard applies
-//! take shard locks one at a time in ascending order. The herd here
+//! Both restructured `MvccStore` layouts make concurrency claims: on the
+//! sharded layout disjoint-key transactions proceed through different
+//! shard locks and multi-shard applies take shard locks one at a time in
+//! ascending order; on the lock-free arena layout readers walk chains with
+//! no locks at all while writers CAS-publish and the epoch reclaimer
+//! retires and frees superseded versions. Snapshot readers run
+//! concurrently with committers and the GC on every layout. The herd here
 //! exercises exactly those paths — private per-thread counters (disjoint:
 //! must never conflict-abort), shared hot counters (contended: classic
 //! lost-update bait), wide multi-shard write batches, concurrent snapshot
@@ -180,6 +183,41 @@ fn single_lock_store_herd_keeps_invariants() {
     let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot).store_shards(1));
     let hot = run_herd(&db);
     assert_invariants(&db, &hot);
+}
+
+#[test]
+fn arena_store_herd_keeps_invariants() {
+    // The lock-free arena layout (the default) under the same herd. The
+    // herd's dedicated GC thread sweeps and advances the reclamation epoch
+    // concurrently with every reader and committer throughout the run, so
+    // this also stresses retire/free against pinned chain walks.
+    let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot));
+    let hot = run_herd(&db);
+    assert_invariants(&db, &hot);
+
+    // Reclamation accounting must balance after the concurrent sweeps:
+    // every retired version is freed or still parked in limbo, and the
+    // contended herd definitely superseded versions for the GC to retire.
+    let rec = db.reclamation().expect("default layout is the arena");
+    assert_eq!(rec.retired, rec.freed + rec.limbo, "retired=freed+limbo");
+    assert!(rec.retired > 0, "GC retired superseded versions");
+    assert!(rec.freed > 0, "epoch advanced enough to free some");
+    assert!(rec.epoch >= 3, "concurrent GC advanced the epoch");
+
+    let prom = db.render_prometheus().expect("obs on by default");
+    for series in [
+        "store_epoch",
+        "store_versions_retired_total",
+        "store_versions_freed_total",
+        "store_limbo_versions",
+        "store_arena_chunks",
+        "store_arena_keys",
+        "store_arena_versions",
+        "store_arena_inline_pruned_total",
+        "store_arena_gc_sweeps_total",
+    ] {
+        assert!(prom.contains(series), "missing series {series}");
+    }
 }
 
 #[test]

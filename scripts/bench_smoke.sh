@@ -30,6 +30,23 @@ echo "== bench smoke (binaries from $bin, scratch $scratch) =="
 "$bin/oracle_scaling" 150 5 >/dev/null
 "$bin/mvcc_scaling" 100 5 >/dev/null
 
+# A bench binary that exits 0 without writing its artifact is a harness
+# bug, not a validation detail: fail loudly, naming the missing artifact,
+# before any JSON parsing (which would otherwise surface the problem as an
+# unrelated-looking open() traceback).
+missing=0
+for artifact in BENCH_store_concurrency.json \
+    BENCH_store_concurrency_metrics.json BENCH_oracle_scaling.json \
+    BENCH_mvcc_scaling.json; do
+    if ! test -s "$artifact"; then
+        echo "error: bench ran but produced no artifact: $artifact" >&2
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    exit 1
+fi
+
 # Every artifact must parse as JSON with a non-empty `results` array (and
 # the metrics snapshot with non-empty counters).
 if command -v python3 >/dev/null 2>&1; then
@@ -51,11 +68,7 @@ for path, key in [
     print(f"  {path}: ok ({len(entries)} entries)")
 EOF
 else
-    echo "  warning: python3 unavailable, skipping JSON validation"
-    for artifact in BENCH_store_concurrency.json BENCH_oracle_scaling.json \
-        BENCH_mvcc_scaling.json; do
-        test -s "$artifact" || { echo "missing $artifact" >&2; exit 1; }
-    done
+    echo "  warning: python3 unavailable, JSON content checked by size only"
 fi
 
 echo "== bench smoke ok =="

@@ -25,12 +25,20 @@ cargo clippy --all-targets --workspace -- -D warnings
 cargo test -q -p wsi-core --test oracle_equivalence
 cargo test -q --release -p wsi-store --test sharded_stress
 
-# Partitioned-store gates: the sharded layout must be observationally
-# equivalent to the single-lock layout (proptest over randomized
-# interleavings, both isolation levels), and the 8-thread invariant herd
-# runs in release mode against both layouts plus the metrics exposition.
+# Partitioned-store gates: every store layout (single-lock, sharded,
+# lock-free arena) must be observationally equivalent (proptest over
+# randomized interleavings, both isolation levels), and the 8-thread
+# invariant herd runs in release mode against all layouts — including the
+# arena with a concurrent GC/reclamation thread — plus the metrics
+# exposition.
 cargo test -q -p wsi-store --test store_equivalence
 cargo test -q --release -p wsi-store --test store_shard_stress
+
+# Lock-free protocol models, fast configuration: chain-head CAS publish
+# vs. concurrent readers, and epoch advance vs. retire/free. 32 fuzzed
+# schedules per model keeps the gate seconds-scale; the default (64) runs
+# when the suite is invoked without LOOM_MAX_ITERS.
+LOOM_MAX_ITERS=32 cargo test -q --release -p wsi-store --features loom --test loom_protocols
 
 # Metrics snapshot artifact: small op count — this is an exposition smoke
 # test, not a benchmark run.

@@ -1,0 +1,320 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! The workspace vendors the handful of external crates it uses as minimal
+//! local implementations (see `stubs/README.md`), so the build is hermetic.
+//! The real `loom` exhaustively enumerates thread interleavings under the
+//! C11 memory model via DPOR. This stub approximates that with **seeded
+//! schedule fuzzing**: [`model`] runs the closure many times (default 64,
+//! override with `LOOM_MAX_ITERS`), and every instrumented atomic operation
+//! may call `thread::yield_now` with ~1/8 probability from a per-thread
+//! deterministic xorshift stream reseeded each iteration. Real threads plus
+//! forced preemption at the exact points loom would context-switch shakes
+//! out ordering bugs far more effectively than free-running threads, while
+//! keeping the same test source compatible with the real checker.
+//!
+//! **What this does not give you:** exhaustiveness (no DPOR, no store
+//! buffering/weak-memory simulation — x86-ish TSO only) and no
+//! deterministic counterexample replay. A passing run is strong evidence,
+//! not a proof. The protocol tests that use this stub are written so their
+//! *assertions* are exact; only the schedule coverage is sampled.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread xorshift state driving yield decisions. Zero = inactive
+    /// (threads outside a [`model`] run never yield).
+    static RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Probability denominator: yield on ~1/8 of instrumented operations.
+const YIELD_MASK: u64 = 0x7;
+
+fn tick() {
+    RNG.with(|rng| {
+        let mut s = rng.get();
+        if s == 0 {
+            return;
+        }
+        // xorshift64
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        rng.set(s);
+        if s & YIELD_MASK == 0 {
+            std::thread::yield_now();
+        }
+    });
+}
+
+fn seed_current(seed: u64) {
+    RNG.with(|rng| rng.set(seed | 1));
+}
+
+/// Runs `f` under the schedule fuzzer: `LOOM_MAX_ITERS` iterations (default
+/// 64), each with a distinct deterministic seed stream.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters: u64 = std::env::var("LOOM_MAX_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    for i in 0..iters {
+        seed_current(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(i + 1));
+        f();
+    }
+    RNG.with(|rng| rng.set(0));
+}
+
+/// Instrumented substitutes for `std::thread`.
+pub mod thread {
+    use super::{seed_current, RNG};
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish, propagating panics.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    /// Spawns a thread participating in the schedule fuzz: it inherits a
+    /// seed derived from the spawner's stream, so its yield pattern varies
+    /// across [`super::model`] iterations too.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let parent = RNG.with(|rng| rng.get());
+        let child_seed = parent.wrapping_mul(6364136223846793005).wrapping_add(1);
+        JoinHandle(std::thread::spawn(move || {
+            seed_current(child_seed);
+            f()
+        }))
+    }
+
+    /// Cooperative yield (also a fuzz point in the real loom).
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+/// Instrumented substitutes for `std::hint`.
+pub mod hint {
+    /// Spin-loop hint; also a scheduling point under the fuzzer.
+    pub fn spin_loop() {
+        super::tick();
+        std::hint::spin_loop();
+    }
+}
+
+/// Instrumented substitutes for `std::sync`.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// A mutex with loom's std-like API (no poisoning surfaced).
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates a mutex holding `value`.
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the mutex (a scheduling point under the fuzzer).
+        pub fn lock(
+            &self,
+        ) -> Result<std::sync::MutexGuard<'_, T>, std::sync::PoisonError<std::sync::MutexGuard<'_, T>>>
+        {
+            super::tick();
+            self.0.lock()
+        }
+
+        /// Attempts to acquire without blocking.
+        pub fn try_lock(
+            &self,
+        ) -> std::sync::TryLockResult<std::sync::MutexGuard<'_, T>> {
+            super::tick();
+            self.0.try_lock()
+        }
+    }
+
+    /// Instrumented atomics: every operation is a potential preemption
+    /// point, which is where the fuzzer injects yields.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_stub {
+            ($name:ident, $std:ty, $val:ty) => {
+                /// Instrumented atomic; see the crate docs.
+                #[derive(Debug, Default)]
+                pub struct $name(pub(crate) $std);
+
+                impl $name {
+                    /// Creates a new atomic.
+                    pub fn new(v: $val) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// Instrumented load.
+                    pub fn load(&self, order: Ordering) -> $val {
+                        crate::tick();
+                        self.0.load(order)
+                    }
+
+                    /// Instrumented store.
+                    pub fn store(&self, v: $val, order: Ordering) {
+                        crate::tick();
+                        self.0.store(v, order);
+                    }
+
+                    /// Instrumented swap.
+                    pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                        crate::tick();
+                        self.0.swap(v, order)
+                    }
+
+                    /// Instrumented compare-exchange.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $val,
+                        new: $val,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$val, $val> {
+                        crate::tick();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+
+                    /// Instrumented weak compare-exchange.
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $val,
+                        new: $val,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$val, $val> {
+                        crate::tick();
+                        self.0.compare_exchange_weak(current, new, success, failure)
+                    }
+
+                    /// Instrumented fetch-add.
+                    pub fn fetch_add(&self, v: $val, order: Ordering) -> $val {
+                        crate::tick();
+                        self.0.fetch_add(v, order)
+                    }
+
+                    /// Instrumented fetch-max.
+                    pub fn fetch_max(&self, v: $val, order: Ordering) -> $val {
+                        crate::tick();
+                        self.0.fetch_max(v, order)
+                    }
+                }
+            };
+        }
+
+        atomic_stub!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+        atomic_stub!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        atomic_stub!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        /// Instrumented atomic bool; see the crate docs.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Creates a new atomic bool.
+            pub fn new(v: bool) -> Self {
+                AtomicBool(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Instrumented load.
+            pub fn load(&self, order: Ordering) -> bool {
+                crate::tick();
+                self.0.load(order)
+            }
+
+            /// Instrumented store.
+            pub fn store(&self, v: bool, order: Ordering) {
+                crate::tick();
+                self.0.store(v, order);
+            }
+
+            /// Instrumented compare-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: bool,
+                new: bool,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<bool, bool> {
+                crate::tick();
+                self.0.compare_exchange(current, new, success, failure)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn model_runs_the_closure_many_times() {
+        static RUNS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        model(|| {
+            RUNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert!(RUNS.load(std::sync::atomic::Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn fuzzed_cas_retains_atomicity() {
+        model(|| {
+            let total = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let total = Arc::clone(&total);
+                    thread::spawn(move || {
+                        for _ in 0..64 {
+                            let mut cur = total.load(Ordering::Relaxed);
+                            loop {
+                                match total.compare_exchange(
+                                    cur,
+                                    cur + 1,
+                                    Ordering::AcqRel,
+                                    Ordering::Relaxed,
+                                ) {
+                                    Ok(_) => break,
+                                    Err(now) => cur = now,
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(total.load(Ordering::Relaxed), 128);
+        });
+    }
+
+    #[test]
+    fn seeded_streams_differ_across_iterations() {
+        // Smoke-check the seeding plumbing: the RNG must be armed inside
+        // model() and disarmed after.
+        model(|| {
+            RNG.with(|rng| assert_ne!(rng.get(), 0, "armed inside model"));
+        });
+        RNG.with(|rng| assert_eq!(rng.get(), 0, "disarmed after model"));
+    }
+}
