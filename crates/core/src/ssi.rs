@@ -29,7 +29,7 @@
 //! than one timestamp per row, and still aborts serializable executions
 //! whenever a pivot is not actually on a cycle.
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::{
     commit_table::{CommitTable, TxnStatus},
@@ -44,8 +44,11 @@ use crate::{
 #[derive(Debug, Clone)]
 struct WindowEntry {
     commit_ts: Timestamp,
-    reads: HashSet<RowId>,
-    writes: HashSet<RowId>,
+    /// Ordered sets: probe order (and the abort-reason row reported when a
+    /// dangerous structure fires) must be a pure function of the request,
+    /// never of hasher seeding — seed-reproducible runs depend on it.
+    reads: BTreeSet<RowId>,
+    writes: BTreeSet<RowId>,
     /// Some concurrent transaction has an rw-antidependency *into* this one
     /// (someone read data this transaction overwrote).
     in_conflict: bool,
@@ -67,21 +70,29 @@ pub struct SsiStats {
     pub ww_aborts: u64,
     /// Aborts from the dangerous-structure rule.
     pub pivot_aborts: u64,
+    /// Commits overturned because the durability hook failed (WAL quorum
+    /// loss between decision and persistence; see
+    /// [`SsiOracle::commit_durable`]).
+    pub wal_aborts: u64,
+    /// Client-requested aborts ([`SsiOracle::abort`]).
+    pub client_aborts: u64,
 }
 
 impl SsiStats {
     /// Total aborts.
     pub fn total_aborts(&self) -> u64 {
-        self.ww_aborts + self.pivot_aborts
+        self.ww_aborts + self.pivot_aborts + self.wal_aborts + self.client_aborts
     }
 
-    /// Abort rate over decided write transactions.
+    /// Abort rate over decided write transactions (client-requested aborts
+    /// never reach a decision, so they are excluded).
     pub fn abort_rate(&self) -> f64 {
-        let decided = self.commits + self.total_aborts();
+        let refused = self.ww_aborts + self.pivot_aborts + self.wal_aborts;
+        let decided = self.commits + refused;
         if decided == 0 {
             0.0
         } else {
-            self.total_aborts() as f64 / decided as f64
+            refused as f64 / decided as f64
         }
     }
 }
@@ -132,26 +143,98 @@ impl SsiOracle {
 
     /// Registers a client abort.
     pub fn abort(&mut self, start_ts: Timestamp) {
+        self.stats.client_aborts += 1;
         self.active.remove(&start_ts);
         self.commit_table.record_abort(start_ts);
     }
 
     /// Decides a commit request.
     pub fn commit(&mut self, req: CommitRequest) -> CommitOutcome {
+        enum Never {}
+        match self.commit_durable(req, |_| Ok::<(), Never>(())) {
+            Ok(outcome) => outcome,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Decides a commit request with a durability hook.
+    ///
+    /// If the decision is *commit*, `persist` is invoked with the issued
+    /// commit timestamp **before any oracle state is mutated** — the caller
+    /// appends and flushes the WAL record inside it. On `Err` the decision
+    /// is overturned as if it were never made: the transaction is recorded
+    /// as aborted (count it with [`SsiStats::wal_aborts`]), no conflict flag
+    /// or `lastCommit` entry changes, and only the commit timestamp stays
+    /// burned. This is the WAL-before-exposure discipline a durable SSI
+    /// engine needs; [`SsiOracle::commit`] is this method with an
+    /// infallible hook.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `persist`'s error after recording the overturn.
+    pub fn commit_durable<E>(
+        &mut self,
+        req: CommitRequest,
+        persist: impl FnOnce(Timestamp) -> std::result::Result<(), E>,
+    ) -> std::result::Result<CommitOutcome, E> {
         if req.is_read_only() {
-            // Read-only transactions commit freely under SSI too: with
-            // commit-time validation they register no sets, so they can
-            // never be the pivot (they have no writes, hence no in-edge).
-            //
-            // Note: this is a *simplification* relative to full SSI, where
-            // a read-only transaction can complete a cycle as the third
-            // transaction; Cahill's TODS version handles it with read-only
-            // anomalies ("receipt" cases). Commit-time validation cannot
-            // see a read-only transaction's reads before its commit anyway,
-            // and the paper's comparison concerns write transactions.
+            // Read-only transactions skip the WAL (nothing to persist) but
+            // NOT the dangerous-structure check: a snapshot read can close
+            // a cycle as the third transaction — Fekete, O'Neil & O'Neil's
+            // read-only anomaly — by handing an in-conflict to a committed
+            // transaction that already carries an out-conflict. (The
+            // `ssi_checker` property test finds such schedules within a few
+            // hundred random seeds if reads are skipped here.) With no
+            // writes the transaction has no in-edge and cannot itself be
+            // the pivot, so only rule 2 applies.
+            let reads: BTreeSet<RowId> = req.read_rows.iter().copied().collect();
+            let mut out_partners: Vec<usize> = Vec::new();
+            for (idx, u) in self.window.iter().enumerate() {
+                if u.commit_ts < req.start_ts {
+                    continue;
+                }
+                if u.writes.iter().any(|r| reads.contains(r)) {
+                    out_partners.push(idx);
+                }
+            }
+            if out_partners
+                .iter()
+                .any(|&idx| self.window[idx].out_conflict)
+            {
+                // T →rw U would make the already-committed U a pivot.
+                self.stats.pivot_aborts += 1;
+                self.active.remove(&req.start_ts);
+                self.commit_table.record_abort(req.start_ts);
+                return Ok(CommitOutcome::Aborted(AbortReason::ReadWriteConflict {
+                    row: *reads.iter().next().expect("partners imply reads"),
+                    committed_at: req.start_ts,
+                }));
+            }
+            let out_t = !out_partners.is_empty();
+            for &idx in &out_partners {
+                self.window[idx].in_conflict = true;
+            }
             self.active.remove(&req.start_ts);
+            if !reads.is_empty() {
+                // The reads must stay probeable: a writer committing later
+                // may acquire an in-conflict from this transaction. The
+                // entry's commit stamp is issued from the shared source so
+                // the concurrency test (`commit_ts < start_ts`) sees the
+                // true commit position, even though the caller-visible
+                // commit timestamp of a read-only transaction remains its
+                // start (it reads exactly the snapshot state).
+                let commit_ts = self.ts.next();
+                self.window.push_back(WindowEntry {
+                    commit_ts,
+                    reads,
+                    writes: BTreeSet::new(),
+                    in_conflict: false,
+                    out_conflict: out_t,
+                });
+                self.prune_window();
+            }
             self.stats.read_only_commits += 1;
-            return CommitOutcome::Committed(req.start_ts);
+            return Ok(CommitOutcome::Committed(req.start_ts));
         }
 
         // --- SI base: first-committer-wins write-write check. ------------
@@ -161,17 +244,17 @@ impl SsiOracle {
                     self.stats.ww_aborts += 1;
                     self.active.remove(&req.start_ts);
                     self.commit_table.record_abort(req.start_ts);
-                    return CommitOutcome::Aborted(AbortReason::WriteWriteConflict {
+                    return Ok(CommitOutcome::Aborted(AbortReason::WriteWriteConflict {
                         row,
                         committed_at: last,
-                    });
+                    }));
                 }
             }
         }
 
         // --- Dangerous-structure detection. -------------------------------
-        let reads: HashSet<RowId> = req.read_rows.iter().copied().collect();
-        let writes: HashSet<RowId> = req.write_rows.iter().copied().collect();
+        let reads: BTreeSet<RowId> = req.read_rows.iter().copied().collect();
+        let writes: BTreeSet<RowId> = req.write_rows.iter().copied().collect();
         // T's partners among committed, temporally overlapping transactions:
         // out: T →rw U (U overwrote something T read, committing during T's
         //      lifetime);
@@ -224,24 +307,35 @@ impl SsiOracle {
             self.stats.pivot_aborts += 1;
             self.active.remove(&req.start_ts);
             self.commit_table.record_abort(req.start_ts);
-            return CommitOutcome::Aborted(AbortReason::ReadWriteConflict {
+            // Smallest read row: deterministic (the sets are ordered), so a
+            // replayed schedule reports the identical abort reason.
+            return Ok(CommitOutcome::Aborted(AbortReason::ReadWriteConflict {
                 row: *reads
                     .iter()
                     .next()
                     .or_else(|| writes.iter().next())
                     .expect("write txn has rows"),
                 committed_at: req.start_ts,
-            });
+            }));
         }
 
-        // --- Commit: persist flags and state. -----------------------------
+        // --- Commit: persist durably, then publish flags and state. -------
+        let commit_ts = self.ts.next();
+        if let Err(e) = persist(commit_ts) {
+            // Overturned before any state mutation: no conflict flag,
+            // `lastCommit` entry, or window entry ever referenced this
+            // transaction, so nothing needs undoing.
+            self.stats.wal_aborts += 1;
+            self.active.remove(&req.start_ts);
+            self.commit_table.record_abort(req.start_ts);
+            return Err(e);
+        }
         for &idx in &out_partners {
             self.window[idx].in_conflict = true;
         }
         for &idx in &in_partners {
             self.window[idx].out_conflict = true;
         }
-        let commit_ts = self.ts.next();
         for &row in &req.write_rows {
             self.last_commit.record(row, commit_ts);
         }
@@ -257,7 +351,45 @@ impl SsiOracle {
         });
         self.prune_window();
         self.stats.commits += 1;
-        CommitOutcome::Committed(commit_ts)
+        Ok(CommitOutcome::Committed(commit_ts))
+    }
+
+    /// Re-applies a committed transaction during WAL replay
+    /// (single-threaded recovery).
+    ///
+    /// The replayed transaction joins the `lastCommit` table and the commit
+    /// table but not the detection window: commit records carry no read
+    /// sets, and no transaction concurrent with a pre-crash commit can still
+    /// be in flight after the crash — in-flight state died with the process
+    /// — so the window entry could never fire.
+    pub fn replay_commit(&mut self, start_ts: Timestamp, commit_ts: Timestamp, rows: &[RowId]) {
+        self.ts.advance_to(commit_ts);
+        for &row in rows {
+            self.last_commit.record(row, commit_ts);
+        }
+        self.commit_table.record_commit(start_ts, commit_ts);
+    }
+
+    /// Re-applies an aborted transaction during WAL replay.
+    pub fn replay_abort(&mut self, start_ts: Timestamp) {
+        self.commit_table.record_abort(start_ts);
+    }
+
+    /// Burns timestamps up to `bound` during recovery (reservation records
+    /// and overturned commits keep their timestamps unreusable).
+    pub fn advance_timestamps(&mut self, bound: Timestamp) {
+        self.ts.advance_to(bound);
+    }
+
+    /// A garbage-collection low-water mark: the smallest active start
+    /// timestamp, or one past the last issued timestamp when the oracle is
+    /// quiescent. No current or future snapshot can observe below it.
+    pub fn watermark(&self) -> Timestamp {
+        self.active
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or_else(|| self.ts.last_issued().next())
     }
 
     /// Drops window entries no in-flight transaction can conflict with: a
@@ -351,17 +483,68 @@ mod tests {
     }
 
     #[test]
-    fn read_only_transactions_never_abort() {
+    fn read_only_commit_is_free_without_a_dangerous_partner() {
         let mut o = SsiOracle::new();
         let r = o.begin();
         let w = o.begin();
         assert!(o
             .commit(CommitRequest::new(w, vec![], rows(&[1])))
             .is_committed());
+        // w has no out-conflict, so r's out-edge to it is harmless.
         assert!(o
             .commit(CommitRequest::new(r, rows(&[1]), vec![]))
             .is_committed());
         assert_eq!(o.stats().read_only_commits, 1);
+    }
+
+    #[test]
+    fn read_only_anomaly_is_refused() {
+        // Fekete/O'Neil/O'Neil: T2 reads {x,y}; T1 reads+writes y and
+        // commits; read-only T3 then observes (x0, y1); T2 finally writes
+        // x. Serial orders: T2 must precede T1 (T2 →rw T1), T3 must follow
+        // T1 (wr) yet precede T2 (T3 →rw T2) — a cycle closed by T3.
+        let x = RowId(1);
+        let y = RowId(2);
+        let mut o = SsiOracle::new();
+        let t2 = o.begin();
+        let t1 = o.begin();
+        assert!(o
+            .commit(CommitRequest::new(t1, vec![y], vec![y]))
+            .is_committed());
+        let t3 = o.begin();
+        // T3 →rw T2 will hand T2 an in-conflict at T2's commit; T2 already
+        // owes T1 an out-conflict. One of T3/T2 must abort; with T3
+        // committing first, the oracle refuses T2 (rule 1: T2 is a pivot).
+        assert!(o
+            .commit(CommitRequest::new(t3, vec![x, y], vec![]))
+            .is_committed());
+        let out = o.commit(CommitRequest::new(t2, vec![x, y], vec![x]));
+        assert!(out.is_aborted(), "read-only T3 closed the cycle");
+    }
+
+    #[test]
+    fn read_only_txn_aborts_rather_than_making_a_pivot() {
+        // Same anomaly with the read-only transaction committing LAST: the
+        // pivot (T2) is already committed and cannot be aborted, so the
+        // read-only transaction must be.
+        let x = RowId(1);
+        let y = RowId(2);
+        let mut o = SsiOracle::new();
+        let t2 = o.begin();
+        let t1 = o.begin();
+        assert!(o
+            .commit(CommitRequest::new(t1, vec![y], vec![y]))
+            .is_committed());
+        let t3 = o.begin();
+        assert!(o
+            .commit(CommitRequest::new(t2, vec![x, y], vec![x]))
+            .is_committed());
+        let out = o.commit(CommitRequest::new(t3, vec![x, y], vec![]));
+        assert!(
+            out.is_aborted(),
+            "T3 →rw T2 would make committed T2 a pivot"
+        );
+        assert_eq!(o.stats().pivot_aborts, 1);
     }
 
     #[test]

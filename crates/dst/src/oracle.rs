@@ -1,0 +1,320 @@
+//! The run oracles: visibility, serializability, and reconciliation.
+//!
+//! A deterministic run produces three independent accounts of what
+//! happened — the clients' observed history, the engine's counters, and
+//! the decoded write-ahead log. This module cross-checks them:
+//!
+//! 1. **Visibility**: every committed transaction's first read of each
+//!    item must observe exactly the writer that snapshot semantics
+//!    prescribe ([`dsg::reads_from`]). Values encode their writer's
+//!    transaction id, so the observed writer is recoverable from the bytes
+//!    the client actually saw. This is the oracle the planted-bug test
+//!    trips.
+//! 2. **Serializability**: the DSG of the history must be acyclic for WSI
+//!    and SSI (Theorem 1 and the dangerous-structure rule respectively).
+//!    SI makes no such claim — its verdict is recorded, not asserted, and
+//!    the test suite separately demonstrates that the corpus does catch SI
+//!    admitting write skew.
+//! 3. **Reconciliation**: begins equal commits plus aborts; WAL commit and
+//!    abort records match the oracle's decisions, *including* the
+//!    quorum-loss asymmetry (`Db` counts an overturned commit as a commit
+//!    with a compensating abort record; `SsiDb` books it as a
+//!    `wal_aborts`); the history's acknowledged write commits equal the
+//!    log's effective (non-overturned) commit records; and the arena's
+//!    epoch accounting stays exact (`retired == freed + limbo`).
+//!
+//! Every violation panics with the failing identity and the run's
+//! copy-pasteable repro command.
+
+use std::collections::BTreeSet;
+
+use bytes::Bytes;
+use wsi_history::dsg;
+use wsi_store::{decode_record, StoreRecord};
+
+use crate::engine::EngineKind;
+use crate::harness::{RunConfig, RunReport};
+
+/// Counts of decoded WAL records (timestamp reservations are ignored).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalCensus {
+    /// `Commit` records.
+    pub commits: u64,
+    /// `Abort` records.
+    pub aborts: u64,
+    /// Start timestamps carrying both a `Commit` and an `Abort` record —
+    /// commits overturned by a compensating abort after quorum loss.
+    pub overturned: u64,
+}
+
+impl WalCensus {
+    /// Componentwise difference against a census taken earlier on the same
+    /// (append-only) log.
+    pub fn since(&self, base: &WalCensus) -> WalCensus {
+        WalCensus {
+            commits: self.commits - base.commits,
+            aborts: self.aborts - base.aborts,
+            overturned: self.overturned - base.overturned,
+        }
+    }
+}
+
+/// The start-timestamp sets behind a census, for limbo resolution.
+pub(crate) struct RecordSets {
+    /// Start timestamps with a `Commit` record.
+    pub(crate) committed: BTreeSet<u64>,
+    /// Start timestamps with an `Abort` record.
+    pub(crate) aborted: BTreeSet<u64>,
+}
+
+/// Decodes every recovered payload, panicking (with the repro command) on
+/// a record the store cannot parse — the harness never tears records, so
+/// an undecodable one is a bug.
+pub(crate) fn decode_all(payloads: &[Bytes], repro: &str) -> Vec<StoreRecord> {
+    payloads
+        .iter()
+        .map(|p| {
+            decode_record(p)
+                .unwrap_or_else(|e| panic!("undecodable WAL record: {e}\n  reproduce: {repro}"))
+        })
+        .collect()
+}
+
+/// Tallies commit/abort records and the overturned intersection.
+pub(crate) fn census(records: &[StoreRecord]) -> (WalCensus, RecordSets) {
+    let mut commits = 0u64;
+    let mut aborts = 0u64;
+    let mut committed = BTreeSet::new();
+    let mut aborted = BTreeSet::new();
+    for rec in records {
+        match rec {
+            StoreRecord::Commit { start_ts, .. } => {
+                commits += 1;
+                committed.insert(start_ts.raw());
+            }
+            StoreRecord::Abort { start_ts } => {
+                aborts += 1;
+                aborted.insert(start_ts.raw());
+            }
+            StoreRecord::TsReserve { .. } => {}
+        }
+    }
+    let overturned = committed.intersection(&aborted).count() as u64;
+    (
+        WalCensus {
+            commits,
+            aborts,
+            overturned,
+        },
+        RecordSets { committed, aborted },
+    )
+}
+
+fn check_eq(got: u64, want: u64, what: &str, repro: &str) {
+    if got != want {
+        panic!("reconciliation violation: {what}: {got} != {want}\n  reproduce: {repro}");
+    }
+}
+
+/// Runs all oracles over a finished run, panicking on any violation.
+pub fn verify(report: &RunReport, config: &RunConfig) {
+    let repro = config.repro();
+
+    // 1. Visibility: observed writers match snapshot semantics.
+    let expected = dsg::reads_from(&report.history);
+    for ((txn, item), want) in &expected {
+        let got = report
+            .observed
+            .get(&(*txn, item.clone()))
+            .unwrap_or_else(|| {
+                panic!("harness bug: no observation recorded for {txn} reading {item}")
+            });
+        if got != want {
+            let name = |w: &Option<wsi_history::TxnId>| match w {
+                Some(t) => t.to_string(),
+                None => "the initial version".to_string(),
+            };
+            panic!(
+                "visibility violation: {txn} first read of {item} observed {}, \
+                 snapshot semantics expect {}\n  reproduce: {repro}",
+                name(got),
+                name(want),
+            );
+        }
+    }
+
+    // 2. Serializability, where the engine claims it.
+    if config.engine.claims_serializability() && !report.serializable {
+        let cycle = dsg::explain_cycle(&report.history)
+            .unwrap_or_else(|| "cycle detection disagrees with explanation".to_string());
+        panic!(
+            "serializability violation under {}: {cycle}\n  reproduce: {repro}",
+            config.engine.label(),
+        );
+    }
+
+    // 3. Counters vs WAL, over the final engine incarnation.
+    let d = &report.delta;
+    let w = &report.delta_census;
+    match config.engine {
+        EngineKind::Si | EngineKind::Wsi => {
+            // Db decides the commit before the flush; an overturn is a
+            // third fate, reported in neither `commits` (net of overturns)
+            // nor any abort counter. The WAL pairing count supplies it:
+            // each overturn is one commit record plus one compensating
+            // abort record.
+            check_eq(
+                d.begins,
+                d.commits + d.read_only_commits + d.total_aborts + w.overturned,
+                "begins == commits + read-only commits + aborts + overturned",
+                &repro,
+            );
+            check_eq(
+                w.commits,
+                d.commits + w.overturned,
+                "WAL commit records == decided commits",
+                &repro,
+            );
+            check_eq(
+                w.aborts,
+                (d.total_aborts - d.client_aborts) + w.overturned,
+                "WAL abort records == decided aborts + overturned commits",
+                &repro,
+            );
+            check_eq(
+                d.wal_overturned,
+                0,
+                "Db does not count overturns as aborts",
+                &repro,
+            );
+        }
+        EngineKind::Ssi => {
+            check_eq(
+                d.begins,
+                d.commits + d.read_only_commits + d.total_aborts,
+                "begins == commits + read-only commits + aborts",
+                &repro,
+            );
+            // SsiDb decides durability inside the oracle: an overturned
+            // commit is a `wal_aborts`, never a commit — but its commit
+            // record still reached the log before the flush failed.
+            check_eq(
+                w.commits,
+                d.commits + w.overturned,
+                "WAL commit records == oracle commits + overturned",
+                &repro,
+            );
+            check_eq(
+                w.aborts,
+                d.total_aborts - d.client_aborts,
+                "WAL abort records == decided aborts",
+                &repro,
+            );
+            check_eq(
+                d.wal_overturned,
+                w.overturned,
+                "oracle wal_aborts == overturned WAL records",
+                &repro,
+            );
+        }
+    }
+
+    // 4. History vs the whole log: what clients were told matches what the
+    // log effectively holds, across every incarnation. Read-only commits
+    // never touch the WAL; resurrected commits (acknowledged only by the
+    // crash resolution) have effective records by construction.
+    let acknowledged_write_commits = report
+        .history
+        .committed()
+        .into_iter()
+        .filter(|t| !report.history.is_read_only(*t))
+        .count() as u64;
+    check_eq(
+        acknowledged_write_commits,
+        report.census.commits - report.census.overturned,
+        "history write commits == effective WAL commit records",
+        &repro,
+    );
+
+    // 5. Epoch reclamation stays exact at the quiescent end of the run.
+    if let Some(rec) = &report.reclamation {
+        check_eq(
+            rec.retired,
+            rec.freed + rec.limbo,
+            "reclamation retired == freed + limbo",
+            &repro,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use wsi_core::Timestamp;
+    use wsi_store::encode_record;
+
+    #[test]
+    fn census_counts_and_pairs() {
+        let records = vec![
+            StoreRecord::Commit {
+                start_ts: Timestamp(1),
+                commit_ts: Timestamp(2),
+                writes: vec![(Bytes::from_static(b"k"), None)],
+            },
+            StoreRecord::Commit {
+                start_ts: Timestamp(3),
+                commit_ts: Timestamp(4),
+                writes: vec![],
+            },
+            StoreRecord::Abort {
+                start_ts: Timestamp(3),
+            },
+            StoreRecord::Abort {
+                start_ts: Timestamp(9),
+            },
+            StoreRecord::TsReserve {
+                upto: Timestamp(64),
+            },
+        ];
+        let (census, sets) = census(&records);
+        assert_eq!(census.commits, 2);
+        assert_eq!(census.aborts, 2);
+        assert_eq!(census.overturned, 1);
+        assert!(sets.committed.contains(&1));
+        assert!(sets.aborted.contains(&9));
+    }
+
+    #[test]
+    fn decode_all_roundtrips_encoded_records() {
+        let rec = StoreRecord::Abort {
+            start_ts: Timestamp(7),
+        };
+        let payloads = vec![encode_record(&rec)];
+        let decoded = decode_all(&payloads, "n/a");
+        assert_eq!(decoded.len(), 1);
+        assert!(matches!(decoded[0], StoreRecord::Abort { start_ts } if start_ts == Timestamp(7)));
+    }
+
+    #[test]
+    fn census_delta_is_componentwise() {
+        let base = WalCensus {
+            commits: 3,
+            aborts: 1,
+            overturned: 1,
+        };
+        let now = WalCensus {
+            commits: 5,
+            aborts: 4,
+            overturned: 2,
+        };
+        assert_eq!(
+            now.since(&base),
+            WalCensus {
+                commits: 2,
+                aborts: 3,
+                overturned: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! The fault matrix: every engine × every fault plan × several seeds.
+//!
+//! Each cell is a full deterministic run with both oracles armed
+//! (visibility + serializability, counter/WAL/history reconciliation);
+//! a panic here prints the seed and a copy-pasteable repro command.
+//! `replay_seed_from_env` is the receiving end of that command.
+
+use wsi_dst::{run, EngineKind, FaultPlan, RunConfig};
+
+const STEPS: u64 = 400;
+const SEEDS: [u64; 3] = [0x0001, 0xC0FFEE, 0xDEAD_BEEF_0BAD_F00D];
+
+fn matrix_for(kind: EngineKind) {
+    for plan_name in FaultPlan::PRESETS {
+        let plan = FaultPlan::by_name(plan_name, STEPS).expect("preset");
+        for seed in SEEDS {
+            let config = RunConfig::new(kind, seed)
+                .steps(STEPS)
+                .plan(plan_name, plan.clone());
+            let report = run(&config);
+            assert!(
+                report.delta.commits > 0,
+                "a run should commit something ({})",
+                config.repro()
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_matrix_si() {
+    matrix_for(EngineKind::Si);
+}
+
+#[test]
+fn fault_matrix_wsi() {
+    matrix_for(EngineKind::Wsi);
+}
+
+#[test]
+fn fault_matrix_ssi() {
+    matrix_for(EngineKind::Ssi);
+}
+
+/// Quorum loss makes commits fail *after* their record reached a minority
+/// bookie; crashing before the heal lets recovery resurrect them. The
+/// harness must account for the resurrection (the history records the
+/// commit at the crash point) — and the oracles must still all pass.
+#[test]
+fn crash_during_quorum_loss_resurrects_commits() {
+    let mut resurrected_somewhere = 0u64;
+    for seed in SEEDS {
+        let config = RunConfig::new(EngineKind::Wsi, seed).steps(STEPS).plan(
+            "crash-during-quorum-loss",
+            FaultPlan::crash_during_quorum_loss(STEPS),
+        );
+        let report = run(&config);
+        assert_eq!(report.incarnations, 2);
+        resurrected_somewhere += report.resurrected;
+    }
+    assert!(
+        resurrected_somewhere > 0,
+        "a quarter-run quorum-loss window must strand at least one commit"
+    );
+}
+
+/// The SI column of the matrix is the control: over a contended corpus the
+/// DSG oracle must catch snapshot isolation admitting non-serializable
+/// histories (write skew), the separation the paper is built on. WSI over
+/// the same corpus stays serializable — that is asserted inside `run`.
+#[test]
+fn si_corpus_exhibits_nonserializable_histories() {
+    let mut cycles = 0u32;
+    for seed in 0..16u64 {
+        let config = RunConfig::new(EngineKind::Si, 0x51_0000 + seed)
+            .steps(200)
+            .keys(2)
+            .clients(8);
+        let report = run(&config);
+        if !report.serializable {
+            cycles += 1;
+        }
+    }
+    assert!(
+        cycles > 0,
+        "snapshot isolation should exhibit write skew somewhere in 16 contended runs"
+    );
+}
+
+/// Receiving end of the repro command printed on any oracle failure:
+/// `DST_SEED=… DST_ENGINE=… DST_PLAN=… DST_STEPS=… cargo test -p wsi-dst
+/// --test matrix -- replay_seed_from_env --exact --nocapture`.
+/// A no-op when the environment is unset.
+#[test]
+fn replay_seed_from_env() {
+    let Ok(seed) = std::env::var("DST_SEED") else {
+        return;
+    };
+    let seed = seed.trim_start_matches("0x");
+    let seed = u64::from_str_radix(seed, 16)
+        .or_else(|_| seed.parse::<u64>())
+        .expect("DST_SEED must be hex (0x…) or decimal");
+    let engine = std::env::var("DST_ENGINE")
+        .ok()
+        .and_then(|l| EngineKind::from_label(&l))
+        .expect("DST_ENGINE must be si|wsi|ssi");
+    let steps: u64 = std::env::var("DST_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(STEPS);
+    let plan_name = std::env::var("DST_PLAN").unwrap_or_else(|_| "none".to_string());
+    let plan = FaultPlan::by_name(&plan_name, steps)
+        .unwrap_or_else(|| panic!("unknown DST_PLAN {plan_name:?} (see FaultPlan::PRESETS)"));
+    let config = RunConfig::new(engine, seed)
+        .steps(steps)
+        .plan(&plan_name, plan);
+    let report = run(&config);
+    println!(
+        "replayed seed 0x{seed:016x} on {}: {} ops, serializable={}, incarnations={}, \
+         resurrected={}",
+        engine.label(),
+        report.history.ops().len(),
+        report.serializable,
+        report.incarnations,
+        report.resurrected,
+    );
+}

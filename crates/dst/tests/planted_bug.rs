@@ -1,0 +1,45 @@
+//! Prove the oracles have teeth: a deliberately planted visibility bug
+//! must be caught, loudly.
+//!
+//! The planted bug serves every read from a throwaway snapshot of the
+//! latest committed state instead of the transaction's own snapshot —
+//! the classic "read committed instead of snapshot" regression. Under
+//! concurrency a transaction then observes writers that committed *after*
+//! its start (or misses its own uncommitted writes), which the
+//! reads-from oracle detects as a visibility violation.
+
+use wsi_dst::{run, EngineKind, RunConfig};
+
+fn contended(kind: EngineKind) -> RunConfig {
+    // Few keys + many clients: overlapping transactions on every key, so
+    // some transaction is near-guaranteed to read an item another
+    // transaction commits mid-flight.
+    RunConfig::new(kind, 0xB0605).steps(300).keys(2).clients(8)
+}
+
+#[test]
+#[should_panic(expected = "visibility violation")]
+fn planted_bug_is_caught_on_wsi() {
+    run(&contended(EngineKind::Wsi).plant_visibility_bug());
+}
+
+#[test]
+#[should_panic(expected = "visibility violation")]
+fn planted_bug_is_caught_on_si() {
+    run(&contended(EngineKind::Si).plant_visibility_bug());
+}
+
+#[test]
+#[should_panic(expected = "visibility violation")]
+fn planted_bug_is_caught_on_ssi() {
+    run(&contended(EngineKind::Ssi).plant_visibility_bug());
+}
+
+/// Control: the identical configuration without the planted bug passes
+/// every oracle — the panics above are the bug, not the workload.
+#[test]
+fn the_same_config_is_clean_without_the_bug() {
+    for kind in EngineKind::ALL {
+        run(&contended(kind));
+    }
+}

@@ -44,5 +44,6 @@ pub mod examples;
 pub mod gen;
 mod ops;
 pub mod serialize;
+pub mod ssi_accept;
 
 pub use ops::{History, Op, ParseError, TxnId};

@@ -1,0 +1,196 @@
+//! Replaying histories against serializable snapshot isolation.
+//!
+//! The SSI counterpart of [`crate::accept`]: a history is fed through
+//! [`wsi_core::ssi::SsiOracle`] — Cahill-style dangerous-structure
+//! detection — with the same begin-at-first-op, commit-at-`c` convention.
+//! Together with [`crate::dsg`] this makes the paper's §7.1 comparison
+//! mechanically checkable: every history SSI executes must be serializable
+//! (its guarantee), while WSI and SSI each admit histories the other
+//! refuses (History 4 vs History 6).
+
+use std::collections::BTreeMap;
+
+use wsi_core::ssi::SsiOracle;
+use wsi_core::{hash_row_key, CommitOutcome, CommitRequest, RowId, Timestamp};
+
+use crate::accept::ReplayOutcome;
+use crate::ops::{History, Op, TxnId};
+
+/// Full SSI replay report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SsiReplay {
+    /// Per-transaction outcomes.
+    pub txns: BTreeMap<TxnId, ReplayOutcome>,
+}
+
+impl SsiReplay {
+    /// `true` iff every history-committed transaction was committed by the
+    /// SSI oracle.
+    pub fn accepted(&self, history: &History) -> bool {
+        history.committed().iter().all(|t| {
+            matches!(
+                self.txns.get(t).and_then(|r| r.outcome),
+                Some(CommitOutcome::Committed(_))
+            )
+        })
+    }
+}
+
+struct TxnState {
+    start_ts: Timestamp,
+    reads: Vec<RowId>,
+    writes: Vec<RowId>,
+}
+
+/// Replays `history` under SSI, returning every oracle decision.
+pub fn replay(history: &History) -> SsiReplay {
+    let mut oracle = SsiOracle::new();
+    let mut live: BTreeMap<TxnId, TxnState> = BTreeMap::new();
+    let mut report: BTreeMap<TxnId, ReplayOutcome> = BTreeMap::new();
+
+    for op in history.ops() {
+        let txn = op.txn();
+        let state = live.entry(txn).or_insert_with(|| {
+            let start_ts = oracle.begin();
+            report.insert(
+                txn,
+                ReplayOutcome {
+                    start_ts,
+                    outcome: None,
+                },
+            );
+            TxnState {
+                start_ts,
+                reads: Vec::new(),
+                writes: Vec::new(),
+            }
+        });
+        match op {
+            Op::Read(_, item) => {
+                let row = hash_row_key(item.as_bytes());
+                if !state.reads.contains(&row) {
+                    state.reads.push(row);
+                }
+            }
+            Op::Write(_, item) => {
+                let row = hash_row_key(item.as_bytes());
+                if !state.writes.contains(&row) {
+                    state.writes.push(row);
+                }
+            }
+            Op::Commit(_) => {
+                let state = live.remove(&txn).expect("entry just ensured");
+                let outcome = oracle.commit(CommitRequest::new(
+                    state.start_ts,
+                    state.reads,
+                    state.writes,
+                ));
+                report.get_mut(&txn).expect("registered at begin").outcome = Some(outcome);
+            }
+            Op::Abort(_) => {
+                let state = live.remove(&txn).expect("entry just ensured");
+                oracle.abort(state.start_ts);
+                report.get_mut(&txn).expect("registered at begin").outcome = Some(
+                    CommitOutcome::Aborted(wsi_core::AbortReason::ClientRequested),
+                );
+            }
+        }
+    }
+    SsiReplay { txns: report }
+}
+
+/// Returns `true` iff SSI admits `history` (all history-committed
+/// transactions commit).
+///
+/// # Example
+///
+/// ```
+/// use wsi_core::IsolationLevel;
+/// use wsi_history::{accept, ssi_accept, examples};
+///
+/// // History 6: WSI refuses (unnecessary rw-conflict abort), SSI admits —
+/// // a single rw-antidependency is not a dangerous structure.
+/// let h6 = examples::h6();
+/// assert!(!accept::accepts(&h6, IsolationLevel::WriteSnapshot));
+/// assert!(ssi_accept::accepts(&h6));
+/// ```
+pub fn accepts(history: &History) -> bool {
+    replay(history).accepted(history)
+}
+
+/// Rewrites a history so it is *exactly* what SSI would execute: every
+/// commit the oracle refuses becomes an abort (the SSI analogue of
+/// [`crate::gen::filter_accepted`]).
+pub fn filter_accepted(history: &History) -> History {
+    let replay = replay(history);
+    let ops = history
+        .ops()
+        .iter()
+        .map(|op| match op {
+            Op::Commit(t) => {
+                let refused = matches!(
+                    replay.txns.get(t).and_then(|r| r.outcome),
+                    Some(CommitOutcome::Aborted(_))
+                );
+                if refused {
+                    Op::Abort(*t)
+                } else {
+                    op.clone()
+                }
+            }
+            other => other.clone(),
+        })
+        .collect();
+    History::new(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{accept, dsg, examples};
+    use wsi_core::IsolationLevel;
+
+    #[test]
+    fn h2_write_skew_refused() {
+        assert!(!accepts(&examples::h2()));
+    }
+
+    #[test]
+    fn h6_admitted_where_wsi_refuses() {
+        let h = examples::h6();
+        assert!(accepts(&h));
+        assert!(!accept::accepts(&h, IsolationLevel::WriteSnapshot));
+    }
+
+    #[test]
+    fn h4_blind_write_admitted_like_wsi() {
+        // H4's writers race on x; t1 commits first, so t2's commit hits the
+        // first-committer-wins WW check — SSI keeps SI's rule where WSI
+        // replaces it (WSI admits H4, §4.3).
+        let h = examples::h4();
+        assert!(!accepts(&h));
+        assert!(accept::accepts(&h, IsolationLevel::WriteSnapshot));
+    }
+
+    #[test]
+    fn serial_histories_admitted() {
+        assert!(accepts(&examples::h5()));
+        assert!(accepts(&examples::h7()));
+    }
+
+    #[test]
+    fn filtered_histories_are_serializable() {
+        use crate::gen::{generate, GenConfig};
+        for seed in 0..200 {
+            let raw = generate(GenConfig::default(), seed);
+            let executed = filter_accepted(&raw);
+            assert!(dsg::is_serializable(&executed), "seed {seed}: {executed}");
+        }
+    }
+
+    #[test]
+    fn explicit_abort_is_not_an_acceptance_failure() {
+        let h: History = "r1[x] w1[x] a1 r2[x] w2[x] c2".parse().unwrap();
+        assert!(accepts(&h));
+    }
+}

@@ -162,6 +162,13 @@ pub struct DbOptions {
     /// selects [`StoreLayout::Locked`] implicitly, so existing call sites
     /// that ask for a shard count keep their meaning.
     pub store_layout: StoreLayout,
+    /// If set, [`Db::run`]'s retry backoff draws its jitter from a shared
+    /// counter seeded here instead of the wall clock, making retry pauses a
+    /// pure function of the seed and the draw order — required for
+    /// deterministic simulation (wsi-dst). `None` (the default) keeps the
+    /// clock-scrambled jitter, which decorrelates real concurrent retriers
+    /// better.
+    pub retry_seed: Option<u64>,
 }
 
 impl DbOptions {
@@ -177,7 +184,15 @@ impl DbOptions {
             oracle: OracleMode::default(),
             store_shards: DEFAULT_STORE_SHARDS,
             store_layout: StoreLayout::default(),
+            retry_seed: None,
         }
+    }
+
+    /// Seeds the retry backoff jitter (see [`DbOptions::retry_seed`]).
+    #[must_use]
+    pub fn seeded_retries(mut self, seed: u64) -> Self {
+        self.retry_seed = Some(seed);
+        self
     }
 
     /// Selects the locked layout and sets its shard count (rounded up to a
@@ -398,11 +413,26 @@ pub(crate) struct DbInner {
     /// [`WATERMARK_HINT_EVERY`]).
     wm_tick: AtomicU64,
     epoch: Instant,
+    /// Jitter state for seeded retries ([`DbOptions::retry_seed`]); each
+    /// draw advances it by a Weyl increment, so pauses depend only on the
+    /// seed and the draw index.
+    backoff_state: AtomicU64,
 }
 
 impl DbInner {
     pub(crate) fn now_us(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Entropy for one backoff draw: the wall clock by default, the seeded
+    /// Weyl counter when [`DbOptions::retry_seed`] is set.
+    fn backoff_entropy(&self) -> u64 {
+        if self.options.retry_seed.is_some() {
+            self.backoff_state
+                .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+        } else {
+            self.now_us()
+        }
     }
 
     fn publish_ctx(&self) -> PublishCtx<'_> {
@@ -503,6 +533,7 @@ impl Db {
                 mvcc.attach_obs(shard_obs);
             }
         }
+        let options_retry_seed = options.retry_seed.unwrap_or(0);
         Db {
             inner: Arc::new(DbInner {
                 options,
@@ -519,6 +550,7 @@ impl Db {
                 obs,
                 wm_tick: AtomicU64::new(0),
                 epoch: Instant::now(),
+                backoff_state: AtomicU64::new(options_retry_seed),
             }),
         }
     }
@@ -536,14 +568,24 @@ impl Db {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Corrupt`] if a log record fails to decode.
+    /// Returns [`Error::Corrupt`] if a log record fails to decode — except
+    /// on the *final* recovered record, where a decode failure is treated as
+    /// a torn tail (the process died mid-append) and the record is dropped:
+    /// a record that never finished persisting belongs to a transaction that
+    /// was never acknowledged, so forgetting it is the correct outcome. A
+    /// corrupt record with valid records after it is real damage and still
+    /// fails recovery.
     pub fn recover(options: DbOptions, ledger: Ledger) -> Result<Db> {
         let payloads = ledger.recover();
         let db = Db::open(options);
         let mut records = Vec::with_capacity(payloads.len());
         let mut overturned: HashSet<u64> = HashSet::new();
-        for payload in &payloads {
-            let rec = record::decode(payload)?;
+        for (i, payload) in payloads.iter().enumerate() {
+            let rec = match record::decode(payload) {
+                Ok(rec) => rec,
+                Err(_) if i + 1 == payloads.len() => break,
+                Err(e) => return Err(e),
+            };
             if let StoreRecord::Abort { start_ts } = rec {
                 overturned.insert(start_ts.raw());
             }
@@ -676,7 +718,7 @@ impl Db {
                 Ok(_) => return Ok(value),
                 Err(Error::Aborted(_)) if attempts < max_retries => {
                     attempts += 1;
-                    let pause = backoff_us(attempts, self.inner.now_us());
+                    let pause = backoff_us(attempts, self.inner.backoff_entropy());
                     if pause > 0 {
                         std::thread::sleep(Duration::from_micros(pause));
                     }
@@ -1022,6 +1064,16 @@ impl Db {
             wal,
             wal_enabled: self.inner.pipeline.is_some(),
         }
+    }
+
+    /// Forces a reclamation-epoch advance and a sweep of matured limbo
+    /// entries (arena layout; no-op under [`StoreLayout::Locked`]). The
+    /// write path already performs this amortized every
+    /// [`WATERMARK_HINT_EVERY`] commits; exposing it directly lets stress
+    /// harnesses race reclamation against live snapshots at chosen points
+    /// rather than waiting for the tick.
+    pub fn maintain(&self) {
+        self.inner.mvcc.maintain();
     }
 
     /// Epoch-reclamation accounting of the arena store layout; `None` under

@@ -1,36 +1,61 @@
 //! An embedded store running Cahill-style serializable snapshot isolation.
 //!
-//! [`SsiDb`] pairs the same multi-version storage and commit index as
-//! [`crate::Db`] with [`wsi_core::ssi::SsiOracle`] instead of the
-//! write-snapshot-isolation oracle — the §7.1 comparator as a usable
-//! engine. Useful for workloads dominated by History-6-shaped patterns
-//! (transactions whose reads are overwritten by writers that commit first),
-//! which SSI admits and WSI aborts; see EXPERIMENTS.md E1 for the abort-rate
-//! comparison on zipfian workloads, where the balance tips the other way.
+//! [`SsiDb`] pairs the same multi-version storage (the lock-free arena
+//! layout) and commit index as [`crate::Db`] with
+//! [`wsi_core::ssi::SsiOracle`] instead of the write-snapshot-isolation
+//! oracle — the §7.1 comparator as a usable engine. Useful for workloads
+//! dominated by History-6-shaped patterns (transactions whose reads are
+//! overwritten by writers that commit first), which SSI admits and WSI
+//! aborts; see EXPERIMENTS.md E1 for the abort-rate comparison on zipfian
+//! workloads, where the balance tips the other way.
 //!
-//! In-memory only: the dangerous-structure decision mutates oracle state
-//! before it could be logged, so the WAL-before-exposure discipline of
-//! [`crate::Db`] does not transfer; durability for SSI would need undo
-//! support and is out of scope.
+//! # Durability
+//!
+//! [`SsiDb::open_durable`] attaches a replicated write-ahead ledger. The
+//! dangerous-structure decision is *split around* persistence via
+//! [`SsiOracle::commit_durable`]: the oracle checks the request, issues the
+//! commit timestamp, and only mutates its conflict-flag/`lastCommit` state
+//! after the commit record has reached a write quorum. A quorum loss
+//! overturns the decision before any reader or future committer could
+//! observe it, with a compensating abort record queued for the two-pass
+//! recovery — the same WAL-before-exposure discipline as [`crate::Db`]'s
+//! sync pipeline, minus the group-commit machinery: the ledger flush runs
+//! while the oracle mutex is held. That costs commit concurrency (this
+//! engine is the comparator, not the headline), never correctness.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 use wsi_core::ssi::{SsiOracle, SsiStats};
 use wsi_core::{hash_row_key, CommitRequest, RowId, Timestamp};
+use wsi_wal::{Ledger, LedgerConfig};
 
 use crate::{
     commit_index::CommitIndex,
     error::{Error, Result},
-    mvcc::MvccStore,
+    mvcc::{GcStats, MvccStore, ReclamationStats},
+    record::{self, StoreRecord},
 };
 
 struct SsiInner {
     mvcc: MvccStore,
     index: CommitIndex,
     oracle: Mutex<SsiOracle>,
+    /// The write-ahead ledger, present iff opened durable. Appended and
+    /// flushed while the oracle mutex is held (see the module docs).
+    ledger: Option<Mutex<Ledger>>,
+    /// Logical microsecond clock for ledger appends: a counter, not the
+    /// wall clock, so durable runs stay deterministic under wsi-dst.
+    clock: AtomicU64,
+}
+
+impl SsiInner {
+    fn tick_us(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
 }
 
 /// An embedded, thread-safe transactional store under serializable snapshot
@@ -55,15 +80,86 @@ pub struct SsiDb {
 }
 
 impl SsiDb {
-    /// Opens an empty store.
+    /// Opens an empty in-memory store (no WAL; a crash loses everything).
     pub fn open() -> Self {
+        Self::with_ledger(None)
+    }
+
+    /// Opens an empty store with a replicated write-ahead ledger: commits
+    /// become visible only after their record reaches a write quorum.
+    pub fn open_durable(config: LedgerConfig) -> Self {
+        Self::with_ledger(Some(Ledger::open(config)))
+    }
+
+    fn with_ledger(ledger: Option<Ledger>) -> Self {
         SsiDb {
             inner: Arc::new(SsiInner {
-                mvcc: MvccStore::new(),
+                mvcc: MvccStore::arena(),
                 index: CommitIndex::new(),
                 oracle: Mutex::new(SsiOracle::new()),
+                ledger: ledger.map(Mutex::new),
+                clock: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Rebuilds a database from a recovered write-ahead ledger (see
+    /// [`SsiDb::wal_snapshot`]); the ledger stays attached as the live log.
+    ///
+    /// Replay mirrors [`crate::Db::recover`]: two passes (collect
+    /// compensating aborts, then replay commits skipping overturned ones),
+    /// tolerating a torn final record — a record that never finished
+    /// persisting belongs to a transaction that was never acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] for a non-final undecodable record.
+    pub fn recover(ledger: Ledger) -> Result<SsiDb> {
+        let payloads = ledger.recover();
+        let mut records = Vec::with_capacity(payloads.len());
+        let mut overturned: HashSet<u64> = HashSet::new();
+        for (i, payload) in payloads.iter().enumerate() {
+            let rec = match record::decode(payload) {
+                Ok(rec) => rec,
+                Err(_) if i + 1 == payloads.len() => break,
+                Err(e) => return Err(e),
+            };
+            if let StoreRecord::Abort { start_ts } = rec {
+                overturned.insert(start_ts.raw());
+            }
+            records.push(rec);
+        }
+        let db = Self::with_ledger(Some(ledger));
+        let mut oracle = db.inner.oracle.lock();
+        for rec in records {
+            match rec {
+                StoreRecord::Commit {
+                    start_ts,
+                    commit_ts,
+                    writes,
+                } => {
+                    if overturned.contains(&start_ts.raw()) {
+                        oracle.advance_timestamps(commit_ts);
+                        continue;
+                    }
+                    let rows: Vec<RowId> = writes.iter().map(|(k, _)| hash_row_key(k)).collect();
+                    let keys: Vec<Bytes> = writes.iter().map(|(k, _)| k.clone()).collect();
+                    db.inner.mvcc.insert_versions(start_ts, writes);
+                    db.inner.mvcc.stamp_commit(start_ts, commit_ts, keys.iter());
+                    db.inner.index.record_commit(start_ts, commit_ts);
+                    oracle.replay_commit(start_ts, commit_ts, &rows);
+                }
+                StoreRecord::Abort { start_ts } => {
+                    db.inner.index.record_abort(start_ts);
+                    oracle.replay_abort(start_ts);
+                }
+                StoreRecord::TsReserve { upto } => {
+                    oracle.advance_timestamps(upto);
+                }
+            }
+        }
+        drop(oracle);
+        Ok(db)
     }
 
     /// Begins a transaction at the current snapshot.
@@ -73,7 +169,7 @@ impl SsiDb {
             db: Arc::clone(&self.inner),
             start_ts,
             writes: BTreeMap::new(),
-            read_rows: HashSet::new(),
+            read_rows: BTreeSet::new(),
             finished: false,
         }
     }
@@ -82,6 +178,74 @@ impl SsiDb {
     /// the oracle itself).
     pub fn stats(&self) -> SsiStats {
         self.inner.oracle.lock().stats()
+    }
+
+    /// Garbage-collects versions below the oracle's low-water mark (the
+    /// smallest active start timestamp) and prunes the commit index.
+    pub fn gc(&self) -> GcStats {
+        let watermark = self.inner.oracle.lock().watermark();
+        let stats = self.inner.mvcc.gc(watermark, &self.inner.index);
+        self.inner.index.prune_below(watermark);
+        stats
+    }
+
+    /// Advances the arena's reclamation epoch and frees matured limbo
+    /// entries (the amortized maintenance tick [`crate::Db`] runs on its
+    /// commit path).
+    pub fn maintain(&self) {
+        self.inner.mvcc.maintain();
+    }
+
+    /// Epoch-reclamation accounting of the arena store.
+    pub fn reclamation(&self) -> Option<ReclamationStats> {
+        self.inner.mvcc.reclamation()
+    }
+
+    /// Flushes any retained WAL records (e.g. compensating aborts queued
+    /// while the quorum was lost). No-op without a ledger.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a quorum loss from the ledger.
+    pub fn flush_wal(&self) -> Result<()> {
+        if let Some(ledger) = &self.inner.ledger {
+            let mut ledger = ledger.lock();
+            if ledger.pending_records() > 0 {
+                let now = self.inner.tick_us();
+                ledger.flush(now).map_err(Error::Wal)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// A point-in-time clone of the write-ahead ledger (the surviving
+    /// replicated storage after a crash); feed it to [`SsiDb::recover`].
+    pub fn wal_snapshot(&self) -> Option<Ledger> {
+        self.inner.ledger.as_ref().map(|l| l.lock().clone())
+    }
+
+    /// Injects a failure into bookie `idx` of the live WAL. No-op without a
+    /// ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for the configured replica count.
+    pub fn fail_wal_bookie(&self, idx: usize) {
+        if let Some(ledger) = &self.inner.ledger {
+            ledger.lock().fail_bookie(idx);
+        }
+    }
+
+    /// Recovers bookie `idx` of the live WAL (inverse of
+    /// [`SsiDb::fail_wal_bookie`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for the configured replica count.
+    pub fn recover_wal_bookie(&self, idx: usize) {
+        if let Some(ledger) = &self.inner.ledger {
+            ledger.lock().recover_bookie(idx);
+        }
     }
 }
 
@@ -96,7 +260,9 @@ pub struct SsiTransaction {
     db: Arc<SsiInner>,
     start_ts: Timestamp,
     writes: BTreeMap<Bytes, Option<Bytes>>,
-    read_rows: HashSet<RowId>,
+    /// Ordered for the same reason as [`crate::Transaction`]'s read set:
+    /// the commit request must be a pure function of the keys read.
+    read_rows: BTreeSet<RowId>,
     finished: bool,
 }
 
@@ -134,6 +300,12 @@ impl SsiTransaction {
 
     /// Commits; on a write-write conflict or dangerous structure the
     /// transaction rolls back and [`Error::Aborted`] is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Aborted`] on conflict; [`Error::Wal`] if the store is
+    /// durable and the log lost its write quorum (the commit is overturned
+    /// before any reader could observe it).
     pub fn commit(mut self) -> Result<Timestamp> {
         if self.finished {
             return Err(Error::TransactionFinished);
@@ -141,39 +313,101 @@ impl SsiTransaction {
         self.finished = true;
         let writes = std::mem::take(&mut self.writes);
         if writes.is_empty() {
-            let mut oracle = self.db.oracle.lock();
-            let outcome = oracle.commit(CommitRequest::read_only(self.start_ts));
-            return Ok(outcome.commit_ts().expect("read-only always commits"));
+            // Read-only commits carry their read set: under SSI a snapshot
+            // read can close a cycle as the third transaction (see
+            // `SsiOracle`'s read-only-anomaly handling), so even read-only
+            // transactions can be refused.
+            let read_rows: Vec<RowId> = std::mem::take(&mut self.read_rows).into_iter().collect();
+            let req = CommitRequest::new(self.start_ts, read_rows, Vec::new());
+            let outcome = self.db.oracle.lock().commit(req);
+            return match outcome {
+                wsi_core::CommitOutcome::Committed(cts) => Ok(cts),
+                wsi_core::CommitOutcome::Aborted(reason) => {
+                    self.db.index.record_abort(self.start_ts);
+                    // Logged like every other decided abort, so the WAL
+                    // abort-record count reconciles with the oracle's
+                    // non-client abort counters.
+                    self.append_abort_record();
+                    Err(Error::Aborted(reason))
+                }
+            };
         }
         let keys: Vec<Bytes> = writes.keys().cloned().collect();
         let write_rows: Vec<RowId> = keys.iter().map(|k| hash_row_key(k)).collect();
+        let batch: Vec<(Bytes, Option<Bytes>)> = writes.into_iter().collect();
         self.db.mvcc.insert_versions(
             self.start_ts,
-            writes.iter().map(|(k, v)| (k.clone(), v.clone())),
+            batch.iter().map(|(k, v)| (k.clone(), v.clone())),
         );
-        let req = CommitRequest::new(self.start_ts, self.read_rows.drain().collect(), write_rows);
-        let outcome = {
+        let read_rows: Vec<RowId> = std::mem::take(&mut self.read_rows).into_iter().collect();
+        let req = CommitRequest::new(self.start_ts, read_rows, write_rows);
+        let start_ts = self.start_ts;
+        let decision = {
             let mut oracle = self.db.oracle.lock();
-            let outcome = oracle.commit(req);
-            match outcome {
-                wsi_core::CommitOutcome::Committed(cts) => {
-                    self.db.index.record_commit(self.start_ts, cts);
+            let decision = oracle.commit_durable(req, |commit_ts| {
+                let Some(ledger) = &self.db.ledger else {
+                    return Ok(());
+                };
+                let mut ledger = ledger.lock();
+                let payload = record::encode(&StoreRecord::Commit {
+                    start_ts,
+                    commit_ts,
+                    writes: batch.clone(),
+                });
+                let now = self.db.clock.fetch_add(1, Ordering::Relaxed);
+                ledger.append(payload, now);
+                ledger.flush(now).map(|_| ())
+            });
+            match &decision {
+                Ok(wsi_core::CommitOutcome::Committed(cts)) => {
+                    self.db.index.record_commit(start_ts, *cts);
                 }
-                wsi_core::CommitOutcome::Aborted(_) => {
-                    self.db.index.record_abort(self.start_ts);
+                Ok(wsi_core::CommitOutcome::Aborted(_)) => {
+                    self.db.index.record_abort(start_ts);
+                    // Conflict aborts are logged too (reconciliation:
+                    // refused decisions == WAL abort records), though
+                    // nothing depends on them for correctness.
+                    self.append_abort_record();
+                }
+                Err(_) => {
+                    // Quorum lost between decision and persistence: the
+                    // commit record may survive on a minority of bookies, so
+                    // queue the compensating abort the two-pass recovery
+                    // keys on. It flushes once a quorum returns.
+                    self.db.index.record_abort(start_ts);
+                    self.append_abort_record();
                 }
             }
-            outcome
+            decision
         };
-        match outcome {
-            wsi_core::CommitOutcome::Committed(cts) => {
-                self.db.mvcc.stamp_commit(self.start_ts, cts, keys.iter());
+        match decision {
+            Ok(wsi_core::CommitOutcome::Committed(cts)) => {
+                self.db.mvcc.stamp_commit(start_ts, cts, keys.iter());
                 Ok(cts)
             }
-            wsi_core::CommitOutcome::Aborted(reason) => {
-                self.db.mvcc.remove_versions(self.start_ts, keys.iter());
+            Ok(wsi_core::CommitOutcome::Aborted(reason)) => {
+                self.db.mvcc.remove_versions(start_ts, keys.iter());
                 Err(Error::Aborted(reason))
             }
+            Err(e) => {
+                self.db.mvcc.remove_versions(start_ts, keys.iter());
+                Err(Error::Wal(e))
+            }
+        }
+    }
+
+    /// Appends an abort record for this transaction (flush is best-effort:
+    /// abort records only matter when *commit* records might exist, and
+    /// those always flushed first).
+    fn append_abort_record(&self) {
+        if let Some(ledger) = &self.db.ledger {
+            let mut ledger = ledger.lock();
+            let payload = record::encode(&StoreRecord::Abort {
+                start_ts: self.start_ts,
+            });
+            let now = self.db.clock.fetch_add(1, Ordering::Relaxed);
+            ledger.append(payload, now);
+            let _ = ledger.flush(now);
         }
     }
 
@@ -285,7 +519,7 @@ mod tests {
     }
 
     #[test]
-    fn read_only_never_aborts() {
+    fn read_only_commit_survives_an_overwritten_read() {
         let db = SsiDb::open();
         let mut seed = db.begin();
         seed.put(b"k", b"v");
@@ -333,5 +567,81 @@ mod tests {
             .parse()
             .unwrap();
         assert_eq!(n, 200);
+    }
+
+    #[test]
+    fn durable_commits_survive_crash_and_recover() {
+        let db = SsiDb::open_durable(LedgerConfig::local_sync());
+        for i in 0..10u64 {
+            let mut t = db.begin();
+            t.put(format!("k{i}").as_bytes(), i.to_string().as_bytes());
+            t.commit().unwrap();
+        }
+        let ledger = db.wal_snapshot().expect("durable");
+        drop(db);
+        let recovered = SsiDb::recover(ledger).unwrap();
+        for i in 0..10u64 {
+            let mut r = recovered.begin();
+            assert_eq!(
+                r.get(format!("k{i}").as_bytes()).unwrap().as_ref(),
+                i.to_string().as_bytes()
+            );
+        }
+        // The recovered store keeps working, including SSI detection.
+        let mut t = recovered.begin();
+        t.put(b"k0", b"new");
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn quorum_loss_overturns_the_commit_before_visibility() {
+        let db = SsiDb::open_durable(LedgerConfig::default_replicated());
+        let mut seed = db.begin();
+        seed.put(b"x", b"base");
+        seed.commit().unwrap();
+
+        db.fail_wal_bookie(0);
+        db.fail_wal_bookie(1);
+        let mut t = db.begin();
+        t.put(b"x", b"lost");
+        let err = t.commit();
+        assert!(matches!(err, Err(Error::Wal(_))), "{err:?}");
+        assert_eq!(db.stats().wal_aborts, 1);
+
+        // Never visible live…
+        let mut r = db.begin();
+        assert_eq!(r.get(b"x").unwrap().as_ref(), b"base");
+
+        // …and never visible after recovery either, even though the commit
+        // record may survive on the minority bookie: the compensating abort
+        // flushes once the quorum returns, and the two-pass replay skips
+        // the overturned commit.
+        db.recover_wal_bookie(0);
+        db.flush_wal().expect("quorum restored");
+        let recovered = SsiDb::recover(db.wal_snapshot().unwrap()).unwrap();
+        let mut r = recovered.begin();
+        assert_eq!(r.get(b"x").unwrap().as_ref(), b"base");
+
+        // A fresh write on the recovered store succeeds.
+        let mut t = recovered.begin();
+        t.put(b"x", b"after");
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn gc_retires_superseded_versions() {
+        let db = SsiDb::open();
+        for round in 0..5u64 {
+            let mut t = db.begin();
+            t.put(b"hot", round.to_string().as_bytes());
+            t.commit().unwrap();
+        }
+        let stats = db.gc();
+        assert!(stats.versions_dropped > 0, "{stats:?}");
+        db.maintain();
+        let rec = db.reclamation().expect("arena layout");
+        assert_eq!(rec.retired, rec.freed + rec.limbo);
+        let mut r = db.begin();
+        assert_eq!(r.get(b"hot").unwrap().as_ref(), b"4");
     }
 }

@@ -1,6 +1,6 @@
 //! Client-side transaction handle.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Bound;
 use std::sync::Arc;
 
@@ -33,7 +33,10 @@ pub struct Transaction {
     shard: usize,
     /// Buffered writes; `None` marks a deletion.
     writes: BTreeMap<Bytes, Option<Bytes>>,
-    read_rows: HashSet<RowId>,
+    /// Ordered so the commit request's row list is a pure function of the
+    /// keys read — never of hasher seeding — which deterministic replay
+    /// (wsi-dst) depends on.
+    read_rows: BTreeSet<RowId>,
     finished: bool,
     /// When the transaction began, in the database's monotonic microsecond
     /// clock; feeds the begin-to-visible latency histogram.
@@ -56,7 +59,7 @@ impl Transaction {
             start_ts,
             shard,
             writes: BTreeMap::new(),
-            read_rows: HashSet::new(),
+            read_rows: BTreeSet::new(),
             finished: false,
             began_us,
             span,
@@ -183,7 +186,7 @@ impl Transaction {
         }
         self.finished = true;
         let writes = std::mem::take(&mut self.writes);
-        let read_rows: Vec<RowId> = self.read_rows.drain().collect();
+        let read_rows: Vec<RowId> = std::mem::take(&mut self.read_rows).into_iter().collect();
         let span = self.span.take();
         let db = crate::Db {
             inner: Arc::clone(&self.db),

@@ -20,9 +20,16 @@
 //!    never observe a version freed under the `retire_epoch + 2 <= global`
 //!    rule, because the reclaimer cannot advance the epoch past a pinned
 //!    participant.
+//! 3. **The `stubs/spin` test-and-set lock** — mutual exclusion and lost-
+//!    update freedom for the exact acquire/release protocol the spin stub
+//!    implements (CAS-acquire, store-release, yield after a spin budget).
+//! 4. **`DecisionGuard` ascending-order shard acquisition** — the sharded
+//!    oracle's multi-shard lock protocol (`ConcurrentOracle::lock_for`):
+//!    every committer acquires its shard set in ascending shard order, which
+//!    must be deadlock-free and exclusive over the whole set.
 #![cfg(feature = "loom")]
 
-use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use loom::sync::Arc;
 use loom::thread;
 
@@ -285,5 +292,158 @@ fn epoch_reclamation_never_frees_under_a_pin() {
         reader.join().unwrap();
         reclaimer.join().unwrap();
         assert_eq!(valid.load(Ordering::SeqCst), 0, "eventually freed");
+    });
+}
+
+/// Mirrors `stubs/spin`'s lock loop: CAS-acquire with a bounded spin budget
+/// before yielding, store-release on drop.
+struct TasLock {
+    locked: AtomicBool,
+}
+
+impl TasLock {
+    fn new() -> Self {
+        TasLock {
+            locked: AtomicBool::new(false),
+        }
+    }
+
+    fn lock(&self) {
+        let mut spins = 0u32;
+        while self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            spins += 1;
+            if spins >= 64 {
+                // Mirrors `spin::SPINS_BEFORE_YIELD`.
+                thread::yield_now();
+                spins = 0;
+            } else {
+                loom::hint::spin_loop();
+            }
+        }
+    }
+
+    fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+/// Protocol 3: the test-and-set spinlock gives mutual exclusion (at most
+/// one thread inside the critical section) and no lost updates across a
+/// non-atomic read-modify-write under the lock.
+#[test]
+fn spin_tas_lock_is_mutually_exclusive() {
+    const THREADS: usize = 3;
+    const INCREMENTS: u64 = 16;
+    loom::model(|| {
+        let lock = Arc::new(TasLock::new());
+        // `counter` is only ever touched under the lock; the Relaxed
+        // load/yield/store below is a deliberate non-atomic RMW that loses
+        // updates the moment mutual exclusion fails.
+        let counter = Arc::new(AtomicU64::new(0));
+        // Occupancy flag: swapping in a 1 must always return 0.
+        let occupied = Arc::new(AtomicU64::new(0));
+
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                let occupied = Arc::clone(&occupied);
+                thread::spawn(move || {
+                    for _ in 0..INCREMENTS {
+                        lock.lock();
+                        assert_eq!(
+                            occupied.swap(1, Ordering::SeqCst),
+                            0,
+                            "two threads inside the spinlock's critical section"
+                        );
+                        let cur = counter.load(Ordering::Relaxed);
+                        thread::yield_now(); // widen the lost-update window
+                        counter.store(cur + 1, Ordering::Relaxed);
+                        occupied.store(0, Ordering::SeqCst);
+                        lock.unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            THREADS as u64 * INCREMENTS,
+            "updates lost despite the lock"
+        );
+    });
+}
+
+/// Shard count for protocol model 4 (small enough that overlapping sets are
+/// the common case under the fuzzer).
+const SHARDS: usize = 4;
+
+/// Protocol 4: `DecisionGuard`'s multi-shard acquisition. Each committer
+/// needs a *set* of shards (its request's row shards); all acquirers take
+/// their sets in ascending shard order — `lock_for` sorts the inline slot
+/// permutation, `lock_spilled` sorts the heap set — which rules out the
+/// circular wait a deadlock needs. The model asserts completion (deadlock
+/// freedom via a bounded spin) and set-wide exclusivity: while a committer
+/// holds its set, no other committer holds any member of it.
+#[test]
+fn decision_guard_ascending_order_is_deadlock_free_and_exclusive() {
+    // Overlapping shard sets, pre-sorted ascending like the oracle's
+    // acquisition paths; every pair intersects, so unordered acquisition
+    // would deadlock under some schedule.
+    const SETS: [&[usize]; 3] = [&[0, 1, 2], &[1, 3], &[0, 2, 3]];
+    const ROUNDS: usize = 8;
+    loom::model(|| {
+        let locks: Arc<Vec<TasLock>> = Arc::new((0..SHARDS).map(|_| TasLock::new()).collect());
+        // Per-shard holder tag (0 = free, else committer id + 1).
+        let holders: Arc<Vec<AtomicU64>> =
+            Arc::new((0..SHARDS).map(|_| AtomicU64::new(0)).collect());
+
+        let handles: Vec<_> = (0..SETS.len())
+            .map(|who| {
+                let locks = Arc::clone(&locks);
+                let holders = Arc::clone(&holders);
+                thread::spawn(move || {
+                    let tag = who as u64 + 1;
+                    for _ in 0..ROUNDS {
+                        // Acquire in ascending shard order (the invariant
+                        // under test: all acquirers sort the same way).
+                        for &sid in SETS[who] {
+                            locks[sid].lock();
+                            let prev = holders[sid].swap(tag, Ordering::SeqCst);
+                            assert_eq!(prev, 0, "shard {sid} already held");
+                        }
+                        // The decision runs with the whole set held: every
+                        // member must still be tagged as ours.
+                        thread::yield_now();
+                        for &sid in SETS[who] {
+                            assert_eq!(
+                                holders[sid].load(Ordering::SeqCst),
+                                tag,
+                                "lost shard {sid} mid-decision"
+                            );
+                        }
+                        for &sid in SETS[who] {
+                            holders[sid].store(0, Ordering::SeqCst);
+                            locks[sid].unlock();
+                        }
+                    }
+                })
+            })
+            .collect();
+        // join() doubles as the deadlock check: an ordering regression
+        // would hang here, and the harness-level timeout (tier1 runs this
+        // with bounded iterations) surfaces it.
+        for h in handles {
+            h.join().unwrap();
+        }
+        for h in holders.iter() {
+            assert_eq!(h.load(Ordering::SeqCst), 0, "all shards released");
+        }
     });
 }

@@ -1,0 +1,254 @@
+//! WAL recovery edge cases (ISSUE 7 satellite): torn tails, compensating-
+//! abort ordering across the two-pass replay, and recovery idempotence.
+//!
+//! The contract under test is `Db::recover` / `SsiDb::recover`:
+//!
+//! * a final record that fails to decode is a **torn tail** — the crash hit
+//!   mid-persist, the client was never acknowledged, the record is dropped;
+//! * an undecodable record anywhere *before* the tail is genuine corruption
+//!   and refuses recovery rather than silently losing acknowledged data;
+//! * a compensating `Abort` record always sequences *after* the `Commit`
+//!   record it overturns, so a single forward pass would apply the commit
+//!   first — recovery must collect aborts in pass one and skip overturned
+//!   commits in pass two;
+//! * recovery is idempotent: recovering a recovered store's WAL yields the
+//!   identical version store.
+
+use bytes::Bytes;
+use wsi_core::IsolationLevel;
+use wsi_store::ssi_db::SsiDb;
+use wsi_store::{decode_record, encode_record, Db, DbOptions, Error, StoreRecord, VersionStamps};
+use wsi_wal::{Ledger, LedgerConfig};
+
+fn durable_db(level: IsolationLevel) -> Db {
+    Db::open(DbOptions::new(level).durable(LedgerConfig::local_sync()))
+}
+
+fn commit_kv(db: &Db, key: &[u8], value: &[u8]) {
+    let mut t = db.begin();
+    t.put(key, value);
+    t.commit().unwrap();
+}
+
+/// Sorted copy of a version-stamp dump (shard iteration order is not part
+/// of the contract; the stamp *set* is).
+fn canon(mut stamps: VersionStamps) -> VersionStamps {
+    stamps.sort();
+    stamps
+}
+
+#[test]
+fn torn_final_record_is_dropped_not_fatal() {
+    let db = durable_db(IsolationLevel::WriteSnapshot);
+    for i in 0..5u64 {
+        commit_kv(&db, format!("k{i}").as_bytes(), i.to_string().as_bytes());
+    }
+    let mut wal = db.wal_snapshot().expect("durable");
+
+    // Tear the tail: persist only a prefix of a valid commit record, as a
+    // crash mid-write would.
+    let full = encode_record(&StoreRecord::Commit {
+        start_ts: wsi_core::Timestamp(1000),
+        commit_ts: wsi_core::Timestamp(1001),
+        writes: vec![(Bytes::from_static(b"torn"), Some(Bytes::from_static(b"x")))],
+    });
+    wal.append(full.slice(0..full.len() - 3), u64::MAX);
+    wal.flush(u64::MAX).unwrap();
+
+    let recovered =
+        Db::recover(DbOptions::new(IsolationLevel::WriteSnapshot), wal).expect("torn tail is ok");
+    for i in 0..5u64 {
+        let mut t = recovered.begin();
+        assert_eq!(
+            t.get(format!("k{i}").as_bytes()).unwrap().as_ref(),
+            i.to_string().as_bytes(),
+            "acknowledged commit lost"
+        );
+    }
+    let mut t = recovered.begin();
+    assert_eq!(t.get(b"torn"), None, "torn record must not replay");
+}
+
+#[test]
+fn ssi_recovery_tolerates_a_torn_tail_too() {
+    let db = SsiDb::open_durable(LedgerConfig::local_sync());
+    let mut t = db.begin();
+    t.put(b"k", b"v");
+    t.commit().unwrap();
+    let mut wal = db.wal_snapshot().expect("durable");
+    wal.append(Bytes::from_static(&[0x10, 0x01]), u64::MAX); // truncated commit
+    wal.flush(u64::MAX).unwrap();
+    let recovered = SsiDb::recover(wal).expect("torn tail is ok");
+    let mut r = recovered.begin();
+    assert_eq!(r.get(b"k").unwrap().as_ref(), b"v");
+}
+
+#[test]
+fn corruption_before_the_tail_refuses_recovery() {
+    let db = durable_db(IsolationLevel::WriteSnapshot);
+    commit_kv(&db, b"k", b"v");
+    let mut wal = db.wal_snapshot().expect("durable");
+
+    // A truncated record *followed by* a decodable one is not a torn tail:
+    // something after it was acknowledged, so the log is corrupt.
+    wal.append(Bytes::from_static(&[0x10, 0x99]), u64::MAX);
+    wal.append(
+        encode_record(&StoreRecord::Abort {
+            start_ts: wsi_core::Timestamp(9999),
+        }),
+        u64::MAX,
+    );
+    wal.flush(u64::MAX).unwrap();
+
+    let err = Db::recover(DbOptions::new(IsolationLevel::WriteSnapshot), wal.clone());
+    assert!(
+        matches!(err, Err(Error::Corrupt(_))),
+        "mid-log corruption must refuse recovery, got {err:?}"
+    );
+    let err = SsiDb::recover(wal);
+    assert!(matches!(err, Err(Error::Corrupt(_))), "{err:?}");
+}
+
+/// Hand-built log proving the two-pass structure is load-bearing: the
+/// compensating abort sequences strictly after the commit record it
+/// overturns, so a one-pass replay would have exposed the value before
+/// seeing the abort.
+#[test]
+fn compensating_abort_overturns_an_earlier_commit_record() {
+    let mut wal = Ledger::open(LedgerConfig::local_sync());
+    let overturned_start = wsi_core::Timestamp(3);
+    wal.append(
+        encode_record(&StoreRecord::Commit {
+            start_ts: wsi_core::Timestamp(1),
+            commit_ts: wsi_core::Timestamp(2),
+            writes: vec![(Bytes::from_static(b"x"), Some(Bytes::from_static(b"base")))],
+        }),
+        0,
+    );
+    wal.append(
+        encode_record(&StoreRecord::Commit {
+            start_ts: overturned_start,
+            commit_ts: wsi_core::Timestamp(4),
+            writes: vec![(Bytes::from_static(b"x"), Some(Bytes::from_static(b"lost")))],
+        }),
+        1,
+    );
+    wal.append(
+        encode_record(&StoreRecord::Abort {
+            start_ts: overturned_start,
+        }),
+        2,
+    );
+    wal.flush(3).unwrap();
+
+    let db = Db::recover(DbOptions::new(IsolationLevel::WriteSnapshot), wal.clone()).unwrap();
+    let mut t = db.begin();
+    assert_eq!(
+        t.get(b"x").unwrap().as_ref(),
+        b"base",
+        "overturned commit must not replay"
+    );
+    drop(t);
+    // The overturned commit's timestamps stay burned: fresh transactions
+    // must start above them.
+    let t = db.begin();
+    assert!(t.start_ts() > wsi_core::Timestamp(4));
+    drop(t);
+
+    let ssi = SsiDb::recover(wal).unwrap();
+    let mut t = ssi.begin();
+    assert_eq!(t.get(b"x").unwrap().as_ref(), b"base");
+}
+
+/// End-to-end version: a real quorum loss writes the records in exactly
+/// that commit-then-abort order.
+#[test]
+fn quorum_loss_logs_commit_before_compensating_abort() {
+    let db = Db::open(
+        DbOptions::new(IsolationLevel::WriteSnapshot).durable(LedgerConfig::default_replicated()),
+    );
+    commit_kv(&db, b"x", b"base");
+
+    db.fail_wal_bookie(0);
+    db.fail_wal_bookie(1);
+    let mut t = db.begin();
+    t.put(b"x", b"lost");
+    let start_ts = t.start_ts();
+    assert!(matches!(t.commit(), Err(Error::Wal(_))));
+
+    db.recover_wal_bookie(0);
+    db.recover_wal_bookie(1);
+    db.flush_wal().expect("quorum restored");
+
+    let wal = db.wal_snapshot().unwrap();
+    let records: Vec<StoreRecord> = wal
+        .recover()
+        .iter()
+        .map(|p| decode_record(p).unwrap())
+        .collect();
+    let commit_pos = records
+        .iter()
+        .position(|r| matches!(r, StoreRecord::Commit { start_ts: s, .. } if *s == start_ts));
+    let abort_pos = records
+        .iter()
+        .position(|r| matches!(r, StoreRecord::Abort { start_ts: s } if *s == start_ts));
+    let abort_pos = abort_pos.expect("compensating abort must be durable");
+    if let Some(commit_pos) = commit_pos {
+        assert!(
+            commit_pos < abort_pos,
+            "compensation sequences after the commit it overturns"
+        );
+    }
+
+    let recovered = Db::recover(DbOptions::new(IsolationLevel::WriteSnapshot), wal).unwrap();
+    let mut t = recovered.begin();
+    assert_eq!(t.get(b"x").unwrap().as_ref(), b"base");
+}
+
+#[test]
+fn recovery_is_idempotent() {
+    // Build a log with commits, an overturned commit, and a client abort.
+    let db = Db::open(
+        DbOptions::new(IsolationLevel::WriteSnapshot).durable(LedgerConfig::default_replicated()),
+    );
+    for i in 0..8u64 {
+        commit_kv(
+            &db,
+            format!("k{}", i % 3).as_bytes(),
+            i.to_string().as_bytes(),
+        );
+    }
+    let mut t = db.begin();
+    t.put(b"k0", b"rolled-back");
+    t.rollback();
+    db.fail_wal_bookie(0);
+    db.fail_wal_bookie(1);
+    let mut t = db.begin();
+    t.put(b"k1", b"lost");
+    assert!(t.commit().is_err());
+    db.recover_wal_bookie(0);
+    db.recover_wal_bookie(1);
+    db.flush_wal().unwrap();
+    let wal = db.wal_snapshot().unwrap();
+
+    // recover(recover(wal)) == recover(wal): same versions, same stamps,
+    // and the re-recovered WAL replays to the same store again. Recovery
+    // must stay durable so the recovered store exposes its (unchanged) WAL.
+    let opts = || {
+        DbOptions::new(IsolationLevel::WriteSnapshot).durable(LedgerConfig::default_replicated())
+    };
+    let once = Db::recover(opts(), wal.clone()).unwrap();
+    let again = Db::recover(opts(), wal).unwrap();
+    assert_eq!(canon(once.version_stamps()), canon(again.version_stamps()));
+
+    let twice = Db::recover(opts(), once.wal_snapshot().unwrap()).unwrap();
+    assert_eq!(canon(once.version_stamps()), canon(twice.version_stamps()));
+
+    // And the doubly-recovered store agrees on every visible value.
+    for i in 0..3u64 {
+        let key = format!("k{i}");
+        let mut a = once.begin();
+        let mut b = twice.begin();
+        assert_eq!(a.get(key.as_bytes()), b.get(key.as_bytes()), "{key}");
+    }
+}

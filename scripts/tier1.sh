@@ -40,6 +40,13 @@ cargo test -q --release -p wsi-store --test store_shard_stress
 # when the suite is invoked without LOOM_MAX_ITERS.
 LOOM_MAX_ITERS=32 cargo test -q --release -p wsi-store --features loom --test loom_protocols
 
+# Deterministic simulation gate: the seeded fault matrix (every engine ×
+# every fault plan × three seeds, both oracles armed on every run) plus
+# the same-seed replay regression and the planted-bug canary. Any oracle
+# panic prints a DST_SEED=… repro line — copy-paste it verbatim to replay
+# the failing schedule byte-for-byte.
+cargo test -q -p wsi-dst
+
 # Metrics snapshot artifact: small op count — this is an exposition smoke
 # test, not a benchmark run.
 ./target/release/store_concurrency 200 0

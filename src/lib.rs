@@ -19,6 +19,7 @@
 //! * [`oracle`] — the status-oracle server model.
 //! * [`workload`] — the transactional YCSB-like workload generator.
 //! * [`cluster`] — the full-cluster simulation and experiment runner.
+//! * [`dst`] — the deterministic fault-injection stress harness.
 //!
 //! # Quickstart
 //!
@@ -37,6 +38,7 @@
 
 pub use wsi_cluster as cluster;
 pub use wsi_core as core;
+pub use wsi_dst as dst;
 pub use wsi_history as history;
 pub use wsi_kvstore as kvstore;
 pub use wsi_obs as obs;

@@ -67,6 +67,24 @@ where
     RNG.with(|rng| rng.set(0));
 }
 
+/// Runs `f` once under a caller-chosen schedule seed.
+///
+/// This is the stub's extension point for external harnesses (the `wsi-dst`
+/// deterministic stress runner derives per-run yield streams from its own
+/// master seed): where [`model`] sweeps a fixed family of seeds, this
+/// executes exactly one schedule, reproducibly — the same seed yields the
+/// same preemption decisions at the same instrumented operations on the
+/// calling thread (spawned threads derive their streams from the caller's,
+/// so a whole model run is a function of `seed` and the code under test).
+pub fn model_seeded<F>(seed: u64, f: F)
+where
+    F: FnOnce(),
+{
+    seed_current(seed | 1);
+    f();
+    RNG.with(|rng| rng.set(0));
+}
+
 /// Instrumented substitutes for `std::thread`.
 pub mod thread {
     use super::{seed_current, RNG};
