@@ -43,6 +43,38 @@ pub enum AbortReason {
     ClientRequested,
 }
 
+impl AbortReason {
+    /// This reason in the flight recorder's culprit-attributed encoding
+    /// ([`wsi_obs::Cause`]): conflict reasons carry the committed culprit's
+    /// commit timestamp as the journal's join key.
+    pub fn journal_cause(&self) -> wsi_obs::Cause {
+        match *self {
+            AbortReason::WriteWriteConflict { row, committed_at } => wsi_obs::Cause::WriteWrite {
+                row: row.raw(),
+                committed_at: committed_at.raw(),
+            },
+            AbortReason::ReadWriteConflict { row, committed_at } => wsi_obs::Cause::ReadWrite {
+                row: row.raw(),
+                committed_at: committed_at.raw(),
+            },
+            AbortReason::TmaxExceeded { t_max, .. } => wsi_obs::Cause::Tmax { t_max: t_max.raw() },
+            AbortReason::ClientRequested => wsi_obs::Cause::Client,
+        }
+    }
+
+    /// The commit timestamp this reason blames, when it names one (the
+    /// per-row conflict verdict payload: the culprit's commit timestamp
+    /// for WW/RW conflicts, the eviction bound for `T_max` aborts).
+    pub fn conflict_ts(&self) -> Option<Timestamp> {
+        match *self {
+            AbortReason::WriteWriteConflict { committed_at, .. }
+            | AbortReason::ReadWriteConflict { committed_at, .. } => Some(committed_at),
+            AbortReason::TmaxExceeded { t_max, .. } => Some(t_max),
+            AbortReason::ClientRequested => None,
+        }
+    }
+}
+
 impl fmt::Display for AbortReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

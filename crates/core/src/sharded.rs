@@ -43,7 +43,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use spin::{Mutex, MutexGuard};
-use wsi_obs::{Counter, Histogram, HistogramSnapshot, Registry};
+use wsi_obs::{Counter, EventData, Histogram, HistogramSnapshot, Journal, Registry};
 
 use crate::{
     commit_table::{CommitTable, TxnStatus},
@@ -261,6 +261,9 @@ pub struct ConcurrentOracle {
     /// When false, the decision path skips clock reads and histogram
     /// records, leaving only the plain activity counters.
     obs_enabled: bool,
+    /// Flight recorder for per-row conflict-check verdicts (the embedder
+    /// records the coarser lifecycle events itself).
+    journal: Option<Journal>,
 }
 
 impl ConcurrentOracle {
@@ -298,6 +301,7 @@ impl ConcurrentOracle {
             counters: OracleCounters::default(),
             obs: ShardObs::new(shards),
             obs_enabled: true,
+            journal: None,
         }
     }
 
@@ -307,6 +311,20 @@ impl ConcurrentOracle {
     pub fn with_obs_enabled(mut self, enabled: bool) -> Self {
         self.obs_enabled = enabled;
         self
+    }
+
+    /// Attaches a flight recorder: every row a [`DecisionGuard::check`]
+    /// probes records a [`EventData::CheckRow`] verdict, carrying the
+    /// culprit's commit timestamp when the row conflicted.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
     }
 
     /// The isolation level this oracle enforces.
@@ -690,6 +708,22 @@ impl DecisionGuard<'_> {
         // early-abort exits) so the observable counts stay identical to the
         // serial oracle's per-row increments at a fraction of the traffic.
         let mut checked = 0u64;
+        let journal = self.oracle.journal.as_ref();
+        let record_verdict = |row: RowId, verdict: &Result<(), AbortReason>| {
+            if let Some(journal) = journal {
+                journal.record(
+                    req.start_ts.raw(),
+                    EventData::CheckRow {
+                        row: row.raw(),
+                        conflict: verdict
+                            .as_ref()
+                            .err()
+                            .and_then(AbortReason::conflict_ts)
+                            .map(Timestamp::raw),
+                    },
+                );
+            }
+        };
         if let GuardSet::Inline {
             guards, row_slots, ..
         } = &self.set
@@ -704,7 +738,9 @@ impl DecisionGuard<'_> {
                 let table = guards[row_slots[k] as usize & (INLINE_SHARDS - 1)]
                     .as_ref()
                     .expect("row's slot is locked");
-                if let Err(reason) = check_row_probe(level, row, table.probe(row), req.start_ts) {
+                let verdict = check_row_probe(level, row, table.probe(row), req.start_ts);
+                record_verdict(row, &verdict);
+                if let Err(reason) = verdict {
                     self.oracle.counters.rows_checked.add(checked);
                     return Err(reason);
                 }
@@ -713,7 +749,9 @@ impl DecisionGuard<'_> {
             for &row in check_rows {
                 checked += 1;
                 let probe = self.set.table(self.table_index(row)).probe(row);
-                if let Err(reason) = check_row_probe(level, row, probe, req.start_ts) {
+                let verdict = check_row_probe(level, row, probe, req.start_ts);
+                record_verdict(row, &verdict);
+                if let Err(reason) = verdict {
                     self.oracle.counters.rows_checked.add(checked);
                     return Err(reason);
                 }
@@ -869,6 +907,7 @@ fn combine_probes(a: Probe, b: Probe) -> Probe {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wsi_obs::Event;
 
     fn rows(ids: &[u64]) -> Vec<RowId> {
         ids.iter().map(|&i| RowId(i)).collect()
@@ -1008,6 +1047,47 @@ mod tests {
         // A transaction that read row 7 before the recovered commit aborts.
         let out = o.commit(CommitRequest::new(Timestamp(2), rows(&[7]), rows(&[8])));
         assert!(out.is_aborted());
+    }
+
+    #[test]
+    fn journal_records_per_row_verdicts_with_culprit() {
+        let journal = Journal::new();
+        let o = ConcurrentOracle::unbounded(
+            IsolationLevel::WriteSnapshot,
+            4,
+            Arc::new(SharedTimestampSource::new()),
+        )
+        .with_journal(journal.clone());
+        let t1 = o.begin();
+        let t2 = o.begin();
+        let first = o.commit(CommitRequest::new(t1, rows(&[1]), rows(&[2])));
+        let commit_ts = first.commit_ts().expect("no conflict");
+        assert!(o
+            .commit(CommitRequest::new(t2, rows(&[2]), rows(&[1])))
+            .is_aborted());
+        // t1's check of row 1 passed; t2's check of row 2 names t1's commit
+        // timestamp as the culprit.
+        assert_eq!(
+            journal.events_for(t1.raw()),
+            vec![Event {
+                seqno: journal.events_for(t1.raw())[0].seqno,
+                ts_us: journal.events_for(t1.raw())[0].ts_us,
+                txn: t1.raw(),
+                data: EventData::CheckRow {
+                    row: 1,
+                    conflict: None
+                },
+            }]
+        );
+        let t2_events = journal.events_for(t2.raw());
+        assert_eq!(t2_events.len(), 1);
+        assert_eq!(
+            t2_events[0].data,
+            EventData::CheckRow {
+                row: 2,
+                conflict: Some(commit_ts.raw()),
+            }
+        );
     }
 
     #[test]

@@ -31,6 +31,8 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use wsi_obs::{Cause, EventData, Journal};
+
 use crate::{
     commit_table::{CommitTable, TxnStatus},
     error::{AbortReason, CommitOutcome},
@@ -125,6 +127,7 @@ pub struct SsiOracle {
     /// Start timestamps of in-flight transactions (window pruning bound).
     active: BTreeMap<Timestamp, ()>,
     stats: SsiStats,
+    journal: Option<Journal>,
 }
 
 impl SsiOracle {
@@ -133,11 +136,33 @@ impl SsiOracle {
         Self::default()
     }
 
+    /// Attaches a flight-recorder journal. Unlike the SI/WSI split (where
+    /// the embedding `Db` records lifecycle events and the oracle only the
+    /// per-row verdicts), the SSI oracle owns every decision — WW base
+    /// check, dangerous-structure detection, durability overturns — so it
+    /// records the full event stream itself, including the in/out rw-edge
+    /// partners of a pivot abort ([`Cause::Pivot`]).
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    fn record(&self, txn: Timestamp, data: EventData) {
+        if let Some(journal) = &self.journal {
+            journal.record(txn.raw(), data);
+        }
+    }
+
     /// Issues a start timestamp.
     pub fn begin(&mut self) -> Timestamp {
         self.stats.begins += 1;
         let ts = self.ts.next();
         self.active.insert(ts, ());
+        self.record(ts, EventData::Begin);
         ts
     }
 
@@ -146,6 +171,7 @@ impl SsiOracle {
         self.stats.client_aborts += 1;
         self.active.remove(&start_ts);
         self.commit_table.record_abort(start_ts);
+        self.record(start_ts, EventData::Abort(Cause::Client));
     }
 
     /// Decides a commit request.
@@ -197,14 +223,23 @@ impl SsiOracle {
                     out_partners.push(idx);
                 }
             }
-            if out_partners
+            if let Some(&pivot) = out_partners
                 .iter()
-                .any(|&idx| self.window[idx].out_conflict)
+                .find(|&&idx| self.window[idx].out_conflict)
             {
-                // T →rw U would make the already-committed U a pivot.
+                // T →rw U would make the already-committed U a pivot. The
+                // journal names U (T's out-edge partner) as the culprit; T
+                // has no in-edge — it is read-only.
                 self.stats.pivot_aborts += 1;
                 self.active.remove(&req.start_ts);
                 self.commit_table.record_abort(req.start_ts);
+                self.record(
+                    req.start_ts,
+                    EventData::Abort(Cause::Pivot {
+                        in_commit_ts: 0,
+                        out_commit_ts: self.window[pivot].commit_ts.raw(),
+                    }),
+                );
                 return Ok(CommitOutcome::Aborted(AbortReason::ReadWriteConflict {
                     row: *reads.iter().next().expect("partners imply reads"),
                     committed_at: req.start_ts,
@@ -234,6 +269,7 @@ impl SsiOracle {
                 self.prune_window();
             }
             self.stats.read_only_commits += 1;
+            self.record(req.start_ts, EventData::ReadOnlyCommit);
             return Ok(CommitOutcome::Committed(req.start_ts));
         }
 
@@ -241,15 +277,36 @@ impl SsiOracle {
         for &row in &req.write_rows {
             if let Probe::Resident(last) = self.last_commit.probe(row) {
                 if last > req.start_ts {
+                    self.record(
+                        req.start_ts,
+                        EventData::CheckRow {
+                            row: row.raw(),
+                            conflict: Some(last.raw()),
+                        },
+                    );
                     self.stats.ww_aborts += 1;
                     self.active.remove(&req.start_ts);
                     self.commit_table.record_abort(req.start_ts);
+                    self.record(
+                        req.start_ts,
+                        EventData::Abort(Cause::WriteWrite {
+                            row: row.raw(),
+                            committed_at: last.raw(),
+                        }),
+                    );
                     return Ok(CommitOutcome::Aborted(AbortReason::WriteWriteConflict {
                         row,
                         committed_at: last,
                     }));
                 }
             }
+            self.record(
+                req.start_ts,
+                EventData::CheckRow {
+                    row: row.raw(),
+                    conflict: None,
+                },
+            );
         }
 
         // --- Dangerous-structure detection. -------------------------------
@@ -279,34 +336,52 @@ impl SsiOracle {
         }
         let in_t = !in_partners.is_empty();
         let out_t = !out_partners.is_empty();
-        // Rule 1: T itself is a pivot.
-        let mut dangerous = in_t && out_t;
+        // The dangerous structure's edge partners, `(in_commit_ts,
+        // out_commit_ts)`, recorded for abort forensics: a 0 marks an edge
+        // the pivot does not have (rule 2 fires on one edge alone).
+        // Rule 1: T itself is a pivot — both edges go to committed
+        // partners, named by their commit timestamps.
+        let mut dangerous: Option<(u64, u64)> = if in_t && out_t {
+            Some((
+                self.window[in_partners[0]].commit_ts.raw(),
+                self.window[out_partners[0]].commit_ts.raw(),
+            ))
+        } else {
+            None
+        };
         // Rule 2: committing T would turn an already-committed transaction
         // into a pivot (it cannot be aborted anymore, so T must be).
-        if !dangerous {
+        if dangerous.is_none() {
             for &idx in &out_partners {
                 // T →rw U gives U an in-conflict; dangerous if U already has
                 // an out-conflict.
                 if self.window[idx].out_conflict {
-                    dangerous = true;
+                    dangerous = Some((0, self.window[idx].commit_ts.raw()));
                     break;
                 }
             }
         }
-        if !dangerous {
+        if dangerous.is_none() {
             for &idx in &in_partners {
                 // U →rw T gives U an out-conflict; dangerous if U already
                 // has an in-conflict.
                 if self.window[idx].in_conflict {
-                    dangerous = true;
+                    dangerous = Some((self.window[idx].commit_ts.raw(), 0));
                     break;
                 }
             }
         }
-        if dangerous {
+        if let Some((in_commit_ts, out_commit_ts)) = dangerous {
             self.stats.pivot_aborts += 1;
             self.active.remove(&req.start_ts);
             self.commit_table.record_abort(req.start_ts);
+            self.record(
+                req.start_ts,
+                EventData::Abort(Cause::Pivot {
+                    in_commit_ts,
+                    out_commit_ts,
+                }),
+            );
             // Smallest read row: deterministic (the sets are ordered), so a
             // replayed schedule reports the identical abort reason.
             return Ok(CommitOutcome::Aborted(AbortReason::ReadWriteConflict {
@@ -328,6 +403,7 @@ impl SsiOracle {
             self.stats.wal_aborts += 1;
             self.active.remove(&req.start_ts);
             self.commit_table.record_abort(req.start_ts);
+            self.record(req.start_ts, EventData::Abort(Cause::QuorumLoss));
             return Err(e);
         }
         for &idx in &out_partners {
@@ -351,6 +427,12 @@ impl SsiOracle {
         });
         self.prune_window();
         self.stats.commits += 1;
+        self.record(
+            req.start_ts,
+            EventData::Commit {
+                commit_ts: commit_ts.raw(),
+            },
+        );
         Ok(CommitOutcome::Committed(commit_ts))
     }
 
@@ -593,6 +675,93 @@ mod tests {
         // (T0, T1, T2 in that serial order explains every read).
         let out = o.commit(CommitRequest::new(t1, rows(&[1]), rows(&[2])));
         assert!(out.is_aborted());
+    }
+
+    #[test]
+    fn journal_attributes_pivot_edges_to_committed_partners() {
+        // The false-positive pivot schedule, with a journal attached: T1's
+        // abort must name T0 (in-edge) and T2 (out-edge) by commit
+        // timestamp, and `explain_abort` must resolve both back to the
+        // partners' transactions through their Commit events.
+        let mut o = SsiOracle::new();
+        o.attach_journal(Journal::new());
+        let t0 = o.begin();
+        let t1 = o.begin();
+        let t2 = o.begin();
+        let c2 = o
+            .commit(CommitRequest::new(t2, vec![], rows(&[1])))
+            .commit_ts()
+            .expect("t2 commits");
+        let c0 = o
+            .commit(CommitRequest::new(t0, rows(&[2]), rows(&[7])))
+            .commit_ts()
+            .expect("t0 commits");
+        assert!(o
+            .commit(CommitRequest::new(t1, rows(&[1]), rows(&[2])))
+            .is_aborted());
+
+        let explanation = o
+            .journal()
+            .expect("journal attached")
+            .explain_abort(t1.raw())
+            .expect("abort recorded");
+        assert_eq!(explanation.victim, t1.raw());
+        assert_eq!(
+            explanation.cause,
+            Cause::Pivot {
+                in_commit_ts: c0.raw(),
+                out_commit_ts: c2.raw(),
+            }
+        );
+        let mut culprits = explanation.culprits.clone();
+        culprits.sort_unstable();
+        let mut expected = vec![t0.raw(), t2.raw()];
+        expected.sort_unstable();
+        assert_eq!(culprits, expected, "both edge partners attributed");
+        // The timeline is the causal join of victim and culprit streams:
+        // it must contain the partners' commits and the victim's abort.
+        assert!(explanation.timeline.iter().any(|e| e.data
+            == EventData::Commit {
+                commit_ts: c2.raw()
+            }));
+        assert!(explanation
+            .timeline
+            .iter()
+            .any(|e| matches!(e.data, EventData::Abort(_)) && e.txn == t1.raw()));
+    }
+
+    #[test]
+    fn journal_names_the_committed_pivot_on_rule_two_aborts() {
+        // Rule 2: committing T would make already-committed U a pivot; the
+        // abort's out-edge names U, and the absent in-edge is 0.
+        let mut o = SsiOracle::new();
+        o.attach_journal(Journal::new());
+        let v = o.begin();
+        let u = o.begin();
+        let t = o.begin();
+        let cu = o
+            .commit(CommitRequest::new(u, rows(&[2]), rows(&[1])))
+            .commit_ts()
+            .expect("u commits");
+        assert!(o
+            .commit(CommitRequest::new(v, rows(&[1]), rows(&[9])))
+            .is_committed());
+        assert!(o
+            .commit(CommitRequest::new(t, rows(&[8]), rows(&[2])))
+            .is_aborted());
+        let explanation = o
+            .journal()
+            .expect("journal attached")
+            .explain_abort(t.raw())
+            .expect("abort recorded");
+        assert_eq!(
+            explanation.cause,
+            Cause::Pivot {
+                in_commit_ts: cu.raw(),
+                out_commit_ts: 0,
+            }
+        );
+        assert_eq!(explanation.culprits, vec![u.raw()]);
     }
 
     #[test]

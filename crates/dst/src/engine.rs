@@ -10,7 +10,7 @@
 
 use wsi_core::{IsolationLevel, Timestamp};
 use wsi_store::ssi_db::{SsiDb, SsiTransaction};
-use wsi_store::{Db, DbOptions, Error, GcStats, ReclamationStats, Result, Transaction};
+use wsi_store::{Db, DbOptions, Error, GcStats, Journal, ReclamationStats, Result, Transaction};
 use wsi_wal::{Ledger, LedgerConfig};
 
 /// Which engine a run exercises.
@@ -190,6 +190,15 @@ impl Engine {
         match self {
             Engine::Db(db) => db.reclamation(),
             Engine::Ssi(db) => db.reclamation(),
+        }
+    }
+
+    /// The engine's flight-recorder journal. `Db` opens one because the
+    /// default options enable observability; `SsiDb`'s is unconditional.
+    pub(crate) fn journal(&self) -> Option<&Journal> {
+        match self {
+            Engine::Db(db) => db.journal(),
+            Engine::Ssi(db) => Some(db.journal()),
         }
     }
 

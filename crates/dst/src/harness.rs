@@ -34,7 +34,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use bytes::Bytes;
 use wsi_history::{dsg, History, Op, TxnId};
 use wsi_sim::SimRng;
-use wsi_store::{Error, ReclamationStats};
+use wsi_store::{Error, Event, ReclamationStats};
 use wsi_wal::{Ledger, LedgerConfig};
 
 use crate::clock::VirtualClock;
@@ -162,6 +162,27 @@ pub struct RunReport {
     pub census: WalCensus,
     /// Final epoch-reclamation accounting, when the layout reports one.
     pub reclamation: Option<ReclamationStats>,
+    /// Flight-recorder events of the **final engine incarnation** (earlier
+    /// incarnations' journals die with their engines at a crash fault).
+    /// `Event::ts_us` is wall-clock and excluded from determinism claims;
+    /// everything else is a pure function of the seed.
+    pub journal: Vec<Event>,
+    /// Events the final incarnation's journal overwrote (ring wrap). Zero
+    /// at default run scales; nonzero means `journal` is a suffix.
+    pub journal_dropped: u64,
+}
+
+impl RunReport {
+    /// The last `n` journal events, rendered one per line — what the
+    /// oracles dump alongside the repro command on a violation.
+    pub fn journal_tail(&self, n: usize) -> String {
+        let skip = self.journal.len().saturating_sub(n);
+        self.journal[skip..]
+            .iter()
+            .map(Event::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
 }
 
 /// Runs a configuration and checks every oracle, panicking (with a repro
@@ -451,6 +472,10 @@ impl Sim<'_> {
             .expect("engines run durable")
             .recover();
         let (census, _) = oracle::census(&oracle::decode_all(&payloads, &self.repro));
+        let (journal, journal_dropped) = match self.engine.journal() {
+            Some(journal) => (journal.snapshot(), journal.dropped()),
+            None => (Vec::new(), 0),
+        };
         let history = History::new(self.ops);
         RunReport {
             seed: self.config.seed,
@@ -464,6 +489,8 @@ impl Sim<'_> {
             delta_census: census.since(&self.base_census),
             census,
             reclamation: self.engine.reclamation(),
+            journal,
+            journal_dropped,
         }
     }
 }

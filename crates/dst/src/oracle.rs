@@ -117,8 +117,26 @@ fn check_eq(got: u64, want: u64, what: &str, repro: &str) {
 }
 
 /// Runs all oracles over a finished run, panicking on any violation.
+///
+/// Every violation message carries the repro command *and* the tail of the
+/// engine's flight-recorder journal — the last causal events before the
+/// run ended, which is usually enough to see the decision that diverged
+/// without replaying the seed at all.
 pub fn verify(report: &RunReport, config: &RunConfig) {
-    let repro = config.repro();
+    const JOURNAL_TAIL: usize = 16;
+    let repro = {
+        let tail = report.journal_tail(JOURNAL_TAIL);
+        if tail.is_empty() {
+            config.repro()
+        } else {
+            format!(
+                "{}\n  journal tail (last {} of {} events):\n{tail}",
+                config.repro(),
+                report.journal.len().min(JOURNAL_TAIL),
+                report.journal.len() as u64 + report.journal_dropped,
+            )
+        }
+    };
 
     // 1. Visibility: observed writers match snapshot semantics.
     let expected = dsg::reads_from(&report.history);

@@ -8,7 +8,8 @@
 //! hash map, wall-clock time, or OS randomness, the replayed history would
 //! eventually diverge from the first run.
 
-use wsi_dst::{run, EngineKind, FaultPlan, RunConfig};
+use wsi_dst::{run, EngineKind, FaultPlan, RunConfig, RunReport};
+use wsi_store::{Event, EventData};
 
 const STEPS: u64 = 400;
 
@@ -37,6 +38,56 @@ fn same_seed_replays_the_identical_history() {
                 assert_eq!(first.census, second.census, "WAL contents diverged");
                 assert_eq!(first.resurrected, second.resurrected);
             }
+        }
+    }
+}
+
+/// The flight recorder is part of the determinism contract: a replayed
+/// seed must produce the identical journal event sequence — same seqnos,
+/// same owning transactions, same payloads (conflict rows, culprit commit
+/// timestamps, WAL ack counts). Only `Event::ts_us` is wall-clock, and
+/// [`Event::replay_key`] excludes exactly that field. Without this, the
+/// journal tail dumped on an oracle violation could differ between the
+/// failing run and its replay, which would defeat the point.
+#[test]
+fn same_seed_replays_the_identical_journal() {
+    let keys = |r: &RunReport| r.journal.iter().map(Event::replay_key).collect::<Vec<_>>();
+    for kind in EngineKind::ALL {
+        for plan_name in ["none", "quorum-loss", "everything"] {
+            let config = || {
+                RunConfig::new(kind, 0x70AD).steps(STEPS).plan(
+                    plan_name,
+                    FaultPlan::by_name(plan_name, STEPS).expect("preset"),
+                )
+            };
+            let first = run(&config());
+            let second = run(&config());
+            assert!(
+                !first.journal.is_empty(),
+                "journal always on: {} / {plan_name}",
+                kind.label(),
+            );
+            assert_eq!(
+                first.journal_dropped,
+                0,
+                "default run scale fits the ring: {} / {plan_name}",
+                kind.label(),
+            );
+            // The journal covers the whole lifecycle, not just commits.
+            assert!(first
+                .journal
+                .iter()
+                .any(|e| matches!(e.data, EventData::Begin)));
+            assert!(first
+                .journal
+                .iter()
+                .any(|e| matches!(e.data, EventData::WalFlush { .. })));
+            assert_eq!(
+                keys(&first),
+                keys(&second),
+                "journal diverged: {} / {plan_name}",
+                kind.label(),
+            );
         }
     }
 }

@@ -1,5 +1,6 @@
 //! The region server: request handling, cache, and disk timing model.
 
+use wsi_obs::{EventData, Journal};
 use wsi_sim::{SimRng, SimTime, Station};
 
 use crate::cache::BlockCache;
@@ -113,6 +114,7 @@ pub struct RegionServer {
     rng: SimRng,
     stats: ServerStats,
     obs: Option<KvObs>,
+    journal: Option<Journal>,
 }
 
 impl RegionServer {
@@ -128,6 +130,7 @@ impl RegionServer {
             config,
             stats: ServerStats::default(),
             obs: None,
+            journal: None,
         }
     }
 
@@ -140,6 +143,20 @@ impl RegionServer {
             .add(self.stats.reads - self.stats.cache_hits);
         obs.writes.add(self.stats.writes);
         self.obs = Some(obs);
+    }
+
+    /// Attaches a flight-recorder journal. [`Journal`] clones share the
+    /// underlying rings, so one journal attached to every server of a
+    /// cluster records a single cluster-wide causal stream; request events
+    /// carry no transaction id (the data tier is below the oracle), so they
+    /// are recorded against txn 0 like other infrastructure events.
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
     }
 
     fn block_of(&self, row: u64) -> u64 {
@@ -190,6 +207,15 @@ impl RegionServer {
             }
             obs.read_us.record(outcome.done.saturating_sub(now).as_us());
         }
+        if let Some(journal) = &self.journal {
+            journal.record(
+                0,
+                EventData::ServerRead {
+                    row,
+                    cache_hit: outcome.cache_hit,
+                },
+            );
+        }
         outcome
     }
 
@@ -220,6 +246,9 @@ impl RegionServer {
         if let Some(obs) = &self.obs {
             obs.writes.inc();
             obs.write_us.record(done.saturating_sub(now).as_us());
+        }
+        if let Some(journal) = &self.journal {
+            journal.record(0, EventData::ServerWrite { row });
         }
         done
     }
@@ -323,6 +352,34 @@ mod tests {
             last.as_ms_f64() > 300.0,
             "queueing should stretch the tail: {last}"
         );
+    }
+
+    #[test]
+    fn journal_records_reads_and_writes() {
+        let mut s = server();
+        let journal = Journal::new();
+        s.attach_journal(journal.clone());
+        let first = s.read(5, SimTime::ZERO);
+        assert!(!first.cache_hit);
+        s.read(5, first.done);
+        s.write(9, SimTime::ZERO, false);
+        let events = journal.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[0].data,
+            EventData::ServerRead {
+                row: 5,
+                cache_hit: false
+            }
+        );
+        assert_eq!(
+            events[1].data,
+            EventData::ServerRead {
+                row: 5,
+                cache_hit: true
+            }
+        );
+        assert_eq!(events[2].data, EventData::ServerWrite { row: 9 });
     }
 
     #[test]

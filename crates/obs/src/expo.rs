@@ -40,6 +40,14 @@ fn err(message: impl Into<String>) -> ParseError {
 }
 
 impl Snapshot {
+    /// Interpolated quantile of the named histogram — the p50/p99/p999
+    /// lookup without per-call-site bucket math. `None` when no histogram
+    /// of that name is in the snapshot; 0.0 when it is present but empty
+    /// (matching [`HistogramSnapshot::quantile`]).
+    pub fn quantile(&self, histogram: &str, q: f64) -> Option<f64> {
+        self.histograms.get(histogram).map(|h| h.quantile(q))
+    }
+
     /// Renders in the Prometheus text exposition format.
     ///
     /// Histograms render with cumulative `_bucket{le="…"}` series (inclusive

@@ -200,6 +200,34 @@ impl HistogramSnapshot {
         self.sum = self.sum.wrapping_add(other.sum);
     }
 
+    /// The interval between an `earlier` cumulative snapshot of the same
+    /// histogram and this one: bucket-wise difference, so interval
+    /// quantiles come straight from [`HistogramSnapshot::quantile`] on the
+    /// result. Cumulative `min`/`max` cannot be de-accumulated, so the
+    /// interval's are approximated by the bounds of its outermost nonempty
+    /// buckets — the same ≤ 2× relative error the bucket layout already
+    /// carries.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut delta = HistogramSnapshot::empty();
+        let mut lo = None;
+        let mut hi = None;
+        for i in 0..BUCKETS {
+            let n = self.buckets[i].saturating_sub(earlier.buckets[i]);
+            delta.buckets[i] = n;
+            if n > 0 {
+                lo.get_or_insert(i);
+                hi = Some(i);
+            }
+        }
+        delta.count = self.count.saturating_sub(earlier.count);
+        delta.sum = self.sum.wrapping_sub(earlier.sum);
+        if let (Some(lo), Some(hi)) = (lo, hi) {
+            delta.min = bucket_bounds(lo).0;
+            delta.max = bucket_bounds(hi).1.unwrap_or(self.max);
+        }
+        delta
+    }
+
     /// Normalizes the empty-snapshot `min` sentinel for exposition.
     pub(crate) fn min_for_display(&self) -> u64 {
         if self.count == 0 {

@@ -23,6 +23,14 @@
 //! * [`SpanRecorder`] / [`TxnSpan`] — a sampled transaction-lifecycle
 //!   tracer stamping each phase (begin → reads/writes → conflict check →
 //!   WAL append → quorum ack → visible), dumpable as JSON.
+//! * [`Journal`] — the flight recorder: an always-on, lock-free ring of
+//!   structured lifecycle events (begin, per-row conflict-check verdicts,
+//!   WAL flush, publish, GC/epoch advance, and aborts with culprit
+//!   attribution), with [`Journal::explain_abort`] forensics and a Chrome
+//!   `trace_event` exporter.
+//! * [`Rollup`] — windowed time-series rollups: per-interval counter
+//!   deltas and histogram-delta latency percentiles from consecutive
+//!   registry snapshots.
 //! * [`Snapshot`] — point-in-time exposition: [`Snapshot::render_prometheus`]
 //!   (text format, parseable back via [`Snapshot::parse_prometheus`]) and
 //!   [`Snapshot::render_json`].
@@ -52,14 +60,20 @@
 
 mod expo;
 mod hist;
+mod journal;
 mod metric;
 mod registry;
+mod rollup;
 mod span;
 
 pub use expo::{ParseError, Snapshot};
 pub use hist::{ExactHistogram, Histogram, HistogramSnapshot, BUCKETS};
+pub use journal::{
+    AbortExplanation, Cause, Event, EventData, Journal, DEFAULT_JOURNAL_CAPACITY, JOURNAL_SHARDS,
+};
 pub use metric::{Counter, Gauge};
 pub use registry::Registry;
+pub use rollup::{Rollup, Window};
 pub use span::{SpanOutcome, SpanRecorder, TxnPhase, TxnSpan, PHASE_COUNT};
 
 /// Takes a point-in-time [`Snapshot`] of every metric in `registry`.

@@ -1,0 +1,321 @@
+//! Windowed time-series rollups over registry snapshots.
+//!
+//! Cumulative counters and histograms answer "since process start"; SLO
+//! work needs "over the last interval". A [`Rollup`] keeps a bounded ring
+//! of interval windows, each the *delta* between two consecutive cumulative
+//! [`Snapshot`]s: counter differences and bucket-wise histogram differences
+//! (so interval latency percentiles come from the same interpolation as the
+//! cumulative ones — [`crate::HistogramSnapshot::quantile`]). Feed it a
+//! snapshot per scrape tick and read back per-interval throughput, abort
+//! rate, and p50/p99/p999 without any per-call-site bucket math.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use parking_lot::Mutex;
+
+use crate::expo::Snapshot;
+use crate::hist::HistogramSnapshot;
+
+/// One finished interval: deltas between two consecutive snapshots.
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// Interval start, microseconds (caller's clock).
+    pub start_us: u64,
+    /// Interval end, microseconds (caller's clock).
+    pub end_us: u64,
+    /// Counter increments over the interval.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values at the interval's end (gauges are levels, not flows).
+    pub gauges: BTreeMap<String, u64>,
+    /// Interval histograms (bucket-wise deltas).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Window {
+    /// Interval length in seconds (never 0: clamped to 1 µs).
+    pub fn seconds(&self) -> f64 {
+        (self.end_us.saturating_sub(self.start_us)).max(1) as f64 / 1e6
+    }
+
+    /// The named counter's increment over the interval (0 when absent).
+    pub fn delta(&self, counter: &str) -> u64 {
+        self.counters.get(counter).copied().unwrap_or(0)
+    }
+
+    /// The named counter's per-second rate over the interval.
+    pub fn rate(&self, counter: &str) -> f64 {
+        self.delta(counter) as f64 / self.seconds()
+    }
+
+    /// Interval quantile of the named histogram (`None` when absent).
+    pub fn quantile(&self, histogram: &str, q: f64) -> Option<f64> {
+        self.histograms.get(histogram).map(|h| h.quantile(q))
+    }
+
+    /// `numerator / (numerator + denominator)` over the interval — the
+    /// shape of an abort rate: `ratio("oracle_ww_aborts_total",
+    /// "oracle_commits_total")`. 0.0 when both are zero.
+    pub fn ratio(&self, numerator: &str, denominator: &str) -> f64 {
+        let n = self.delta(numerator) as f64;
+        let d = self.delta(denominator) as f64;
+        if n + d == 0.0 {
+            0.0
+        } else {
+            n / (n + d)
+        }
+    }
+}
+
+struct RollupInner {
+    last: Option<(u64, Snapshot)>,
+    windows: VecDeque<Window>,
+}
+
+/// A bounded ring of interval windows; see the module docs.
+///
+/// # Example
+///
+/// ```
+/// use wsi_obs::{Registry, Rollup};
+///
+/// let registry = Registry::new();
+/// let commits = registry.counter("commits_total");
+/// let latency = registry.histogram("commit_us");
+///
+/// let rollup = Rollup::new(8);
+/// rollup.tick(0, registry.snapshot()); // baseline
+/// commits.add(500);
+/// for v in [100, 200, 400] {
+///     latency.record(v);
+/// }
+/// rollup.tick(1_000_000, registry.snapshot());
+///
+/// let windows = rollup.windows();
+/// assert_eq!(windows.len(), 1);
+/// assert_eq!(windows[0].delta("commits_total"), 500);
+/// assert!((windows[0].rate("commits_total") - 500.0).abs() < 1e-9);
+/// assert!(windows[0].quantile("commit_us", 0.5).unwrap() >= 100.0);
+/// ```
+pub struct Rollup {
+    inner: Mutex<RollupInner>,
+    capacity: usize,
+}
+
+impl Rollup {
+    /// A rollup retaining the most recent `capacity` windows (at least 1).
+    pub fn new(capacity: usize) -> Rollup {
+        Rollup {
+            inner: Mutex::new(RollupInner {
+                last: None,
+                windows: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Closes the current interval at `now_us` with the cumulative
+    /// snapshot `snap`. The first tick only establishes the baseline;
+    /// every later tick appends one [`Window`], dropping the oldest past
+    /// capacity. Returns the number of finished windows retained.
+    pub fn tick(&self, now_us: u64, snap: Snapshot) -> usize {
+        let mut inner = self.inner.lock();
+        if let Some((prev_us, prev)) = inner.last.take() {
+            let mut counters = BTreeMap::new();
+            for (name, &value) in &snap.counters {
+                let before = prev.counters.get(name).copied().unwrap_or(0);
+                counters.insert(name.clone(), value.saturating_sub(before));
+            }
+            let mut histograms = BTreeMap::new();
+            for (name, h) in &snap.histograms {
+                let delta = match prev.histograms.get(name) {
+                    Some(before) => h.delta_since(before),
+                    None => h.clone(),
+                };
+                histograms.insert(name.clone(), delta);
+            }
+            inner.windows.push_back(Window {
+                start_us: prev_us,
+                end_us: now_us,
+                counters,
+                gauges: snap.gauges.clone(),
+                histograms,
+            });
+            while inner.windows.len() > self.capacity {
+                inner.windows.pop_front();
+            }
+        }
+        inner.last = Some((now_us, snap));
+        inner.windows.len()
+    }
+
+    /// The retained windows, oldest first.
+    pub fn windows(&self) -> Vec<Window> {
+        self.inner.lock().windows.iter().cloned().collect()
+    }
+
+    /// The most recently finished window, if any.
+    pub fn latest(&self) -> Option<Window> {
+        self.inner.lock().windows.back().cloned()
+    }
+
+    /// Renders every retained window as a JSON array: per-window bounds,
+    /// counter deltas, and per-histogram count/mean/p50/p99/p999.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        let windows = self.windows();
+        for (i, w) in windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\"start_us\": {}, \"end_us\": {}, \"counters\": {{",
+                w.start_us, w.end_us
+            ));
+            let mut first = true;
+            for (name, value) in &w.counters {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(&format!("\"{name}\": {value}"));
+            }
+            out.push_str("}, \"histograms\": {");
+            let mut first = true;
+            for (name, h) in &w.histograms {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(&format!(
+                    "\"{name}\": {{\"count\": {}, \"mean\": {:.3}, \"p50\": {:.1}, \
+                     \"p99\": {:.1}, \"p999\": {:.1}}}",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.99),
+                    h.quantile(0.999),
+                ));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n]");
+        out
+    }
+
+    /// Renders the latest window in the Prometheus text format with an
+    /// `_interval` suffix: counter deltas as gauges (they reset every
+    /// window) plus `<name>_interval{quantile="…"}` latency series. Empty
+    /// string until two ticks have happened.
+    pub fn render_prometheus(&self) -> String {
+        let Some(w) = self.latest() else {
+            return String::new();
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# interval [{} us, {} us]\n",
+            w.start_us, w.end_us
+        ));
+        for (name, value) in &w.counters {
+            out.push_str(&format!(
+                "# TYPE {name}_interval gauge\n{name}_interval {value}\n"
+            ));
+        }
+        for (name, h) in &w.histograms {
+            out.push_str(&format!("# TYPE {name}_interval summary\n"));
+            for (label, q) in [("0.5", 0.5), ("0.99", 0.99), ("0.999", 0.999)] {
+                out.push_str(&format!(
+                    "{name}_interval{{quantile=\"{label}\"}} {:.1}\n",
+                    h.quantile(q)
+                ));
+            }
+            out.push_str(&format!("{name}_interval_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Rollup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rollup")
+            .field("windows", &self.inner.lock().windows.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn windows_are_deltas_not_cumulatives() {
+        let registry = Registry::new();
+        let commits = registry.counter("commits_total");
+        let aborts = registry.counter("aborts_total");
+        let latency = registry.histogram("txn_us");
+
+        let rollup = Rollup::new(4);
+        rollup.tick(0, registry.snapshot());
+
+        commits.add(100);
+        aborts.add(10);
+        latency.record(50);
+        latency.record(150);
+        assert_eq!(rollup.tick(1_000_000, registry.snapshot()), 1);
+
+        commits.add(300);
+        latency.record(1000);
+        assert_eq!(rollup.tick(2_000_000, registry.snapshot()), 2);
+
+        let windows = rollup.windows();
+        assert_eq!(windows[0].delta("commits_total"), 100);
+        assert_eq!(windows[0].delta("aborts_total"), 10);
+        assert_eq!(windows[1].delta("commits_total"), 300);
+        assert_eq!(windows[1].delta("aborts_total"), 0);
+        // Interval histograms: the second window sees only the new sample.
+        assert_eq!(windows[0].histograms["txn_us"].count, 2);
+        assert_eq!(windows[1].histograms["txn_us"].count, 1);
+        assert!(windows[1].quantile("txn_us", 0.5).unwrap() >= 512.0);
+        // Rates and ratios.
+        assert!((windows[1].rate("commits_total") - 300.0).abs() < 1e-9);
+        let abort_rate = windows[0].ratio("aborts_total", "commits_total");
+        assert!((abort_rate - 10.0 / 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_drops_oldest() {
+        let registry = Registry::new();
+        let c = registry.counter("c");
+        let rollup = Rollup::new(2);
+        rollup.tick(0, registry.snapshot());
+        for i in 1..=5u64 {
+            c.add(i);
+            rollup.tick(i * 1_000_000, registry.snapshot());
+        }
+        let windows = rollup.windows();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].delta("c"), 4);
+        assert_eq!(windows[1].delta("c"), 5);
+    }
+
+    #[test]
+    fn expositions_render() {
+        let registry = Registry::new();
+        let c = registry.counter("commits_total");
+        let h = registry.histogram("txn_us");
+        let rollup = Rollup::new(4);
+        assert_eq!(rollup.render_prometheus(), "");
+        rollup.tick(0, registry.snapshot());
+        c.add(7);
+        h.record(123);
+        rollup.tick(1_000_000, registry.snapshot());
+
+        let json = rollup.render_json();
+        assert!(json.contains("\"commits_total\": 7"));
+        assert!(json.contains("\"p999\""));
+        let prom = rollup.render_prometheus();
+        assert!(prom.contains("commits_total_interval 7"));
+        assert!(prom.contains("txn_us_interval{quantile=\"0.999\"}"));
+    }
+}

@@ -4,7 +4,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use wsi_obs::{ExactHistogram, Histogram, HistogramSnapshot, BUCKETS};
+use wsi_obs::{ExactHistogram, Histogram, HistogramSnapshot, Registry, BUCKETS};
 
 fn fill(values: &[u64]) -> HistogramSnapshot {
     let h = Histogram::new();
@@ -120,6 +120,80 @@ proptest! {
             prop_assert!(est >= lo as f64, "p{p}: estimate {est} below bucket [{lo}, {hi:?}]");
             if let Some(hi) = hi {
                 prop_assert!(est <= hi as f64, "p{p}: estimate {est} above bucket [{lo}, {hi}]");
+            }
+        }
+    }
+
+    /// `Snapshot::quantile` (the registry-level lookup, including p999)
+    /// brackets the exact nearest-rank percentile within one bucket — the
+    /// same guarantee as the underlying histogram, reachable by name with
+    /// no per-call-site bucket math.
+    #[test]
+    fn registry_snapshot_quantile_brackets_exact(values in vec(1u64..1_000_000, 1..80)) {
+        let registry = Registry::new();
+        let h = registry.histogram("txn_us");
+        let mut e = ExactHistogram::new();
+        for &v in &values {
+            h.record(v);
+            e.record(v);
+        }
+        let snap = registry.snapshot();
+        prop_assert!(snap.quantile("absent", 0.5).is_none());
+        for p in [0.5, 0.99, 0.999] {
+            let truth = e.percentile(p);
+            let est = snap.quantile("txn_us", p).expect("registered histogram");
+            let (lo, hi) = HistogramSnapshot::bucket_bounds(HistogramSnapshot::bucket_of(truth));
+            prop_assert!(est >= lo as f64, "p{p}: {est} below bucket [{lo}, {hi:?}]");
+            if let Some(hi) = hi {
+                prop_assert!(est <= hi as f64, "p{p}: {est} above bucket [{lo}, {hi}]");
+            }
+        }
+    }
+
+    /// Interval deltas reconstruct exactly: recording A then B, the delta
+    /// between the cumulative snapshots equals a histogram that saw only B
+    /// (buckets, count; min/max within bucket resolution) — the identity
+    /// windowed rollups rely on.
+    #[test]
+    fn delta_since_recovers_the_interval(
+        a in vec(1u64..1_000_000, 0..40),
+        b in vec(1u64..1_000_000, 1..40),
+    ) {
+        let h = Histogram::new();
+        for &v in &a {
+            h.record(v);
+        }
+        let before = h.snapshot();
+        for &v in &b {
+            h.record(v);
+        }
+        let after = h.snapshot();
+        let delta = after.delta_since(&before);
+        let only_b = fill(&b);
+        prop_assert_eq!(&delta.buckets, &only_b.buckets);
+        prop_assert_eq!(delta.count, only_b.count);
+        prop_assert_eq!(delta.sum, only_b.sum);
+        // min/max are bucket-resolution approximations of the interval.
+        let true_min = *b.iter().min().unwrap();
+        let true_max = *b.iter().max().unwrap();
+        let (min_lo, min_hi) = HistogramSnapshot::bucket_bounds(HistogramSnapshot::bucket_of(true_min));
+        prop_assert!(delta.min >= min_lo && min_hi.is_none_or(|hi| delta.min <= hi));
+        let (max_lo, max_hi) = HistogramSnapshot::bucket_bounds(HistogramSnapshot::bucket_of(true_max));
+        prop_assert!(delta.max >= max_lo && max_hi.is_none_or(|hi| delta.max <= hi));
+        // Interval quantiles bracket the interval's exact percentile within
+        // one bucket (min/max clamping differs from a fresh histogram's by
+        // at most the bucket width, so assert the bucket, not equality).
+        let mut e = ExactHistogram::new();
+        for &v in &b {
+            e.record(v);
+        }
+        for p in [0.5, 0.999] {
+            let truth = e.percentile(p);
+            let est = delta.quantile(p);
+            let (lo, hi) = HistogramSnapshot::bucket_bounds(HistogramSnapshot::bucket_of(truth));
+            prop_assert!(est >= lo as f64, "p{p}: {est} below bucket [{lo}, {hi:?}]");
+            if let Some(hi) = hi {
+                prop_assert!(est <= hi as f64, "p{p}: {est} above bucket [{lo}, {hi}]");
             }
         }
     }

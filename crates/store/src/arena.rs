@@ -832,6 +832,15 @@ impl ArenaStore {
         self.maintain();
         if let Some(obs) = &self.obs {
             obs.gc_sweeps.inc();
+            if let Some(journal) = &obs.journal {
+                journal.record(
+                    0,
+                    wsi_obs::EventData::GcSweep {
+                        versions: stats.versions_dropped + stats.aborted_removed,
+                        keys: stats.keys_removed,
+                    },
+                );
+            }
         }
         stats
     }
@@ -842,10 +851,12 @@ impl ArenaStore {
     /// expired. Called from GC and from the `Db` watermark tick; cheap when
     /// there is nothing to do.
     pub(crate) fn maintain(&self) {
+        let mut advanced = false;
         for _ in 0..2 {
             if !self.epochs.try_advance() {
                 break;
             }
+            advanced = true;
         }
         let global = self.epochs.global();
         let expired: Vec<u64> = {
@@ -873,6 +884,17 @@ impl ArenaStore {
         }
         if let Some(obs) = &self.obs {
             self.refresh_reclamation_gauges(obs);
+            if advanced || !expired.is_empty() {
+                if let Some(journal) = &obs.journal {
+                    journal.record(
+                        0,
+                        wsi_obs::EventData::EpochAdvance {
+                            epoch: global,
+                            freed: expired.len() as u64,
+                        },
+                    );
+                }
+            }
         }
     }
 

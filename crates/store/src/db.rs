@@ -43,7 +43,7 @@ use wsi_core::{
     hash_row_key, AbortReason, CommitRequest, ConcurrentOracle, DecisionGuard, IsolationLevel,
     OracleCounters, OracleStats, RowId, SharedTimestampSource, StatusOracleCore, Timestamp,
 };
-use wsi_obs::{SpanOutcome, TxnPhase, TxnSpan};
+use wsi_obs::{AbortExplanation, Cause, EventData, Journal, SpanOutcome, TxnPhase, TxnSpan};
 use wsi_wal::{Ledger, LedgerConfig, LedgerObs, LedgerStats};
 
 use crate::{
@@ -169,6 +169,13 @@ pub struct DbOptions {
     /// clock-scrambled jitter, which decorrelates real concurrent retriers
     /// better.
     pub retry_seed: Option<u64>,
+    /// Whether to attach the flight-recorder journal (see
+    /// [`wsi_obs::Journal`]): a fixed-capacity lock-free ring of lifecycle
+    /// events backing [`Db::explain_abort`]. On by default; only active when
+    /// [`DbOptions::obs`] is also on. Turning it off removes every
+    /// `Journal::record` call from the hot path, which is what the
+    /// `trace_overhead` benchmark compares.
+    pub journal: bool,
 }
 
 impl DbOptions {
@@ -185,6 +192,7 @@ impl DbOptions {
             store_shards: DEFAULT_STORE_SHARDS,
             store_layout: StoreLayout::default(),
             retry_seed: None,
+            journal: true,
         }
     }
 
@@ -233,6 +241,14 @@ impl DbOptions {
     #[must_use]
     pub fn with_obs(mut self, enabled: bool) -> Self {
         self.obs = enabled;
+        self
+    }
+
+    /// Enables or disables the flight-recorder journal (see
+    /// [`DbOptions::journal`]).
+    #[must_use]
+    pub fn with_journal(mut self, enabled: bool) -> Self {
+        self.journal = enabled;
         self
     }
 
@@ -370,6 +386,20 @@ impl OracleGuard<'_> {
     }
 }
 
+/// The outcome profile of the most recent [`Db::run`] call: how many commit
+/// attempts it took and why the intermediate attempts aborted. Before this
+/// report existed, the retry loop silently discarded every intermediate
+/// [`AbortReason`]; now the last one survives (each attempt's abort is also
+/// in the journal as a `Retry` event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnReport {
+    /// Commit attempts made (1 for a first-try success).
+    pub attempts: u32,
+    /// The abort reason of the most recent failed attempt; `None` when the
+    /// first attempt committed. Present even when a later retry succeeded.
+    pub last_abort: Option<AbortReason>,
+}
+
 /// Aggregate database statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DbStats {
@@ -412,6 +442,9 @@ pub(crate) struct DbInner {
     /// Write commits since the last watermark-hint refresh (see
     /// [`WATERMARK_HINT_EVERY`]).
     wm_tick: AtomicU64,
+    /// The most recent [`Db::run`] outcome profile (see
+    /// [`Db::last_txn_report`]).
+    last_report: Mutex<Option<TxnReport>>,
     epoch: Instant,
     /// Jitter state for seeded retries ([`DbOptions::retry_seed`]); each
     /// draw advances it by a Weyl increment, so pauses depend only on the
@@ -441,6 +474,12 @@ impl DbInner {
             index: &self.index,
             oracle: &self.oracle,
         }
+    }
+
+    /// The flight-recorder journal, when enabled (requires both
+    /// [`DbOptions::obs`] and [`DbOptions::journal`]).
+    pub(crate) fn journal(&self) -> Option<&Journal> {
+        self.obs.as_deref().and_then(|obs| obs.journal.as_ref())
     }
 }
 
@@ -476,6 +515,10 @@ impl Db {
     /// Opens an empty database.
     pub fn open(options: DbOptions) -> Db {
         let ts = Arc::new(SharedTimestampSource::new());
+        // One journal shared by every layer: the oracle records per-row
+        // verdicts, the Db layer the lifecycle events, the pipeline the
+        // WAL flush/publish/overturn events, the arena GC/epoch advances.
+        let journal = (options.obs && options.journal).then(Journal::new);
         let oracle = match options.oracle {
             OracleMode::Serial => {
                 let oracle = match options.last_commit_capacity {
@@ -493,11 +536,17 @@ impl Db {
                     }
                     None => ConcurrentOracle::unbounded(options.isolation, shards, Arc::clone(&ts)),
                 };
-                CommitOracle::Sharded(oracle.with_obs_enabled(options.obs))
+                let mut oracle = oracle.with_obs_enabled(options.obs);
+                if let Some(journal) = &journal {
+                    oracle = oracle.with_journal(journal.clone());
+                }
+                CommitOracle::Sharded(oracle)
             }
         };
         let counters = oracle.counters();
-        let obs = options.obs.then(|| Arc::new(StoreObs::new()));
+        let obs = options
+            .obs
+            .then(|| Arc::new(StoreObs::new(journal.clone())));
         let (pipeline, wal_obs) = match options.durability {
             Durability::None => (None, None),
             Durability::Batched | Durability::Sync => {
@@ -524,7 +573,7 @@ impl Db {
                 sharded.shard_obs().register_in(&obs.registry);
             }
             if mvcc.is_arena() {
-                let arena_obs = Arc::new(ArenaObs::new());
+                let arena_obs = Arc::new(ArenaObs::new(journal.clone()));
                 arena_obs.register_in(&obs.registry);
                 mvcc.attach_arena_obs(arena_obs);
             } else {
@@ -549,6 +598,7 @@ impl Db {
                 wal_obs,
                 obs,
                 wm_tick: AtomicU64::new(0),
+                last_report: Mutex::new(None),
                 epoch: Instant::now(),
                 backoff_state: AtomicU64::new(options_retry_seed),
             }),
@@ -658,6 +708,11 @@ impl Db {
     fn begin_ts(&self) -> (Timestamp, usize) {
         self.inner.counters.begins.inc();
         let (start_ts, shard) = self.inner.registry.register(&self.inner.ts);
+        // No journal event here: `Begin` is journaled on the transaction's
+        // first buffered write (see `Transaction::put`). Under SI/WSI a
+        // transaction that never writes can never conflict, never aborts,
+        // and its commit event already carries the start timestamp — so the
+        // read-only fast path stays a single journal event.
         if let Some(pipeline) = &self.inner.pipeline {
             if let Some(upto) = self.inner.ts.reserve(TS_RESERVE_BATCH) {
                 pipeline.push_reservation(upto);
@@ -704,28 +759,68 @@ impl Db {
         max_retries: usize,
         mut body: impl FnMut(&mut Transaction) -> Result<T>,
     ) -> Result<T> {
-        let mut attempts = 0;
+        let mut retries = 0u32;
+        let mut last_abort: Option<AbortReason> = None;
         loop {
             let mut txn = self.begin();
+            let start_ts = txn.start_ts();
             let value = match body(&mut txn) {
                 Ok(v) => v,
                 Err(e) => {
                     txn.rollback();
+                    self.store_txn_report(retries + 1, last_abort);
                     return Err(e);
                 }
             };
             match txn.commit() {
-                Ok(_) => return Ok(value),
-                Err(Error::Aborted(_)) if attempts < max_retries => {
-                    attempts += 1;
-                    let pause = backoff_us(attempts, self.inner.backoff_entropy());
+                Ok(_) => {
+                    self.store_txn_report(retries + 1, last_abort);
+                    return Ok(value);
+                }
+                Err(Error::Aborted(reason)) if (retries as usize) < max_retries => {
+                    // The intermediate attempt's reason used to vanish here;
+                    // keep the last one for `last_txn_report` and journal the
+                    // retry against the failed attempt's event stream.
+                    retries += 1;
+                    last_abort = Some(reason);
+                    if let Some(journal) = self.inner.journal() {
+                        journal.record(
+                            start_ts.raw(),
+                            EventData::Retry {
+                                attempt: retries as u64,
+                            },
+                        );
+                    }
+                    let pause = backoff_us(retries as usize, self.inner.backoff_entropy());
                     if pause > 0 {
                         std::thread::sleep(Duration::from_micros(pause));
                     }
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    if let Error::Aborted(reason) = &e {
+                        last_abort = Some(*reason);
+                    }
+                    self.store_txn_report(retries + 1, last_abort);
+                    return Err(e);
+                }
             }
         }
+    }
+
+    fn store_txn_report(&self, attempts: u32, last_abort: Option<AbortReason>) {
+        *self.inner.last_report.lock() = Some(TxnReport {
+            attempts,
+            last_abort,
+        });
+    }
+
+    /// The outcome profile of the most recent [`Db::run`] call on this
+    /// database — commit attempts made and the last intermediate
+    /// [`AbortReason`] — or `None` before the first `run`. The retry loop
+    /// used to discard the reasons of retried attempts entirely; this
+    /// surfaces the last one even when a later retry committed.
+    pub fn last_txn_report(&self) -> Option<TxnReport> {
+        *self.inner.last_report.lock()
     }
 
     /// The isolation level this database enforces.
@@ -752,6 +847,9 @@ impl Db {
             // start timestamp as commit timestamp.
             self.inner.counters.read_only_commits.inc();
             self.inner.registry.deregister(start_ts, shard);
+            if let Some(journal) = self.inner.journal() {
+                journal.record(start_ts.raw(), EventData::ReadOnlyCommit);
+            }
             if let (Some(obs), Some(mut span)) = (obs, span.take()) {
                 span.outcome = SpanOutcome::ReadOnly;
                 span.stamp(TxnPhase::Visible, self.inner.now_us());
@@ -898,6 +996,24 @@ impl Db {
             }
         };
 
+        if let Some(journal) = self.inner.journal() {
+            match &result {
+                Ok(commit_ts) => journal.record(
+                    start_ts.raw(),
+                    EventData::Commit {
+                        commit_ts: commit_ts.raw(),
+                    },
+                ),
+                Err(Error::Aborted(reason)) => {
+                    journal.record(start_ts.raw(), EventData::Abort(reason.journal_cause()));
+                }
+                // A quorum-loss overturn is recorded by the pipeline leader
+                // (as an `Overturn` event, possibly for several riders of the
+                // failed batch), not here.
+                Err(_) => {}
+            }
+        }
+
         let end_us = self.inner.now_us();
         if let Some(obs) = obs {
             if result.is_ok() {
@@ -926,10 +1042,24 @@ impl Db {
     /// but skips the oracle — a rolled-back transaction never contributed
     /// `lastCommit` state, so the conflict checker has nothing to learn
     /// from it.
-    pub(crate) fn rollback_txn(&self, start_ts: Timestamp, shard: usize, span: Option<TxnSpan>) {
+    pub(crate) fn rollback_txn(
+        &self,
+        start_ts: Timestamp,
+        shard: usize,
+        wrote: bool,
+        span: Option<TxnSpan>,
+    ) {
         self.inner.counters.client_aborts.inc();
         self.inner.index.record_abort(start_ts);
         self.inner.registry.deregister(start_ts, shard);
+        // A transaction's journal stream starts at its first write (see
+        // `Transaction::put`); rolling back a transaction that never wrote
+        // is a non-event for conflict forensics.
+        if wrote {
+            if let Some(journal) = self.inner.journal() {
+                journal.record(start_ts.raw(), EventData::Abort(Cause::Client));
+            }
+        }
         if let (Some(obs), Some(mut span)) = (self.inner.obs.as_deref(), span) {
             span.outcome = SpanOutcome::Aborted;
             obs.spans.finish(span);
@@ -1118,6 +1248,35 @@ impl Db {
     /// `None` when observability is disabled.
     pub fn traces_json(&self) -> Option<String> {
         self.inner.obs.as_ref().map(|obs| obs.spans.dump_json())
+    }
+
+    /// The flight-recorder journal, or `None` when disabled
+    /// ([`DbOptions::obs`] or [`DbOptions::journal`] off). Every layer
+    /// records into it: begins, per-row conflict-check verdicts (sharded
+    /// oracle), commit/abort outcomes with culprit attribution, WAL
+    /// flush/publish/overturn, and GC/epoch advances.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.inner.journal()
+    }
+
+    /// Forensic report for an aborted transaction: the abort's cause, the
+    /// committed transactions it blames (resolved through their `Commit`
+    /// events), and the joined causal timeline of victim and culprits —
+    /// `None` when the journal is disabled or holds no abort for `start_ts`
+    /// (e.g. already overwritten by ring wrap).
+    pub fn explain_abort(&self, start_ts: Timestamp) -> Option<AbortExplanation> {
+        self.inner
+            .journal()
+            .and_then(|journal| journal.explain_abort(start_ts.raw()))
+    }
+
+    /// The journal rendered as Chrome `trace_event` JSON (load in
+    /// `chrome://tracing` or Perfetto), or `None` when the journal is
+    /// disabled.
+    pub fn journal_chrome_trace(&self) -> Option<String> {
+        self.inner
+            .journal()
+            .map(|journal| journal.chrome_trace_json())
     }
 }
 

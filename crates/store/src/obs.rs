@@ -16,7 +16,7 @@
 //! are sharded relaxed atomics, and span sampling is a single
 //! `fetch_add` for unsampled transactions.
 
-use wsi_obs::{Counter, Gauge, Histogram, Registry, SpanRecorder};
+use wsi_obs::{Counter, Gauge, Histogram, Journal, Registry, SpanRecorder};
 
 /// Sample 1 in this many transactions into the span recorder.
 const SPAN_SAMPLE_EVERY: u64 = 64;
@@ -56,10 +56,14 @@ pub(crate) struct StoreObs {
     /// Active-transaction registry shard acquisitions that found the shard
     /// lock already held (begin-path contention).
     pub(crate) registry_contention: Counter,
+    /// The flight recorder: an always-on ring journal of lifecycle events
+    /// (see [`wsi_obs::Journal`]); `None` when disabled via
+    /// [`crate::DbOptions::journal`].
+    pub(crate) journal: Option<Journal>,
 }
 
 impl StoreObs {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(journal: Option<Journal>) -> Self {
         let obs = StoreObs {
             registry: Registry::new(),
             spans: SpanRecorder::new(SPAN_SAMPLE_EVERY, SPAN_CAPACITY),
@@ -73,6 +77,7 @@ impl StoreObs {
             follower_commits: Counter::new(),
             sync_group_size: Histogram::new(),
             registry_contention: Counter::new(),
+            journal,
         };
         let r = &obs.registry;
         r.register_histogram("store_txn_us", &obs.txn_us);
@@ -209,10 +214,12 @@ pub(crate) struct ArenaObs {
     pub(crate) inline_pruned: Counter,
     /// Full store sweeps performed by the GC.
     pub(crate) gc_sweeps: Counter,
+    /// Flight-recorder handle for GC-sweep and epoch-advance events.
+    pub(crate) journal: Option<Journal>,
 }
 
 impl ArenaObs {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(journal: Option<Journal>) -> Self {
         ArenaObs {
             epoch: Gauge::new(),
             retired: Counter::new(),
@@ -223,6 +230,7 @@ impl ArenaObs {
             versions: Gauge::new(),
             inline_pruned: Counter::new(),
             gc_sweeps: Counter::new(),
+            journal,
         }
     }
 

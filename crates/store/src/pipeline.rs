@@ -45,6 +45,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 use wsi_core::{SharedTimestampSource, Timestamp};
+use wsi_obs::{EventData, Journal};
 use wsi_wal::{Ledger, LedgerStats, WalError};
 
 use crate::commit_index::CommitIndex;
@@ -132,6 +133,12 @@ impl CommitPipeline {
             sync_pending: AtomicU64::new(0),
             obs,
         }
+    }
+
+    /// The flight-recorder journal, when the observability layer carries
+    /// one.
+    fn journal(&self) -> Option<&Journal> {
+        self.obs.as_deref().and_then(|obs| obs.journal.as_ref())
     }
 
     /// Issues the commit timestamp and enqueues a decided sync commit, as
@@ -387,7 +394,17 @@ impl CommitPipeline {
                 now_us,
             );
         }
+        let records = commits.len() as u64;
         let err = ledger.flush(now_us).err();
+        if let Some(journal) = self.journal() {
+            journal.record(
+                0,
+                EventData::WalFlush {
+                    records,
+                    acked: if err.is_none() { records } else { 0 },
+                },
+            );
+        }
         match &err {
             None => {
                 // Publish in commit order: the visibility flip. From here the
@@ -397,6 +414,14 @@ impl CommitPipeline {
                     ctx.index.record_commit(c.start_ts, c.commit_ts);
                     ctx.mvcc
                         .stamp_commit(c.start_ts, c.commit_ts, c.batch.iter().map(|(k, _)| k));
+                    if let Some(journal) = self.journal() {
+                        journal.record(
+                            c.start_ts.raw(),
+                            EventData::Publish {
+                                commit_ts: c.commit_ts.raw(),
+                            },
+                        );
+                    }
                 }
             }
             Some(_) => {
@@ -411,6 +436,14 @@ impl CommitPipeline {
                 for c in &commits {
                     ctx.index.record_abort(c.start_ts);
                     ledger.append(record::encode_abort(c.start_ts), now_us);
+                    if let Some(journal) = self.journal() {
+                        journal.record(
+                            c.start_ts.raw(),
+                            EventData::Overturn {
+                                commit_ts: c.commit_ts.raw(),
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -455,11 +488,26 @@ impl CommitPipeline {
                 now_us,
             );
         }
-        let result = if force {
-            ledger.flush(now_us).map(|_| ())
+        let records = commits.len() as u64;
+        let (result, flushed) = if force {
+            (ledger.flush(now_us).map(|_| ()), true)
         } else {
-            ledger.maybe_flush(now_us).map(|_| ())
+            match ledger.maybe_flush(now_us) {
+                Ok(flushed_to) => (Ok(()), flushed_to.is_some()),
+                Err(e) => (Err(e), true),
+            }
         };
+        if flushed {
+            if let Some(journal) = self.journal() {
+                journal.record(
+                    0,
+                    EventData::WalFlush {
+                        records,
+                        acked: if result.is_ok() { records } else { 0 },
+                    },
+                );
+            }
+        }
         let mut inner = self.inner.lock();
         inner.ledger = Some(ledger);
         inner.inflight.clear();

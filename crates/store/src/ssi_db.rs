@@ -31,6 +31,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use wsi_core::ssi::{SsiOracle, SsiStats};
 use wsi_core::{hash_row_key, CommitRequest, RowId, Timestamp};
+use wsi_obs::{AbortExplanation, EventData, Journal};
 use wsi_wal::{Ledger, LedgerConfig};
 
 use crate::{
@@ -50,6 +51,12 @@ struct SsiInner {
     /// Logical microsecond clock for ledger appends: a counter, not the
     /// wall clock, so durable runs stay deterministic under wsi-dst.
     clock: AtomicU64,
+    /// The flight recorder, always on for this engine (the comparator is
+    /// exactly where abort forensics matter: SSI's pivot aborts carry the
+    /// dangerous structure's edge partners). The oracle holds a clone and
+    /// records every decision; this handle serves reads without taking the
+    /// oracle mutex.
+    journal: Journal,
 }
 
 impl SsiInner {
@@ -92,15 +99,35 @@ impl SsiDb {
     }
 
     fn with_ledger(ledger: Option<Ledger>) -> Self {
+        let journal = Journal::new();
+        let mut oracle = SsiOracle::new();
+        oracle.attach_journal(journal.clone());
         SsiDb {
             inner: Arc::new(SsiInner {
                 mvcc: MvccStore::arena(),
                 index: CommitIndex::new(),
-                oracle: Mutex::new(SsiOracle::new()),
+                oracle: Mutex::new(oracle),
                 ledger: ledger.map(Mutex::new),
                 clock: AtomicU64::new(0),
+                journal,
             }),
         }
+    }
+
+    /// The flight-recorder journal: every begin, per-row WW verdict,
+    /// commit, and abort (including pivot aborts carrying the dangerous
+    /// structure's in/out rw-edge partners) recorded by the SSI oracle.
+    pub fn journal(&self) -> &Journal {
+        &self.inner.journal
+    }
+
+    /// Forensic report for an aborted transaction — cause, culprit
+    /// transactions (the committed rw-edge partners of a pivot abort, or
+    /// the first committer of a WW conflict), and the joined causal
+    /// timeline. `None` when no abort event for `start_ts` survives in the
+    /// ring.
+    pub fn explain_abort(&self, start_ts: Timestamp) -> Option<AbortExplanation> {
+        self.inner.journal.explain_abort(start_ts.raw())
     }
 
     /// Rebuilds a database from a recovered write-ahead ledger (see
@@ -356,7 +383,15 @@ impl SsiTransaction {
                 });
                 let now = self.db.clock.fetch_add(1, Ordering::Relaxed);
                 ledger.append(payload, now);
-                ledger.flush(now).map(|_| ())
+                let result = ledger.flush(now).map(|_| ());
+                self.db.journal.record(
+                    0,
+                    EventData::WalFlush {
+                        records: 1,
+                        acked: if result.is_ok() { 1 } else { 0 },
+                    },
+                );
+                result
             });
             match &decision {
                 Ok(wsi_core::CommitOutcome::Committed(cts)) => {
@@ -383,6 +418,12 @@ impl SsiTransaction {
         match decision {
             Ok(wsi_core::CommitOutcome::Committed(cts)) => {
                 self.db.mvcc.stamp_commit(start_ts, cts, keys.iter());
+                self.db.journal.record(
+                    start_ts.raw(),
+                    EventData::Publish {
+                        commit_ts: cts.raw(),
+                    },
+                );
                 Ok(cts)
             }
             Ok(wsi_core::CommitOutcome::Aborted(reason)) => {

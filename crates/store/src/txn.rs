@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use wsi_core::{hash_row_key, RowId, Timestamp};
-use wsi_obs::{TxnPhase, TxnSpan};
+use wsi_obs::{EventData, TxnPhase, TxnSpan};
 
 use crate::{
     db::DbInner,
@@ -107,6 +107,7 @@ impl Transaction {
     /// Buffers a write of `value` to `key`.
     pub fn put(&mut self, key: &[u8], value: &[u8]) {
         self.stamp(TxnPhase::FirstWrite);
+        self.journal_begin_on_first_write();
         self.writes.insert(
             Bytes::copy_from_slice(key),
             Some(Bytes::copy_from_slice(value)),
@@ -116,7 +117,20 @@ impl Transaction {
     /// Buffers a deletion of `key` (a tombstone version on commit).
     pub fn delete(&mut self, key: &[u8]) {
         self.stamp(TxnPhase::FirstWrite);
+        self.journal_begin_on_first_write();
         self.writes.insert(Bytes::copy_from_slice(key), None);
+    }
+
+    /// Journals `Begin` the first time the transaction buffers a write. A
+    /// transaction that never writes can never conflict under SI/WSI, so
+    /// its journal stream collapses to the single commit event — keeping
+    /// the read-only fast path at one ring write.
+    fn journal_begin_on_first_write(&self) {
+        if self.writes.is_empty() {
+            if let Some(journal) = self.db.journal() {
+                journal.record(self.start_ts.raw(), EventData::Begin);
+            }
+        }
     }
 
     /// Scans `[start, end)` (unbounded end if `None`) in the snapshot,
@@ -212,7 +226,12 @@ impl Transaction {
             let db = crate::Db {
                 inner: Arc::clone(&self.db),
             };
-            db.rollback_txn(self.start_ts, self.shard, self.span.take());
+            db.rollback_txn(
+                self.start_ts,
+                self.shard,
+                !self.writes.is_empty(),
+                self.span.take(),
+            );
         }
     }
 

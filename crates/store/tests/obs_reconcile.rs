@@ -12,7 +12,8 @@ use std::sync::Arc;
 use std::thread;
 
 use wsi_core::IsolationLevel;
-use wsi_store::{decode_record, Db, DbOptions, StoreRecord};
+use wsi_store::ssi_db::SsiDb;
+use wsi_store::{decode_record, Cause, Db, DbOptions, Event, EventData, StoreRecord};
 use wsi_wal::LedgerConfig;
 
 const THREADS: usize = 8;
@@ -182,6 +183,158 @@ fn lifecycle_counters_reconcile_across_layers() {
     let text = db.render_prometheus().unwrap();
     let parsed = wsi_obs::Snapshot::parse_prometheus(&text).unwrap();
     assert_eq!(parsed, snap);
+}
+
+/// Per-kind journal event totals relevant to lifecycle reconciliation.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct JournalTally {
+    begins: u64,
+    commits: u64,
+    read_only_commits: u64,
+    aborts: u64,
+    /// Aborts the pipeline persists a compensating WAL record for — i.e.
+    /// everything except pre-WAL client rollbacks.
+    wal_bound_aborts: u64,
+}
+
+fn tally(events: &[Event]) -> JournalTally {
+    let mut t = JournalTally::default();
+    for e in events {
+        match e.data {
+            EventData::Begin => t.begins += 1,
+            EventData::Commit { .. } => t.commits += 1,
+            EventData::ReadOnlyCommit => t.read_only_commits += 1,
+            EventData::Abort(cause) => {
+                t.aborts += 1;
+                if !matches!(cause, Cause::Client) {
+                    t.wal_bound_aborts += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    t
+}
+
+/// Counts durable abort records in a ledger.
+fn wal_abort_records(ledger: &wsi_wal::Ledger) -> u64 {
+    ledger
+        .recover()
+        .iter()
+        .map(|p| decode_record(p).expect("ledger uncorrupted"))
+        .filter(|r| matches!(r, StoreRecord::Abort { .. }))
+        .count() as u64
+}
+
+/// The flight recorder is a third independent account of the run: its
+/// abort events must agree with the oracle's abort counters AND with the
+/// WAL's compensating abort records, on both `Db` isolation levels and on
+/// `SsiDb`. A journal that dropped events (ring wrap) would make the
+/// counts meaningless, so zero drop is asserted first.
+#[test]
+fn journal_events_reconcile_with_counters_and_wal() {
+    // Db, both isolation levels, racy multi-threaded workload.
+    for level in [IsolationLevel::Snapshot, IsolationLevel::WriteSnapshot] {
+        let db = Arc::new(Db::open(
+            DbOptions::new(level).durable(LedgerConfig::default_replicated()),
+        ));
+        drive_workload(&db);
+        db.flush_wal().expect("healthy quorum");
+
+        let journal = db.journal().expect("journal on by default");
+        assert_eq!(journal.dropped(), 0, "{level:?}: ring large enough");
+        let t = tally(&journal.snapshot());
+        let oracle = db.stats().oracle;
+        // `Begin` is journaled at the first buffered write, so the journal
+        // counts writing transactions; every non-writing transaction in this
+        // workload commits through the read-only fast path.
+        assert_eq!(
+            t.begins,
+            oracle.begins - oracle.read_only_commits,
+            "{level:?}: begin events cover exactly the writing transactions"
+        );
+        assert_eq!(
+            t.begins,
+            t.commits + t.aborts,
+            "{level:?}: every journaled begin ended exactly once"
+        );
+        assert_eq!(t.commits, oracle.commits, "{level:?}: commit events");
+        assert_eq!(
+            t.read_only_commits, oracle.read_only_commits,
+            "{level:?}: read-only commit events"
+        );
+        assert_eq!(
+            t.aborts,
+            oracle.total_aborts(),
+            "{level:?}: journal abort events == oracle abort counters"
+        );
+        let wal = wal_abort_records(&db.wal_snapshot().expect("durable"));
+        assert_eq!(
+            t.wal_bound_aborts, wal,
+            "{level:?}: journal conflict aborts == WAL abort records"
+        );
+        if level == IsolationLevel::WriteSnapshot {
+            // Under WSI every read of a concurrently-written key conflicts,
+            // so the contended workload reliably aborts; under SI the rarer
+            // WW collisions make a zero count possible on a quiet scheduler.
+            assert!(t.aborts > 0, "contended WSI workload aborts");
+        }
+    }
+
+    // SsiDb: racing read-modify-write pairs with crossed rw-dependencies,
+    // plus rollbacks and read-only transactions.
+    let db = SsiDb::open_durable(LedgerConfig::default_replicated());
+    for i in 0u64..200 {
+        let k1 = (i * 7) % KEYS;
+        let k2 = (k1 + 13) % KEYS;
+        let mut a = db.begin();
+        let mut b = db.begin();
+        let _ = a.get(k1.to_be_bytes().as_slice());
+        a.put(k2.to_be_bytes().as_slice(), b"a");
+        let _ = b.get(k2.to_be_bytes().as_slice());
+        b.put(k1.to_be_bytes().as_slice(), b"b");
+        let _ = a.commit();
+        let _ = b.commit();
+        match i % 5 {
+            0 => {
+                let mut t = db.begin();
+                t.put(k1.to_be_bytes().as_slice(), b"discard");
+                t.rollback();
+            }
+            1 => {
+                let mut t = db.begin();
+                let _ = t.get(k1.to_be_bytes().as_slice());
+                let _ = t.commit();
+            }
+            _ => {}
+        }
+    }
+    db.flush_wal().expect("healthy quorum");
+
+    let journal = db.journal();
+    assert_eq!(journal.dropped(), 0, "ssi: ring large enough");
+    let t = tally(&journal.snapshot());
+    let stats = db.stats();
+    assert_eq!(t.begins, stats.begins, "ssi: begin events");
+    assert_eq!(t.commits, stats.commits, "ssi: commit events");
+    assert_eq!(
+        t.read_only_commits, stats.read_only_commits,
+        "ssi: read-only commit events"
+    );
+    assert_eq!(
+        t.aborts,
+        stats.total_aborts(),
+        "ssi: journal abort events == oracle abort counters"
+    );
+    let wal = wal_abort_records(&db.wal_snapshot().expect("durable"));
+    assert_eq!(
+        t.wal_bound_aborts, wal,
+        "ssi: journal conflict aborts == WAL abort records"
+    );
+    assert!(
+        t.aborts > t.begins / 20,
+        "ssi: crossed rw pairs must abort dangerous structures"
+    );
 }
 
 #[test]

@@ -29,6 +29,10 @@ echo "== bench smoke (binaries from $bin, scratch $scratch) =="
 "$bin/store_concurrency" 200 0 >/dev/null
 "$bin/oracle_scaling" 150 5 >/dev/null
 "$bin/mvcc_scaling" 100 5 >/dev/null
+# trace_overhead is also the flight-recorder acceptance gate (exit 1 when
+# the journal costs >5% geomean), so running it here makes the smoke fail
+# on an overhead regression, at reduced-but-stable scale.
+"$bin/trace_overhead" 2000 >/dev/null
 
 # A bench binary that exits 0 without writing its artifact is a harness
 # bug, not a validation detail: fail loudly, naming the missing artifact,
@@ -37,7 +41,8 @@ echo "== bench smoke (binaries from $bin, scratch $scratch) =="
 missing=0
 for artifact in BENCH_store_concurrency.json \
     BENCH_store_concurrency_metrics.json BENCH_oracle_scaling.json \
-    BENCH_mvcc_scaling.json; do
+    BENCH_mvcc_scaling.json BENCH_trace_overhead.json \
+    TRACE_flight_recorder.json; do
     if ! test -s "$artifact"; then
         echo "error: bench ran but produced no artifact: $artifact" >&2
         missing=1
@@ -59,6 +64,7 @@ for path, key in [
     ("BENCH_store_concurrency_metrics.json", None),  # top-level array
     ("BENCH_oracle_scaling.json", "results"),
     ("BENCH_mvcc_scaling.json", "results"),
+    ("BENCH_trace_overhead.json", "results"),
 ]:
     with open(path) as f:
         doc = json.load(f)
@@ -66,6 +72,24 @@ for path, key in [
     if not entries:
         sys.exit(f"{path}: empty or missing '{key or 'top-level array'}'")
     print(f"  {path}: ok ({len(entries)} entries)")
+
+# The trace-overhead artifact must carry its gate verdict, and the Chrome
+# trace export must be a valid trace_event document: a `traceEvents` array
+# of objects each naming a phase (`ph`) and timestamp (`ts`).
+with open("BENCH_trace_overhead.json") as f:
+    summary = json.load(f)["summary"]
+for field in ("geomean_on_off_ratio", "gate_min_ratio", "pass"):
+    if field not in summary:
+        sys.exit(f"BENCH_trace_overhead.json: summary missing '{field}'")
+with open("TRACE_flight_recorder.json") as f:
+    trace = json.load(f)
+events = trace.get("traceEvents")
+if not events:
+    sys.exit("TRACE_flight_recorder.json: empty or missing 'traceEvents'")
+for e in events:
+    if "ph" not in e or "ts" not in e or "name" not in e:
+        sys.exit("TRACE_flight_recorder.json: malformed trace event")
+print(f"  TRACE_flight_recorder.json: ok ({len(events)} trace events)")
 EOF
 else
     echo "  warning: python3 unavailable, JSON content checked by size only"

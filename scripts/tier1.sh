@@ -44,8 +44,19 @@ LOOM_MAX_ITERS=32 cargo test -q --release -p wsi-store --features loom --test lo
 # every fault plan × three seeds, both oracles armed on every run) plus
 # the same-seed replay regression and the planted-bug canary. Any oracle
 # panic prints a DST_SEED=… repro line — copy-paste it verbatim to replay
-# the failing schedule byte-for-byte.
+# the failing schedule byte-for-byte, and dumps the flight-recorder
+# journal tail alongside it.
 cargo test -q -p wsi-dst
+
+# Flight-recorder gates: journal/counter/WAL reconciliation on all three
+# engines, culprit-attributed abort forensics for each conflict class
+# (WW under SI, RW under WSI, pivot under SSI), and the retry-report
+# surface of Db::run. These run in the workspace suite above too; naming
+# them here makes the observability bar explicit and keeps a local
+# `cargo test -p wsi-store` green insufficient to skip them.
+cargo test -q -p wsi-store --test obs_reconcile
+cargo test -q -p wsi-store --test explain_abort
+cargo test -q -p wsi-store --test retry_report
 
 # Metrics snapshot artifact: small op count — this is an exposition smoke
 # test, not a benchmark run.
