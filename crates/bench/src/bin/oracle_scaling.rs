@@ -15,6 +15,10 @@
 //! * `mutex`      — the pre-sharding path: one `StatusOracleCore` behind one
 //!   mutex, every decision serialized (the store's `OracleMode::Serial`).
 //! * `sharded-N`  — `ConcurrentOracle` with N `lastCommit` shards.
+//! * `batched-N`  — `BatchedOracle` with N hash partitions: requests claim
+//!   lock-free ring slots and whole epochs decide at once, so the hot path
+//!   costs one `fetch_add` plus two synchronization handoffs **per epoch**
+//!   instead of at least one lock handoff per decision.
 //!
 //! Contention regimes:
 //!
@@ -22,17 +26,39 @@
 //!   disjoint shards and should scale.
 //! * `high` — all threads hammer the same 64 hot rows: decisions pile onto
 //!   the same shards and mutual exclusion (plus conflict aborts) dominates.
+//! * `zipf` — the hot-key regime the batched oracle is built for: WSI
+//!   commit requests with **thirty-two** zipfian reads (YCSB θ = 0.99 over
+//!   a 256-row space, the paper's §6.5 "some items are extremely popular"
+//!   shape) plus one write, issued in **pipelined windows** of 32 requests
+//!   per client — the deployment model where each connection keeps several
+//!   commits in flight rather than blocking on each round trip. Row
+//!   sequences are pre-generated from a fixed seed, identical for every
+//!   backend; request buffers are pre-built outside the timed region and
+//!   each window begins with one timestamp-block fetch, so the cells time
+//!   decisions, not workload marshalling — identically for every backend.
+//!   Wide read sets overflow the sharded backend's inline lock path (it
+//!   must heap-collect, sort, dedup, and take a lock handshake per touched
+//!   shard, per decision, *before* it can test the first row), and
+//!   pipelined windows are what let epochs form: the batched backend
+//!   drains a whole window through [`BatchedOracle::submit_pipelined`] as
+//!   one epoch — one timestamp fetch and one publish for the lot — while
+//!   the lock-based backends have no way to overlap decisions and pay the
+//!   full per-decision cost once per window member. That asymmetry is the
+//!   point being measured, not an unfairness: per-decision locking
+//!   *cannot* exploit a client window, epoch scheduling can.
 //!
-//! Each regime runs twice: `raw` (think = 0, back-to-back decisions — the
-//! honest single-thread comparison of the two backends' fixed costs; these
-//! cells run 10× the ops and keep the best of three repeats, since
-//! millisecond-scale cells are otherwise at the mercy of the scheduler) and
-//! `think` (each op sleeps a client think time before its decision,
-//! modelling the paper's deployment where the oracle serves many concurrent
-//! clients over a network: the oracle is busy only a fraction of each
-//! client's cycle, so overlapping clients expose how much decision
-//! concurrency the backend admits — including on machines with few cores,
-//! where sleeps overlap even though spins cannot).
+//! The `low`/`high` regimes run twice: `raw` (think = 0, back-to-back
+//! decisions — the honest single-thread comparison of the two backends'
+//! fixed costs; these cells run 10× the ops and keep the best of five
+//! repeats, since millisecond-scale cells are otherwise at the mercy of
+//! the scheduler) and `think` (each op sleeps a client think time before
+//! its decision, modelling the paper's deployment where the oracle serves
+//! many concurrent clients over a network: the oracle is busy only a
+//! fraction of each client's cycle, so overlapping clients expose how much
+//! decision concurrency the backend admits — including on machines with
+//! few cores, where sleeps overlap even though spins cannot). The `zipf`
+//! regime runs raw only: its client-cycle model is the in-flight window
+//! itself, not a sleep.
 //!
 //! A decision = one commit or one conflict abort. Results go to stdout and
 //! `BENCH_oracle_scaling.json` (a `results` array plus a `summary` with the
@@ -46,18 +72,29 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use wsi_core::{
-    CommitRequest, ConcurrentOracle, IsolationLevel, RowId, SharedTimestampSource, StatusOracleCore,
+    BatchedOracle, CommitRequest, ConcurrentOracle, IsolationLevel, RowId, SharedTimestampSource,
+    StatusOracleCore, Timestamp,
 };
+use wsi_sim::{SimRng, Zipfian};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
 const KEYS_PER_THREAD: u64 = 64;
 const HOT_ROWS: u64 = 64;
+const ZIPF_KEYS: u64 = 256;
+const ZIPF_SEED: u64 = 0x5ca1_ab1e;
+/// Reads per zipf request — wide enough that the sharded backend's inline
+/// (stack-array) lock path spills to its heap path, as real WSI read sets
+/// do.
+const ZIPF_READS: usize = 32;
+/// In-flight requests per client connection in the zipf regime.
+const PIPELINE_WINDOW: usize = 32;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Backend {
     Mutex,
     Sharded(usize),
+    Batched(usize),
 }
 
 impl Backend {
@@ -65,6 +102,16 @@ impl Backend {
         match self {
             Backend::Mutex => "mutex".to_string(),
             Backend::Sharded(n) => format!("sharded-{n}"),
+            Backend::Batched(n) => format!("batched-{n}"),
+        }
+    }
+
+    /// The `--backend` filter key: the family without the shard count.
+    fn family(self) -> &'static str {
+        match self {
+            Backend::Mutex => "mutex",
+            Backend::Sharded(_) => "sharded",
+            Backend::Batched(_) => "batched",
         }
     }
 }
@@ -73,6 +120,7 @@ impl Backend {
 enum Contention {
     Low,
     High,
+    Zipf,
 }
 
 impl Contention {
@@ -80,18 +128,20 @@ impl Contention {
         match self {
             Contention::Low => "low",
             Contention::High => "high",
+            Contention::Zipf => "zipf",
         }
     }
 }
 
-/// The two decision engines behind one dispatch, begins always via the
-/// shared atomic counter (lock-free in both, as in the store). The serial
+/// The three decision engines behind one dispatch, begins always via the
+/// shared atomic counter (lock-free in all, as in the store). The serial
 /// backend uses `parking_lot::Mutex` because that is exactly what the
 /// pre-sharding store wrapped its oracle in (`OracleMode::Serial` still
 /// does).
 enum Oracle {
     Mutex(Mutex<StatusOracleCore>),
     Sharded(ConcurrentOracle),
+    Batched(BatchedOracle),
 }
 
 impl Oracle {
@@ -99,6 +149,27 @@ impl Oracle {
         match self {
             Oracle::Mutex(m) => m.lock().commit(req).is_committed(),
             Oracle::Sharded(o) => o.commit(req).is_committed(),
+            Oracle::Batched(o) => o.commit(req).is_committed(),
+        }
+    }
+
+    /// Decides one client window, returning how many committed. The batched
+    /// backend drains the whole window through the epoch ring before waiting
+    /// on any outcome; per-decision locking has no equivalent — each request
+    /// must finish before the next can start — so the others decide the same
+    /// window sequentially.
+    fn commit_window(&self, reqs: Vec<CommitRequest>) -> u64 {
+        match self {
+            Oracle::Batched(o) => o
+                .commit_pipelined(reqs)
+                .iter()
+                .filter(|out| out.is_committed())
+                .count() as u64,
+            _ => reqs
+                .into_iter()
+                .map(|req| self.commit(req))
+                .filter(|&committed| committed)
+                .count() as u64,
         }
     }
 }
@@ -135,7 +206,27 @@ fn rows_for(contention: Contention, t: usize, i: u64) -> (RowId, RowId) {
             )
         }
         Contention::High => (RowId(i % HOT_ROWS), RowId((i + 1) % HOT_ROWS)),
+        Contention::Zipf => unreachable!("zipf rows are pre-generated"),
     }
+}
+
+/// Pre-generated zipfian read sets ([`ZIPF_READS`] rows each), one sequence
+/// per thread, from a fixed seed — off the timed path and byte-identical
+/// across backends, so the comparison measures the oracle, not the sampler.
+fn zipf_rows(threads: usize, ops_per_thread: u64) -> Vec<Vec<Vec<RowId>>> {
+    (0..threads)
+        .map(|t| {
+            let mut rng = SimRng::new(ZIPF_SEED).fork(t as u64);
+            let mut zipf = Zipfian::new(ZIPF_KEYS);
+            (0..ops_per_thread)
+                .map(|_| {
+                    (0..ZIPF_READS)
+                        .map(|_| RowId(zipf.next(&mut rng)))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
 }
 
 fn bench_one(
@@ -155,7 +246,36 @@ fn bench_one(
             ConcurrentOracle::unbounded(IsolationLevel::WriteSnapshot, shards, Arc::clone(&ts))
                 .with_obs_enabled(false),
         ),
+        Backend::Batched(partitions) => Oracle::Batched(
+            BatchedOracle::unbounded(IsolationLevel::WriteSnapshot, partitions, Arc::clone(&ts))
+                .with_obs_enabled(false),
+        ),
     });
+    let zipf = match contention {
+        Contention::Zipf => zipf_rows(threads, ops_per_thread),
+        _ => Vec::new(),
+    };
+    // Zipf request buffers are pre-built outside the timed region: row-vec
+    // allocation and copying is workload generation, identical for every
+    // backend, and would otherwise dilute the per-decision cost being
+    // measured. Start timestamps are still issued inside the timed loop,
+    // window by window, so the in-flight overlap profile (which commits
+    // postdate which starts) is untouched.
+    let mut prebuilt: Vec<Vec<Vec<CommitRequest>>> = zipf
+        .iter()
+        .map(|ops| {
+            ops.chunks(PIPELINE_WINDOW)
+                .map(|window| {
+                    window
+                        .iter()
+                        .map(|reads| {
+                            CommitRequest::new(Timestamp(0), reads.clone(), vec![reads[0]])
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
 
     let started = Instant::now();
     let commits: u64 = thread::scope(|s| {
@@ -163,8 +283,28 @@ fn bench_one(
             .map(|t| {
                 let oracle = Arc::clone(&oracle);
                 let ts = Arc::clone(&ts);
+                let windows = std::mem::take(prebuilt.get_mut(t).unwrap_or(&mut Vec::new()));
                 s.spawn(move || {
                     let mut committed = 0u64;
+                    if contention == Contention::Zipf {
+                        // Pipelined client: issue a whole window of starts,
+                        // then decide the window. Starts are issued up front
+                        // for every backend — that is what "in flight"
+                        // means — so the conflict horizon (commits that
+                        // postdate a request's start) is the same whether
+                        // the window decides as one epoch or one at a time.
+                        for mut reqs in windows {
+                            // One counter round-trip begins the whole
+                            // window, for every backend alike.
+                            let mut start = ts.next_block(reqs.len() as u64);
+                            for req in &mut reqs {
+                                req.start_ts = start;
+                                start = start.next();
+                            }
+                            committed += oracle.commit_window(reqs);
+                        }
+                        return committed;
+                    }
                     for i in 0..ops_per_thread {
                         if think_us > 0 {
                             // Client think time: the oracle is idle from this
@@ -187,7 +327,7 @@ fn bench_one(
     let elapsed_us = started.elapsed().as_micros();
 
     let shard_contention = match oracle.as_ref() {
-        Oracle::Mutex(_) => 0,
+        Oracle::Mutex(_) | Oracle::Batched(_) => 0,
         Oracle::Sharded(o) => o.shard_obs().contention_total(),
     };
     Row {
@@ -221,23 +361,49 @@ fn find_throughput(
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let ops_per_thread: u64 = args
-        .next()
+    // Usage: oracle_scaling [ops_per_thread] [think_us] [--backend FAMILY]
+    // `--backend mutex|sharded|batched` restricts the sweep to one family —
+    // tier 1 uses it to smoke the batched path on its own; cross-backend
+    // summary ratios need the full sweep and are skipped when filtering.
+    let mut positional = Vec::new();
+    let mut backend_filter: Option<String> = None;
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        if arg == "--backend" {
+            let family = raw
+                .next()
+                .expect("--backend takes a family: mutex|sharded|batched");
+            assert!(
+                matches!(family.as_str(), "mutex" | "sharded" | "batched"),
+                "unknown backend family {family:?} (mutex|sharded|batched)"
+            );
+            backend_filter = Some(family);
+        } else {
+            positional.push(arg);
+        }
+    }
+    let ops_per_thread: u64 = positional
+        .first()
         .map(|a| a.parse().expect("ops per thread must be a number"))
         .unwrap_or(3_000);
-    let think_us: u64 = args
-        .next()
+    let think_us: u64 = positional
+        .get(1)
         .map(|a| a.parse().expect("think time must be microseconds"))
         .unwrap_or(50);
 
     let backends: Vec<Backend> = std::iter::once(Backend::Mutex)
         .chain(SHARD_COUNTS.iter().map(|&n| Backend::Sharded(n)))
+        .chain(SHARD_COUNTS.iter().map(|&n| Backend::Batched(n)))
+        .filter(|b| {
+            backend_filter
+                .as_deref()
+                .is_none_or(|family| b.family() == family)
+        })
         .collect();
 
     println!(
         "# oracle scaling: {ops_per_thread} decisions/thread, think {think_us} µs, \
-         WSI read-2-write-1"
+         WSI read-2-write-1 (zipf: read-{ZIPF_READS}-write-1, windows of {PIPELINE_WINDOW})"
     );
     println!(
         "{:>11} {:>10} {:>6} {:>7} {:>10} {:>10} {:>12} {:>10}",
@@ -261,8 +427,13 @@ fn main() {
     }
     let mut cells = Vec::new();
     for &backend in &backends {
-        for contention in [Contention::Low, Contention::High] {
+        for contention in [Contention::Low, Contention::High, Contention::Zipf] {
             for think in [0, think_us] {
+                if think > 0 && contention == Contention::Zipf {
+                    // The zipf regime's client-cycle model is the pipelined
+                    // window, not a sleep.
+                    continue;
+                }
                 for threads in THREAD_COUNTS {
                     let (ops, repeats) = if think == 0 {
                         (ops_per_thread * 10, 5)
@@ -326,25 +497,66 @@ fn main() {
     // clients that do anything at all between commits, decision concurrency
     // shows up as throughput even on few-core hosts. The backend-parity
     // ratio uses the raw regime at one thread: pure fixed-cost comparison.
-    let sharded_max = Backend::Sharded(*SHARD_COUNTS.last().unwrap());
-    let speedup_8t = find_throughput(&rows, sharded_max, Contention::Low, think_us, 8)
-        / find_throughput(&rows, sharded_max, Contention::Low, think_us, 1);
-    let parity_1t = find_throughput(&rows, sharded_max, Contention::Low, 0, 1)
-        / find_throughput(&rows, Backend::Mutex, Contention::Low, 0, 1);
-    let mutex_8t = find_throughput(&rows, Backend::Mutex, Contention::Low, think_us, 8)
-        / find_throughput(&rows, Backend::Mutex, Contention::Low, think_us, 1);
-    println!(
-        "\nlow-contention speedup 8t/1t ({} think {} µs): {:.2}x (mutex: {:.2}x)",
-        sharded_max.name(),
-        think_us,
-        speedup_8t,
-        mutex_8t
-    );
-    println!(
-        "single-thread raw parity ({} / mutex): {:.3}",
-        sharded_max.name(),
-        parity_1t
-    );
+    // All of the ratios compare across backend families, so a `--backend`
+    // filter leaves them meaningless — the summary is skipped entirely
+    // rather than written as 0/0.
+    let ratios = backend_filter.is_none().then(|| {
+        let sharded_max = Backend::Sharded(*SHARD_COUNTS.last().unwrap());
+        let batched_max = Backend::Batched(*SHARD_COUNTS.last().unwrap());
+        let speedup_8t = find_throughput(&rows, sharded_max, Contention::Low, think_us, 8)
+            / find_throughput(&rows, sharded_max, Contention::Low, think_us, 1);
+        let parity_1t = find_throughput(&rows, sharded_max, Contention::Low, 0, 1)
+            / find_throughput(&rows, Backend::Mutex, Contention::Low, 0, 1);
+        let mutex_8t = find_throughput(&rows, Backend::Mutex, Contention::Low, think_us, 8)
+            / find_throughput(&rows, Backend::Mutex, Contention::Low, think_us, 1);
+        // The batched acceptance ratios. Hot-key uses the zipf regime at 8
+        // threads: wide zipfian read sets in pipelined windows, where the
+        // sharded backend pays a heap-collect + sort + multi-shard lock
+        // handshake per decision, 16 times per window, and the batched backend
+        // drains each window as a couple of zero-lock epochs. Parity uses the
+        // raw regime at one thread over private 2-row requests submitted
+        // synchronously: pure fixed-cost comparison of one epoch-of-one against
+        // one inline lock round trip, with batching given nothing to amortize.
+        let batched_8t_hot = find_throughput(&rows, batched_max, Contention::Zipf, 0, 8)
+            / find_throughput(&rows, sharded_max, Contention::Zipf, 0, 8);
+        let batched_8t_hot_uniform = find_throughput(&rows, batched_max, Contention::High, 0, 8)
+            / find_throughput(&rows, sharded_max, Contention::High, 0, 8);
+        let batched_1t_raw = find_throughput(&rows, batched_max, Contention::Low, 0, 1)
+            / find_throughput(&rows, sharded_max, Contention::Low, 0, 1);
+        println!(
+            "\nlow-contention speedup 8t/1t ({} think {} µs): {:.2}x (mutex: {:.2}x)",
+            sharded_max.name(),
+            think_us,
+            speedup_8t,
+            mutex_8t
+        );
+        println!(
+            "single-thread raw parity ({} / mutex): {:.3}",
+            sharded_max.name(),
+            parity_1t
+        );
+        println!(
+            "hot-key raw 8t ({} / {}): {:.2}x zipf, {:.2}x uniform-hot",
+            batched_max.name(),
+            sharded_max.name(),
+            batched_8t_hot,
+            batched_8t_hot_uniform
+        );
+        println!(
+            "single-thread raw parity ({} / {}): {:.3}",
+            batched_max.name(),
+            sharded_max.name(),
+            batched_1t_raw
+        );
+        (
+            speedup_8t,
+            mutex_8t,
+            parity_1t,
+            batched_8t_hot,
+            batched_8t_hot_uniform,
+            batched_1t_raw,
+        )
+    });
 
     let mut json = String::from("{\n  \"results\": [\n");
     for (i, row) in rows.iter().enumerate() {
@@ -365,14 +577,30 @@ fn main() {
             if i + 1 == rows.len() { "\n" } else { ",\n" },
         );
     }
-    let _ = write!(
-        json,
-        "  ],\n  \"summary\": {{\n    \"ops_per_thread\": {ops_per_thread},\n    \
-         \"think_us\": {think_us},\n    \
-         \"low_contention_speedup_8t_vs_1t\": {speedup_8t:.3},\n    \
-         \"mutex_low_contention_speedup_8t_vs_1t\": {mutex_8t:.3},\n    \
-         \"sharded_vs_mutex_1t_raw\": {parity_1t:.3}\n  }}\n}}\n"
-    );
+    match ratios {
+        Some((speedup_8t, mutex_8t, parity_1t, hot, hot_uniform, raw_1t)) => {
+            let _ = write!(
+                json,
+                "  ],\n  \"summary\": {{\n    \"ops_per_thread\": {ops_per_thread},\n    \
+                 \"think_us\": {think_us},\n    \
+                 \"low_contention_speedup_8t_vs_1t\": {speedup_8t:.3},\n    \
+                 \"mutex_low_contention_speedup_8t_vs_1t\": {mutex_8t:.3},\n    \
+                 \"sharded_vs_mutex_1t_raw\": {parity_1t:.3},\n    \
+                 \"batched_vs_sharded_8t_hot\": {hot:.3},\n    \
+                 \"batched_vs_sharded_8t_uniform_hot\": {hot_uniform:.3},\n    \
+                 \"batched_vs_sharded_1t_raw\": {raw_1t:.3}\n  }}\n}}\n"
+            );
+        }
+        None => {
+            let _ = write!(
+                json,
+                "  ],\n  \"summary\": {{\n    \"ops_per_thread\": {ops_per_thread},\n    \
+                 \"think_us\": {think_us},\n    \
+                 \"backend_filter\": \"{}\"\n  }}\n}}\n",
+                backend_filter.as_deref().unwrap_or(""),
+            );
+        }
+    }
     let path = "BENCH_oracle_scaling.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("\n-> {path}"),

@@ -1,0 +1,1979 @@
+//! The epoch-batched status oracle: commit scheduling without per-decision
+//! locking.
+//!
+//! The sharded oracle (`crate::sharded`) removed the *global* critical
+//! section, but every decision still performs a shard-lock handshake — and
+//! under a zipfian hot-key workload all committers hash to the same shard,
+//! so the handshake degenerates back into a serial queue with extra
+//! contention traffic on top. *Rethinking serializable multiversion
+//! concurrency control* (Faleiro & Abadi, VLDB 2015) shows the structural
+//! alternative this module adopts: stop deciding commits one at a time.
+//!
+//! * **Intake.** Commit requests from all threads are appended to a
+//!   lock-free epoch ring: the hot path is one `fetch_add` slot claim plus
+//!   two flag stores — no shard set, no lock ordering, no contention
+//!   counters. Hot keys cost exactly what cold keys cost.
+//! * **Seal.** Whenever the single planning slot is free, the next planner
+//!   seals the contiguous ready prefix of what has arrived (capped at
+//!   [`BatchedOracle::with_max_batch`]) into one epoch — never waiting on a
+//!   slot that is claimed but not yet deposited, so planning cannot block
+//!   on another committer (or, via the ring-wrap help path, on the planner
+//!   itself). Sealing is
+//!   cooperative, Bohm-style: there is no dedicated sealer thread — a
+//!   committer that finds the planning slot free plans the epoch itself,
+//!   which keeps the engine single-threaded when the embedder is (the
+//!   property deterministic simulation relies on) and makes the seal tick
+//!   implicit: an epoch seals as soon as the previous epoch's planner
+//!   retires, i.e. on the engine's own virtual time, not a wall-clock timer.
+//! * **Plan.** The epoch's row probes are partitioned by a Fibonacci hash of
+//!   the row (the same function the sharded table uses) and run against the
+//!   per-partition `lastCommit` tables with **zero locks** — the planner owns
+//!   every partition for the epoch's duration, and with
+//!   [`BatchedOracle::with_planners`]` > 1` disjoint partition chunks are
+//!   probed and recorded by scoped worker threads in parallel. Intra-batch
+//!   conflicts are then resolved sequentially in **slot order** (the order
+//!   `fetch_add` assigned): the first claimant of a row wins, every later
+//!   overlapping request in the epoch aborts against it. Same inputs in the
+//!   same arrival order therefore produce the same decisions, whatever the
+//!   thread interleaving that delivered them — the arrival-order tiebreak
+//!   the determinism tests pin down.
+//! * **Publish.** Commit timestamps are issued from the shared counter in
+//!   batch-internal (slot) order, by a single [`EpochPublisher`] call that
+//!   the embedder supplies — `wsi-store` uses it to install the whole
+//!   epoch's commit-index entries under one write-lock hold and to enqueue
+//!   the epoch as one WAL group. Only after the publisher returns are
+//!   waiters woken, so the epoch's decisions become observable atomically.
+//!
+//! # Equivalence to the serial oracle
+//!
+//! Every commit timestamp the epoch issues is drawn after every member's
+//! start timestamp (starts are issued before submission, commit timestamps
+//! at publish, from the same counter). The serial verdict for a request
+//! therefore decomposes exactly into (a) its probe against the pre-epoch
+//! table state and (b) "did an earlier-slot winner of this epoch write one
+//! of my checked rows" — an earlier winner's commit timestamp is *always*
+//! above my start, so membership alone decides (b), no timestamp comparison
+//! needed. For unbounded tables this reproduces the serial oracle's
+//! decisions, statistics and abort payloads exactly, at any batch size and
+//! partition count. For bounded tables (Algorithm 3) the batch probes run
+//! before the epoch's own recordings can evict anything, which makes the
+//! batched oracle strictly *less* pessimistic than the serial one within an
+//! epoch — never unsafe (a pre-epoch probe is exact knowledge, and
+//! intra-batch writers are caught by membership), but multi-request epochs
+//! can admit a commit the serial oracle's eviction bound would have
+//! refused. At batch size 1 (every single-threaded driver) the two are
+//! identical; see `DESIGN.md` §12.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use spin::Mutex;
+use wsi_obs::{Counter, EventData, Histogram, HistogramSnapshot, Journal, Registry};
+
+use crate::{
+    commit_table::{CommitTable, TxnStatus},
+    error::{AbortReason, CommitOutcome},
+    lastcommit::{BoundedLastCommit, Probe, UnboundedLastCommit},
+    oracle::{
+        check_range_probe, check_row_probe, CommitRequest, OracleCounters, OracleStats, Table,
+    },
+    policy::IsolationLevel,
+    row::{RowId, RowRange},
+    sharded::combine_probes,
+    ts::{SharedTimestampSource, Timestamp},
+};
+
+/// Fibonacci multiplicative-hash constant (2^64 / φ); the same row-to-shard
+/// function as [`crate::ShardedLastCommit`], so partition skew matches the
+/// sharded oracle's and comparisons are apples-to-apples.
+const FIB_HASH: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Shard count of the transaction-status table (keyed by start timestamp,
+/// independent of the row partitioning).
+const STATUS_SHARDS: usize = 16;
+
+/// Intake-ring capacity (power of two). Far above any realistic number of
+/// concurrent committers; a producer only ever waits on ring wrap if a full
+/// lap of requests is simultaneously in flight.
+const RING_CAP: usize = 1024;
+
+/// Default seal cap: an epoch seals at most this many requests, so one
+/// planning pass stays short even under a sustained arrival burst.
+const DEFAULT_MAX_BATCH: usize = 256;
+
+/// Spins before a waiting loop starts yielding the CPU.
+const SPINS_BEFORE_YIELD: u32 = 64;
+
+/// Spins before yielding only where spinning can work: on a single-core
+/// host the thread whose store we are waiting for is by definition not
+/// running, so every spin is a wasted quantum — yield immediately instead.
+fn spin_budget() -> u32 {
+    static BUDGET: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *BUDGET.get_or_init(|| match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => SPINS_BEFORE_YIELD,
+        _ => 0,
+    })
+}
+
+#[inline]
+fn spin_wait(spins: &mut u32) {
+    if *spins < spin_budget() {
+        *spins += 1;
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Write-map entry count above which lookups go through the hash index
+/// instead of a linear scan of the entry log.
+const WRITE_MAP_INDEX_MIN: usize = 16;
+
+/// The epoch's intra-batch write map: row → index of the latest winner so
+/// far writing it. Lookups are the inner loop of conflict analysis (every
+/// checked row consults the map before its table probe), so the map is an
+/// insertion log plus, for epochs with more than [`WRITE_MAP_INDEX_MIN`]
+/// write rows, an open-addressed fibonacci-hashed index over it — O(1)
+/// probes with no per-node pointer chasing. Small epochs scan the
+/// cache-resident log directly. Both paths give identical answers, so
+/// decisions never depend on the representation.
+struct WriteMap {
+    /// `(row, latest winner)` in first-insertion order; a re-written row
+    /// updates its entry in place, so rows are unique.
+    entries: Vec<(RowId, u32)>,
+    /// Open-addressed buckets holding indices into `entries`
+    /// (`u32::MAX` = empty); empty vec when the epoch is small enough to
+    /// scan the log linearly.
+    index: Vec<u32>,
+    /// High-bit shift for the fibonacci multiply (64 − log2(buckets)).
+    hash_shift: u32,
+}
+
+impl WriteMap {
+    const EMPTY: u32 = u32::MAX;
+
+    /// `writes` is the epoch's total write-row count — an upper bound on
+    /// how many entries the map will ever hold, known at seal time.
+    fn with_write_capacity(writes: usize) -> Self {
+        if writes <= WRITE_MAP_INDEX_MIN {
+            return WriteMap {
+                entries: Vec::with_capacity(writes),
+                index: Vec::new(),
+                hash_shift: 0,
+            };
+        }
+        // Keep load factor under 1/2 so linear probing stays short.
+        let buckets = (writes * 2).next_power_of_two();
+        WriteMap {
+            entries: Vec::with_capacity(writes),
+            index: vec![Self::EMPTY; buckets],
+            hash_shift: 64 - buckets.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, row: RowId) -> usize {
+        (row.raw().wrapping_mul(FIB_HASH) >> self.hash_shift) as usize
+    }
+
+    fn get(&self, row: RowId) -> Option<u32> {
+        if self.index.is_empty() {
+            return self
+                .entries
+                .iter()
+                .find(|&&(r, _)| r == row)
+                .map(|&(_, w)| w);
+        }
+        let mask = self.index.len() - 1;
+        let mut b = self.bucket_of(row);
+        loop {
+            match self.index[b] {
+                Self::EMPTY => return None,
+                e => {
+                    let (r, w) = self.entries[e as usize];
+                    if r == row {
+                        return Some(w);
+                    }
+                }
+            }
+            b = (b + 1) & mask;
+        }
+    }
+
+    /// The latest (maximum-index) winner writing into `[start, end)`.
+    /// Ranges scan the whole entry log — they are rare (WSI predicate
+    /// requests only) and the log is at most the epoch's write count.
+    fn max_in_range(&self, range: RowRange) -> Option<u32> {
+        self.entries
+            .iter()
+            .filter(|&&(r, _)| range.start <= r && r < range.end)
+            .map(|&(_, w)| w)
+            .max()
+    }
+
+    fn insert(&mut self, row: RowId, winner: u32) {
+        if self.index.is_empty() {
+            if let Some(slot) = self.entries.iter_mut().find(|(r, _)| *r == row) {
+                slot.1 = winner;
+                return;
+            }
+            self.entries.push((row, winner));
+            return;
+        }
+        let mask = self.index.len() - 1;
+        let mut b = self.bucket_of(row);
+        loop {
+            match self.index[b] {
+                Self::EMPTY => {
+                    self.index[b] = self.entries.len() as u32;
+                    self.entries.push((row, winner));
+                    return;
+                }
+                e => {
+                    if self.entries[e as usize].0 == row {
+                        self.entries[e as usize].1 = winner;
+                        return;
+                    }
+                }
+            }
+            b = (b + 1) & mask;
+        }
+    }
+}
+
+/// Issues the epoch's commit timestamps and publishes its decisions as one
+/// atomic step, supplied per [`BatchedOracle::submit`] call by the embedder.
+///
+/// The planner calls this exactly once per epoch, after conflict analysis
+/// has partitioned the batch into winners and losers and **before** any
+/// waiter can observe an outcome. The implementation must issue one commit
+/// timestamp per winner, **in the given (slot) order**, from the same shared
+/// counter the oracle draws starts from — the monotonic slot-order issue is
+/// what keeps per-row `lastCommit` timestamps monotonic and what the
+/// equivalence argument in the module docs relies on. `wsi-store` uses the
+/// hook to install the whole epoch in its commit index under a single
+/// write-lock hold (readers see all of the epoch or none of it) and to
+/// enqueue the epoch as one WAL group; the oracle's built-in publisher (used
+/// by [`BatchedOracle::commit`]) just draws the timestamps.
+pub trait EpochPublisher {
+    /// Publishes one epoch: `winners` and `losers` carry the start
+    /// timestamps of the admitted and refused requests, each in slot order.
+    /// Returns the winners' commit timestamps, aligned with `winners`.
+    fn publish_epoch(&self, winners: &[Timestamp], losers: &[Timestamp]) -> Vec<Timestamp>;
+}
+
+/// The built-in publisher: draws timestamps, publishes nothing else.
+struct CounterPublisher<'a> {
+    ts: &'a SharedTimestampSource,
+}
+
+impl EpochPublisher for CounterPublisher<'_> {
+    fn publish_epoch(&self, winners: &[Timestamp], _losers: &[Timestamp]) -> Vec<Timestamp> {
+        winners.iter().map(|_| self.ts.next()).collect()
+    }
+}
+
+/// One intake-ring slot. The protocol is a bounded MPMC handoff in safe
+/// Rust: `turn` gates slot reuse across ring laps, `ready` tells the planner
+/// the request is in place, `done` tells the producer its outcome is. The
+/// payload sits behind a spin mutex that is only ever taken uncontended
+/// (exactly one thread owns each phase of a slot's lifecycle).
+struct Slot {
+    /// A producer claiming sequence `s` may use the slot once `turn == s`;
+    /// the consumer of the previous lap advances it by [`RING_CAP`] when it
+    /// takes its outcome out.
+    turn: AtomicU64,
+    /// Set to `s + 1` (release) once the producer of sequence `s` has
+    /// deposited its request.
+    ready: AtomicU64,
+    /// Set to `s + 1` (release) once the planner has deposited sequence
+    /// `s`'s outcome.
+    done: AtomicU64,
+    data: Mutex<SlotData>,
+}
+
+#[derive(Default)]
+struct SlotData {
+    /// A single submission ([`BatchedOracle::submit`]) — no allocation on
+    /// the one-request path.
+    req: Option<CommitRequest>,
+    /// A whole pipelined window ([`BatchedOracle::submit_pipelined`]): one
+    /// ring slot, one synchronization handshake, for up to 64 requests.
+    window: Vec<CommitRequest>,
+    outcome: Option<CommitOutcome>,
+    outcomes: Vec<CommitOutcome>,
+}
+
+/// State owned by whichever thread holds the planning slot: the partitioned
+/// `lastCommit` tables and the seal floor. Exactly one planner exists at a
+/// time, so nothing in here needs further locking — this is the "zero locks
+/// during conflict analysis" the module docs claim.
+struct PlannerState {
+    /// Per-partition `lastCommit` tables; a row maps to exactly one.
+    tables: Vec<Table>,
+    /// The next unsealed sequence number (everything below is planned).
+    next_to_plan: u64,
+    /// Monotonic epoch counter, for the journal and metrics.
+    epoch: u64,
+    /// Reusable seal buffer: the epoch's requests in slot order. Lives here
+    /// so steady-state sealing allocates nothing.
+    seal: Vec<CommitRequest>,
+    /// Reusable per-slot metadata for the sealed epoch: how many of the
+    /// epoch's requests came from each slot, and whether that slot was a
+    /// pipelined window (outcomes go back as a vec) or a single submission
+    /// (outcome goes back bare).
+    slot_meta: Vec<(u32, bool)>,
+}
+
+/// Lock-free metrics of the batched decision path, registered under
+/// `oracle_epoch_*` names.
+#[derive(Debug)]
+pub struct EpochObs {
+    /// Epochs sealed and published.
+    epochs: Counter,
+    /// Requests per sealed epoch.
+    batch_size: Histogram,
+    /// Seal-to-publish planning latency, in microseconds.
+    plan_us: Histogram,
+    /// Planner threads used per epoch (1 = the sealing committer planned
+    /// inline; >1 = partition chunks ran on scoped workers).
+    planners: Histogram,
+}
+
+impl EpochObs {
+    fn new() -> Self {
+        EpochObs {
+            epochs: Counter::new(),
+            batch_size: Histogram::new(),
+            plan_us: Histogram::new(),
+            planners: Histogram::new(),
+        }
+    }
+
+    /// Registers every series in `registry` under `oracle_epoch_*` names.
+    pub fn register_in(&self, registry: &Registry) {
+        registry.register_counter("oracle_epochs_total", &self.epochs);
+        registry.register_histogram("oracle_epoch_batch_size", &self.batch_size);
+        registry.register_histogram("oracle_epoch_plan_us", &self.plan_us);
+        registry.register_histogram("oracle_epoch_planners", &self.planners);
+    }
+
+    /// Epochs sealed and published so far.
+    pub fn epochs_total(&self) -> u64 {
+        self.epochs.get()
+    }
+
+    /// Snapshot of the requests-per-epoch histogram.
+    pub fn batch_size_snapshot(&self) -> HistogramSnapshot {
+        self.batch_size.snapshot()
+    }
+
+    /// Snapshot of the planning-latency histogram.
+    pub fn plan_us_snapshot(&self) -> HistogramSnapshot {
+        self.plan_us.snapshot()
+    }
+
+    /// Snapshot of the planners-per-epoch histogram.
+    pub fn planners_snapshot(&self) -> HistogramSnapshot {
+        self.planners.snapshot()
+    }
+}
+
+/// Where a refused request's conflict came from, recorded during the
+/// sequential decision pass and materialized into an [`AbortReason`] only
+/// after the publisher has issued the epoch's commit timestamps (an
+/// intra-batch culprit has no timestamp until then).
+enum AbortSource {
+    /// The pre-epoch table state refused the request; the payload is
+    /// already complete.
+    Base(AbortReason),
+    /// An earlier-slot winner of this epoch wrote the row.
+    Row {
+        row: RowId,
+        /// Index into the epoch's winner list.
+        winner: u32,
+    },
+    /// An earlier-slot winner of this epoch wrote into the range; `base` is
+    /// the pre-epoch probe the winner's commit combines with.
+    Range {
+        range: RowRange,
+        base: Probe,
+        winner: u32,
+    },
+}
+
+/// A request's fate, decided in slot order, timestamps still pending.
+enum PendingOutcome {
+    ReadOnly,
+    Commit {
+        /// Index into the epoch's winner list.
+        winner: u32,
+    },
+    Abort(AbortSource),
+}
+
+/// A checked row's verdict as captured for the flight recorder; the culprit
+/// timestamp of an intra-batch conflict is resolved at publish.
+enum RowVerdict {
+    Pass,
+    Conflict(Timestamp),
+    IntraConflict(u32),
+}
+
+/// The epoch-batched concurrent status oracle: same decisions as
+/// [`StatusOracleCore`](crate::StatusOracleCore), planned a batch at a time.
+///
+/// Internally `&self` everywhere — share it behind an `Arc` and call
+/// [`BatchedOracle::commit`] from as many threads as desired. Overlapping
+/// *and* disjoint requests take the same path: one ring append, then either
+/// plan the epoch (if the planning slot is free) or wait for the planner to
+/// deposit the outcome.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use wsi_core::{BatchedOracle, CommitRequest, IsolationLevel, RowId, SharedTimestampSource};
+///
+/// let ts = Arc::new(SharedTimestampSource::new());
+/// let o = BatchedOracle::unbounded(IsolationLevel::WriteSnapshot, 16, ts);
+/// let t1 = o.begin();
+/// let t2 = o.begin();
+/// // Lost update: both read and write row 1; the second must abort.
+/// assert!(o
+///     .commit(CommitRequest::new(t1, vec![RowId(1)], vec![RowId(1)]))
+///     .is_committed());
+/// assert!(o
+///     .commit(CommitRequest::new(t2, vec![RowId(1)], vec![RowId(1)]))
+///     .is_aborted());
+/// ```
+pub struct BatchedOracle {
+    level: IsolationLevel,
+    ts: Arc<SharedTimestampSource>,
+    /// The intake ring's global sequence counter — the hot path's only
+    /// shared write.
+    next: AtomicU64,
+    slots: Vec<Slot>,
+    ring_mask: usize,
+    /// The planning slot. `try_lock` is the cooperative seal: whoever gets
+    /// it plans the next epoch.
+    plan: Mutex<PlannerState>,
+    /// `64 - log2(partition count)`; unused when there is one partition.
+    shift: u32,
+    /// Transaction statuses, sharded by start timestamp.
+    status: Vec<Mutex<CommitTable>>,
+    counters: OracleCounters,
+    obs: EpochObs,
+    obs_enabled: bool,
+    journal: Option<Journal>,
+    max_batch: usize,
+    planners: usize,
+}
+
+impl BatchedOracle {
+    /// Creates an unbounded batched oracle (Algorithm 1 or 2 by `level`)
+    /// with `partitions` `lastCommit` partitions (rounded up to a power of
+    /// two), drawing timestamps from the embedder's shared counter.
+    pub fn unbounded(
+        level: IsolationLevel,
+        partitions: usize,
+        ts: Arc<SharedTimestampSource>,
+    ) -> Self {
+        Self::build(level, partitions, None, ts)
+    }
+
+    /// Creates a bounded (Algorithm 3) batched oracle whose `lastCommit`
+    /// partitions together retain ≈`capacity` rows, with per-partition
+    /// `T_max` (maximum over partitions reported globally, same soundness
+    /// argument as the sharded table's).
+    pub fn bounded(
+        level: IsolationLevel,
+        partitions: usize,
+        capacity: usize,
+        ts: Arc<SharedTimestampSource>,
+    ) -> Self {
+        Self::build(level, partitions, Some(capacity), ts)
+    }
+
+    fn build(
+        level: IsolationLevel,
+        partitions: usize,
+        capacity: Option<usize>,
+        ts: Arc<SharedTimestampSource>,
+    ) -> Self {
+        let n = partitions.max(1).next_power_of_two();
+        let make = || match capacity {
+            None => Table::Unbounded(UnboundedLastCommit::new()),
+            Some(cap) => Table::Bounded(BoundedLastCommit::with_capacity((cap / n).max(1))),
+        };
+        BatchedOracle {
+            level,
+            ts,
+            next: AtomicU64::new(0),
+            slots: (0..RING_CAP)
+                .map(|i| Slot {
+                    turn: AtomicU64::new(i as u64),
+                    ready: AtomicU64::new(0),
+                    done: AtomicU64::new(0),
+                    data: Mutex::new(SlotData::default()),
+                })
+                .collect(),
+            ring_mask: RING_CAP - 1,
+            plan: Mutex::new(PlannerState {
+                tables: (0..n).map(|_| make()).collect(),
+                next_to_plan: 0,
+                epoch: 0,
+                seal: Vec::new(),
+                slot_meta: Vec::new(),
+            }),
+            shift: 64 - (n as u64).trailing_zeros(),
+            status: (0..STATUS_SHARDS)
+                .map(|_| Mutex::new(CommitTable::new()))
+                .collect(),
+            counters: OracleCounters::default(),
+            obs: EpochObs::new(),
+            obs_enabled: true,
+            journal: None,
+            max_batch: DEFAULT_MAX_BATCH,
+            planners: 1,
+        }
+    }
+
+    /// Enables or disables the decision-path observability (clock reads and
+    /// histogram records; the activity counters always run).
+    #[must_use]
+    pub fn with_obs_enabled(mut self, enabled: bool) -> Self {
+        self.obs_enabled = enabled;
+        self
+    }
+
+    /// Attaches a flight recorder: every checked row records a
+    /// [`EventData::CheckRow`] verdict (intra-batch conflicts carry the
+    /// winning request's real commit timestamp), and every epoch records
+    /// [`EventData::EpochSeal`] / [`EventData::EpochPublish`].
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Caps how many requests one epoch seals (clamped to the ring
+    /// capacity; minimum 1).
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.clamp(1, RING_CAP);
+        self
+    }
+
+    /// Sets how many planner threads probe and record the partitions of one
+    /// epoch. `1` (the default) plans inline on the sealing committer; `n >
+    /// 1` splits the partitions into `n` contiguous chunks run on scoped
+    /// threads. Decisions are identical for every value — per-partition
+    /// results are merged in partition order — so this is purely a
+    /// throughput knob for multi-core hosts.
+    #[must_use]
+    pub fn with_planners(mut self, planners: usize) -> Self {
+        self.planners = planners.max(1);
+        self
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// The isolation level this oracle enforces.
+    #[inline]
+    pub fn level(&self) -> IsolationLevel {
+        self.level
+    }
+
+    /// Number of `lastCommit` partitions.
+    pub fn partition_count(&self) -> usize {
+        // The partition count is fixed at build time; peeking through the
+        // planner lock is test/diagnostic-path only.
+        self.plan.lock().tables.len()
+    }
+
+    /// The epoch-planning metrics.
+    pub fn epoch_obs(&self) -> &EpochObs {
+        &self.obs
+    }
+
+    /// Issues a start timestamp for a new transaction (lock-free).
+    pub fn begin(&self) -> Timestamp {
+        self.counters.begins.inc();
+        self.ts.next()
+    }
+
+    /// Decides a commit request through the epoch ring with the built-in
+    /// publisher: the batched counterpart of
+    /// [`StatusOracleCore::commit`](crate::StatusOracleCore::commit), same
+    /// semantics.
+    pub fn commit(&self, req: CommitRequest) -> CommitOutcome {
+        self.submit(req, &CounterPublisher { ts: &self.ts })
+    }
+
+    /// Appends `req` to the epoch ring and returns its planned outcome,
+    /// cooperatively planning epochs while waiting. `publisher` is invoked
+    /// (by whichever thread seals the epoch containing `req` — possibly
+    /// this one, possibly another committer whose publisher must therefore
+    /// behave identically) once per epoch to issue timestamps and publish
+    /// decisions atomically; see [`EpochPublisher`].
+    pub fn submit(&self, req: CommitRequest, publisher: &dyn EpochPublisher) -> CommitOutcome {
+        if req.is_read_only() {
+            // §5.1: read-only transactions commit without any computation —
+            // and without a ring slot.
+            self.counters.read_only_commits.inc();
+            return CommitOutcome::Committed(req.start_ts);
+        }
+        // Empty-ring fast path: if the planning slot is free and every
+        // claimed sequence number is already planned, no request can be
+        // ordered ahead of this one — plan it as its own epoch right here,
+        // skipping the slot claim/deposit/wake handshake entirely. This is
+        // behaviourally identical to claiming the next slot and sealing an
+        // epoch of one (same epoch sequence, journal, counters, and
+        // decisions), so single-threaded drivers — which always take this
+        // path — keep byte-identical runs. A request that claims a slot
+        // while we plan observed a later arrival order by definition: its
+        // sequence number is unplanned, so its claim doesn't race ours.
+        if let Some(mut state) = self.plan.try_lock() {
+            if self.next.load(Ordering::SeqCst) == state.next_to_plan {
+                state.epoch += 1;
+                let epoch = state.epoch;
+                if let Some(journal) = &self.journal {
+                    journal.record(0, EventData::EpochSeal { epoch, size: 1 });
+                }
+                let began = self.obs_enabled.then(Instant::now);
+                let outcome = self.plan_single(&mut state.tables, &req, publisher, epoch);
+                if let Some(began) = began {
+                    self.obs.epochs.inc();
+                    self.obs.batch_size.record(1);
+                    self.obs.plan_us.record(began.elapsed().as_micros() as u64);
+                }
+                return outcome;
+            }
+        }
+        let seq = self.next.fetch_add(1, Ordering::SeqCst);
+        let slot = &self.slots[seq as usize & self.ring_mask];
+        // Ring-wrap backpressure (a full lap of requests in flight): help
+        // drain by planning while the previous lap's consumer finishes.
+        let mut spins = 0;
+        while slot.turn.load(Ordering::Acquire) != seq {
+            self.try_plan(publisher);
+            spin_wait(&mut spins);
+        }
+        slot.data.lock().req = Some(req);
+        slot.ready.store(seq + 1, Ordering::Release);
+        // Cooperative sealing: try to become the planner first (the
+        // single-threaded fast path plans its own batch of one), otherwise
+        // wait for our outcome, retrying the planning slot so pending work
+        // always has a sealer.
+        let mut spins = 0;
+        while slot.done.load(Ordering::Acquire) != seq + 1 {
+            if self.try_plan(publisher) {
+                spins = 0;
+                continue;
+            }
+            spin_wait(&mut spins);
+        }
+        let outcome = slot
+            .data
+            .lock()
+            .outcome
+            .take()
+            .expect("planner deposits an outcome before setting done");
+        // Release the slot for the next ring lap.
+        slot.turn
+            .store(seq + self.slots.len() as u64, Ordering::Release);
+        outcome
+    }
+
+    /// Decides a pipelined window of commit requests through the built-in
+    /// publisher; see [`BatchedOracle::submit_pipelined`].
+    pub fn commit_pipelined(&self, reqs: Vec<CommitRequest>) -> Vec<CommitOutcome> {
+        self.submit_pipelined(reqs, &CounterPublisher { ts: &self.ts })
+    }
+
+    /// Appends a whole client window to the epoch ring before waiting on
+    /// any of its outcomes — the deposit pattern of a connection with
+    /// multiple requests in flight. Outcomes come back positionally, in
+    /// the order the requests were given, and every request is decided in
+    /// its ring-slot (arrival) order exactly as if each had been
+    /// [`submit`](BatchedOracle::submit)ted from its own thread.
+    ///
+    /// This is what lets epochs form: a synchronous submitter exposes one
+    /// undecided request at a time, so every epoch it seals has one member
+    /// and batching has nothing to amortize. A window of `k` deposits `k`
+    /// requests before the first done-wait, so whichever thread plans next
+    /// seals them (and any other threads' deposits) into one epoch — one
+    /// timestamp fetch, one publish, one wake pass for the lot.
+    ///
+    /// A window occupies **one ring slot**: the whole chunk rides a single
+    /// `fetch_add`/`ready`/`done` handshake, so the per-request ring cost
+    /// is the per-window cost divided by the window size. The planner
+    /// splices slot windows in slot order and decides members in deposit
+    /// order, so decisions are exactly what per-request
+    /// [`submit`](BatchedOracle::submit) calls in the same arrival order
+    /// would produce.
+    ///
+    /// Windows are chunked internally at 64 requests per slot; callers must
+    /// keep the *aggregate* in-flight window count (all threads' calls
+    /// combined, one slot per 64 requests) below the ring capacity (1024) —
+    /// a full lap of parked deposits would leave no slots for the lap
+    /// ahead of them to drain into.
+    pub fn submit_pipelined(
+        &self,
+        reqs: Vec<CommitRequest>,
+        publisher: &dyn EpochPublisher,
+    ) -> Vec<CommitOutcome> {
+        const WINDOW: usize = 64;
+        let total = reqs.len();
+        let mut outcomes: Vec<Option<CommitOutcome>> = Vec::with_capacity(total);
+        outcomes.resize_with(total, || None);
+        let mut reqs = reqs.into_iter().enumerate().peekable();
+        // One entry per parked slot: the claimed sequence number plus the
+        // original positions of the window's members, for routing the
+        // outcome vec back.
+        let mut parked: Vec<(u64, Vec<usize>)> = Vec::new();
+        while reqs.peek().is_some() {
+            // Deposit phase: gather up to 64 requests into one window and
+            // park it in a single slot, helping the planner while waiting
+            // out ring-wrap backpressure (safe here for the same
+            // prefix-seal reason as in `submit`). Read-only members commit
+            // on the spot (§5.1) and never occupy window space.
+            let mut window: Vec<CommitRequest> = Vec::with_capacity(WINDOW);
+            let mut positions: Vec<usize> = Vec::with_capacity(WINDOW);
+            for (i, req) in reqs.by_ref().take(WINDOW) {
+                if req.is_read_only() {
+                    self.counters.read_only_commits.inc();
+                    outcomes[i] = Some(CommitOutcome::Committed(req.start_ts));
+                    continue;
+                }
+                positions.push(i);
+                window.push(req);
+            }
+            if window.is_empty() {
+                continue;
+            }
+            // Empty-ring fast path, the window form of the one in `submit`:
+            // with the planning slot held and every claimed sequence number
+            // already planned, nothing can be ordered ahead of this window —
+            // seal it as one epoch on the spot and skip the ring handshake.
+            // Any previously parked chunk of this call is either already
+            // planned (that is what emptied the ring) or still parked, in
+            // which case the ring is non-empty and this path declines.
+            if let Some(mut state) = self.plan.try_lock() {
+                if self.next.load(Ordering::SeqCst) == state.next_to_plan {
+                    let state = &mut *state;
+                    let decided = self.plan_epoch_now(
+                        &mut state.tables,
+                        &mut state.epoch,
+                        &window,
+                        publisher,
+                    );
+                    for (i, outcome) in positions.into_iter().zip(decided) {
+                        outcomes[i] = Some(outcome);
+                    }
+                    continue;
+                }
+            }
+            let seq = self.next.fetch_add(1, Ordering::SeqCst);
+            let slot = &self.slots[seq as usize & self.ring_mask];
+            let mut spins = 0;
+            while slot.turn.load(Ordering::Acquire) != seq {
+                self.try_plan(publisher);
+                spin_wait(&mut spins);
+            }
+            slot.data.lock().window = window;
+            slot.ready.store(seq + 1, Ordering::Release);
+            parked.push((seq, positions));
+        }
+        // Collect phase: wait out each window in deposit order, planning
+        // cooperatively — a single-threaded caller seals its own windows
+        // here, so pipelining needs no second thread.
+        for (seq, positions) in parked {
+            let slot = &self.slots[seq as usize & self.ring_mask];
+            let mut spins = 0;
+            while slot.done.load(Ordering::Acquire) != seq + 1 {
+                if self.try_plan(publisher) {
+                    spins = 0;
+                    continue;
+                }
+                spin_wait(&mut spins);
+            }
+            let decided = std::mem::take(&mut slot.data.lock().outcomes);
+            slot.turn
+                .store(seq + self.slots.len() as u64, Ordering::Release);
+            debug_assert_eq!(decided.len(), positions.len());
+            for (i, outcome) in positions.into_iter().zip(decided) {
+                outcomes[i] = Some(outcome);
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every request resolves to an outcome"))
+            .collect()
+    }
+
+    /// Seals `reqs` as the next epoch and plans it, with the planning slot
+    /// held: bumps the epoch counter, journals the seal, runs conflict
+    /// analysis, and records the planning metrics. Every epoch path — ring
+    /// sealing, [`commit_batch`](BatchedOracle::commit_batch), and the
+    /// empty-ring fast paths — funnels through here, so they are
+    /// observably identical.
+    fn plan_epoch_now(
+        &self,
+        tables: &mut [Table],
+        epoch_counter: &mut u64,
+        reqs: &[CommitRequest],
+        publisher: &dyn EpochPublisher,
+    ) -> Vec<CommitOutcome> {
+        *epoch_counter += 1;
+        let epoch = *epoch_counter;
+        if let Some(journal) = &self.journal {
+            journal.record(
+                0,
+                EventData::EpochSeal {
+                    epoch,
+                    size: reqs.len() as u64,
+                },
+            );
+        }
+        let began = self.obs_enabled.then(Instant::now);
+        let outcomes = self.plan_requests(tables, reqs, publisher, epoch);
+        if let Some(began) = began {
+            self.obs.epochs.inc();
+            self.obs.batch_size.record(reqs.len() as u64);
+            self.obs.plan_us.record(began.elapsed().as_micros() as u64);
+        }
+        outcomes
+    }
+
+    /// Plans one epoch if the planning slot is free and work is pending.
+    /// Returns whether an epoch was planned.
+    fn try_plan(&self, publisher: &dyn EpochPublisher) -> bool {
+        match self.plan.try_lock() {
+            Some(mut state) => self.plan_one_epoch(&mut state, publisher),
+            None => false,
+        }
+    }
+
+    /// Seals and plans the next epoch: the contiguous **ready** prefix of
+    /// the claimed-and-unplanned sequence range, up to the batch cap.
+    /// Called with the planning slot held.
+    ///
+    /// The prefix rule is what makes planning non-blocking, and that is a
+    /// liveness requirement, not an optimization: a committer can reach
+    /// this code from the ring-wrap turn-wait — *after* claiming its slot
+    /// but *before* depositing its request. If sealing waited for every
+    /// claimed slot to become ready, that thread would wait on its own
+    /// deposit and deadlock the ring (planner holds the planning slot
+    /// spinning on `ready`, which only the planner itself can set). Instead
+    /// a claimed-but-undeposited slot simply bounds this epoch; the next
+    /// planner picks it up once its request lands. Sealing stays in slot
+    /// order either way, so decisions are unchanged.
+    fn plan_one_epoch(&self, state: &mut PlannerState, publisher: &dyn EpochPublisher) -> bool {
+        let floor = state.next_to_plan;
+        let claimed = self.next.load(Ordering::SeqCst);
+        let limit = claimed.min(floor + self.max_batch as u64);
+        let reqs = &mut state.seal;
+        let slot_meta = &mut state.slot_meta;
+        reqs.clear();
+        slot_meta.clear();
+        let mut ceiling = floor;
+        while ceiling < limit && reqs.len() < self.max_batch {
+            let slot = &self.slots[ceiling as usize & self.ring_mask];
+            if slot.ready.load(Ordering::Acquire) != ceiling + 1 {
+                break;
+            }
+            // A slot carries either one request (`submit`) or a whole
+            // pipelined window; windows are spliced in whole, so an epoch
+            // may overshoot `max_batch` by at most one window (≤ 64).
+            {
+                let mut data = slot.data.lock();
+                if let Some(req) = data.req.take() {
+                    slot_meta.push((1, false));
+                    reqs.push(req);
+                } else {
+                    let window = std::mem::take(&mut data.window);
+                    debug_assert!(!window.is_empty(), "ready slot carries a request");
+                    slot_meta.push((window.len() as u32, true));
+                    reqs.extend(window);
+                }
+            }
+            ceiling += 1;
+        }
+        if reqs.is_empty() {
+            return false;
+        }
+        let outcomes = self.plan_epoch_now(&mut state.tables, &mut state.epoch, reqs, publisher);
+        // Wake the epoch's waiters. Every decision is already published
+        // (commit index, status tables, counters), so the first thing a
+        // woken waiter can observe is the complete epoch. Window slots get
+        // their members' outcomes back as one contiguous vec.
+        let mut off = 0usize;
+        for (k, seq) in (floor..ceiling).enumerate() {
+            let slot = &self.slots[seq as usize & self.ring_mask];
+            let (len, is_window) = slot_meta[k];
+            let len = len as usize;
+            {
+                let mut data = slot.data.lock();
+                if is_window {
+                    data.outcomes = outcomes[off..off + len].to_vec();
+                } else {
+                    data.outcome = Some(outcomes[off]);
+                }
+            }
+            slot.done.store(seq + 1, Ordering::Release);
+            off += len;
+        }
+        state.next_to_plan = ceiling;
+        true
+    }
+
+    /// Plans a caller-supplied batch as one epoch, bypassing the intake
+    /// ring: slot order is the `reqs` order. The outcomes (returned in the
+    /// same order) and all observable state are exactly what submitting the
+    /// requests through [`BatchedOracle::commit`] in that arrival order
+    /// would produce — the harness the determinism and equivalence tests
+    /// drive epoch-internal behaviour through.
+    pub fn commit_batch(&self, reqs: Vec<CommitRequest>) -> Vec<CommitOutcome> {
+        let publisher = CounterPublisher { ts: &self.ts };
+        let mut state = self.plan.lock();
+        let state = &mut *state;
+        self.plan_epoch_now(&mut state.tables, &mut state.epoch, &reqs, &publisher)
+    }
+
+    /// The rows Algorithms 1–3 check for this request: writes under SI,
+    /// reads under WSI.
+    #[inline]
+    fn check_rows<'r>(&self, req: &'r CommitRequest) -> &'r [RowId] {
+        match self.level {
+            IsolationLevel::Snapshot => &req.write_rows,
+            IsolationLevel::WriteSnapshot => &req.read_rows,
+        }
+    }
+
+    /// The partition a row belongs to (deterministic, same function as the
+    /// sharded table).
+    #[inline]
+    fn partition_of(&self, row: RowId) -> usize {
+        if self.shift == 64 {
+            0
+        } else {
+            (row.raw().wrapping_mul(FIB_HASH) >> self.shift) as usize
+        }
+    }
+
+    /// Runs `f` over `(table, workspace)` pairs, one per partition — inline
+    /// when one planner is configured, on scoped threads over contiguous
+    /// partition chunks otherwise. Results land in the per-partition
+    /// workspaces, so the merge order (partition order) and therefore every
+    /// decision is independent of the planner count. Returns the number of
+    /// planner threads used (the parallelism metric).
+    fn for_each_partition<W: Send>(
+        &self,
+        tables: &mut [Table],
+        work: &mut [W],
+        f: impl Fn(&mut Table, &mut W) + Send + Sync,
+    ) -> u64 {
+        let planners = self.planners.min(tables.len()).max(1);
+        if planners == 1 {
+            for (table, w) in tables.iter_mut().zip(work.iter_mut()) {
+                f(table, w);
+            }
+            return 1;
+        }
+        let chunk = tables.len().div_ceil(planners);
+        let mut used = 0u64;
+        std::thread::scope(|scope| {
+            for (tc, wc) in tables.chunks_mut(chunk).zip(work.chunks_mut(chunk)) {
+                used += 1;
+                let f = &f;
+                scope.spawn(move || {
+                    for (table, w) in tc.iter_mut().zip(wc.iter_mut()) {
+                        f(table, w);
+                    }
+                });
+            }
+        });
+        used
+    }
+
+    /// The three-phase epoch plan: partition-parallel probes against the
+    /// pre-epoch tables, a sequential slot-order decision pass, then the
+    /// atomic publish (timestamps issued, tables/status/counters updated,
+    /// abort payloads materialized). Called with the planning slot held;
+    /// `reqs` order is slot order.
+    fn plan_requests(
+        &self,
+        tables: &mut [Table],
+        reqs: &[CommitRequest],
+        publisher: &dyn EpochPublisher,
+        epoch: u64,
+    ) -> Vec<CommitOutcome> {
+        if let [req] = reqs {
+            return vec![self.plan_single(tables, req, publisher, epoch)];
+        }
+        let n_parts = tables.len();
+        let planners = self.planners.min(n_parts).max(1);
+
+        // ---- Phase A: probe the checked rows (and §5.2 ranges) against the
+        // pre-epoch partition state. Only the multi-planner configuration
+        // pre-probes here, through per-partition work lists so the probes
+        // run with zero locks in parallel; the single-planner configuration
+        // probes lazily inside phase B instead.
+        let mut row_probes: Vec<Vec<Probe>> = Vec::new();
+        let mut range_offsets: Vec<usize> = Vec::new();
+        let mut range_probes: Vec<Probe> = Vec::new();
+        if planners == 1 {
+            // Nothing to parallelize: probing is fused into phase B below.
+            // Each row is probed on demand, which early-exits a request's
+            // probes at its first conflict (exactly like the serial oracle)
+            // and skips the table probe entirely when the intra-batch write
+            // map already convicts the row; ranges are probed only by
+            // requests whose row checks all pass. The tables are read-only
+            // until phase C, so on-demand answers are identical to
+            // pre-computed ones — decisions do not depend on the fusion.
+            if self.obs_enabled {
+                self.obs.planners.record(1);
+            }
+        } else {
+            struct PartWork {
+                rows: Vec<(u32, u32, RowId)>,
+                row_out: Vec<Probe>,
+                range_out: Vec<Probe>,
+            }
+            let mut part_work: Vec<PartWork> = (0..n_parts)
+                .map(|_| PartWork {
+                    rows: Vec::new(),
+                    row_out: Vec::new(),
+                    range_out: Vec::new(),
+                })
+                .collect();
+            row_probes.reserve(reqs.len());
+            range_offsets.reserve(reqs.len());
+            let mut all_ranges: Vec<RowRange> = Vec::new();
+            for (i, req) in reqs.iter().enumerate() {
+                let check_rows = self.check_rows(req);
+                row_probes.push(vec![Probe::NeverWritten; check_rows.len()]);
+                range_offsets.push(all_ranges.len());
+                if req.is_read_only() {
+                    continue;
+                }
+                for (j, &row) in check_rows.iter().enumerate() {
+                    part_work[self.partition_of(row)]
+                        .rows
+                        .push((i as u32, j as u32, row));
+                }
+                if self.level == IsolationLevel::WriteSnapshot {
+                    all_ranges.extend_from_slice(&req.read_ranges);
+                }
+            }
+            let ranges = &all_ranges;
+            let planners_used = self.for_each_partition(tables, &mut part_work, |table, w| {
+                w.row_out = w.rows.iter().map(|&(_, _, row)| table.probe(row)).collect();
+                // A hash-partitioned range spans every partition; each
+                // planner answers for its own and the answers combine below.
+                w.range_out = ranges
+                    .iter()
+                    .map(|&range| table.probe_range(range))
+                    .collect();
+            });
+            if self.obs_enabled {
+                self.obs.planners.record(planners_used);
+            }
+            for w in &part_work {
+                for (&(i, j, _), &probe) in w.rows.iter().zip(&w.row_out) {
+                    row_probes[i as usize][j as usize] = probe;
+                }
+            }
+            range_probes = vec![Probe::NeverWritten; all_ranges.len()];
+            for w in &part_work {
+                for (acc, &probe) in range_probes.iter_mut().zip(&w.range_out) {
+                    *acc = combine_probes(*acc, probe);
+                }
+            }
+        }
+
+        // ---- Phase B: decide in slot order. An earlier-slot winner's write
+        // is a conflict for every later checked overlap (its commit
+        // timestamp, issued at publish, postdates every start in the epoch),
+        // which is the deterministic first-claimed-slot-wins tiebreak.
+        let total_writes: usize = reqs.iter().map(|r| r.write_rows.len()).sum();
+        let mut batch_writes = WriteMap::with_write_capacity(total_writes);
+        let mut winners: Vec<u32> = Vec::new();
+        let mut winner_starts: Vec<Timestamp> = Vec::new();
+        let mut loser_starts: Vec<Timestamp> = Vec::new();
+        let mut pendings: Vec<PendingOutcome> = Vec::with_capacity(reqs.len());
+        let mut check_log: Vec<Vec<(RowId, RowVerdict)>> = Vec::new();
+        let journaling = self.journal.is_some();
+        for (i, req) in reqs.iter().enumerate() {
+            if journaling {
+                check_log.push(Vec::new());
+            }
+            if req.is_read_only() {
+                self.counters.read_only_commits.inc();
+                pendings.push(PendingOutcome::ReadOnly);
+                continue;
+            }
+            let check_rows = self.check_rows(req);
+            let mut checked = 0u64;
+            let mut refusal: Option<AbortSource> = None;
+            for (j, &row) in check_rows.iter().enumerate() {
+                checked += 1;
+                let verdict: Result<(), AbortSource> = match batch_writes.get(row) {
+                    Some(winner) => Err(AbortSource::Row { row, winner }),
+                    None => {
+                        let probe = if planners == 1 {
+                            tables[self.partition_of(row)].probe(row)
+                        } else {
+                            row_probes[i][j]
+                        };
+                        check_row_probe(self.level, row, probe, req.start_ts)
+                            .map_err(AbortSource::Base)
+                    }
+                };
+                if journaling {
+                    check_log[i].push((
+                        row,
+                        match &verdict {
+                            Ok(()) => RowVerdict::Pass,
+                            Err(AbortSource::Row { winner, .. }) => {
+                                RowVerdict::IntraConflict(*winner)
+                            }
+                            Err(AbortSource::Base(reason)) => match reason.conflict_ts() {
+                                Some(ts) => RowVerdict::Conflict(ts),
+                                None => RowVerdict::Pass,
+                            },
+                            Err(AbortSource::Range { .. }) => unreachable!("rows never range"),
+                        },
+                    ));
+                }
+                if let Err(source) = verdict {
+                    refusal = Some(source);
+                    break;
+                }
+            }
+            if checked > 0 {
+                self.counters.rows_checked.add(checked);
+            }
+            if refusal.is_none()
+                && self.level == IsolationLevel::WriteSnapshot
+                && !req.read_ranges.is_empty()
+            {
+                let mut ranges_checked = 0u64;
+                for (k, &range) in req.read_ranges.iter().enumerate() {
+                    ranges_checked += 1;
+                    let base = if planners == 1 {
+                        let mut base = Probe::NeverWritten;
+                        for table in tables.iter() {
+                            base = combine_probes(base, table.probe_range(range));
+                        }
+                        base
+                    } else {
+                        range_probes[range_offsets[i] + k]
+                    };
+                    // The latest earlier-slot winner writing into the range,
+                    // if any — winner indices rise with slot order, so max
+                    // index = latest commit timestamp, matching what a
+                    // single table's range probe would report.
+                    let intra = batch_writes.max_in_range(range);
+                    let verdict: Result<(), AbortSource> = match intra {
+                        Some(winner) => Err(AbortSource::Range {
+                            range,
+                            base,
+                            winner,
+                        }),
+                        None => {
+                            check_range_probe(range, base, req.start_ts).map_err(AbortSource::Base)
+                        }
+                    };
+                    if let Err(source) = verdict {
+                        refusal = Some(source);
+                        break;
+                    }
+                }
+                self.counters.ranges_checked.add(ranges_checked);
+            }
+            match refusal {
+                None => {
+                    let winner = winners.len() as u32;
+                    for &row in &req.write_rows {
+                        batch_writes.insert(row, winner);
+                    }
+                    winners.push(i as u32);
+                    winner_starts.push(req.start_ts);
+                    pendings.push(PendingOutcome::Commit { winner });
+                }
+                Some(source) => {
+                    loser_starts.push(req.start_ts);
+                    pendings.push(PendingOutcome::Abort(source));
+                }
+            }
+        }
+
+        // ---- Phase C: publish. One publisher call issues the winners'
+        // commit timestamps in slot order and makes the epoch observable
+        // atomically (the embedder's commit index); then the partition
+        // tables record the winners' writes, the abort payloads materialize
+        // against the real timestamps, and the status tables and counters
+        // settle — all before any waiter wakes.
+        let ts_vec = publisher.publish_epoch(&winner_starts, &loser_starts);
+        debug_assert_eq!(ts_vec.len(), winner_starts.len());
+        let mut rows_recorded = 0u64;
+        let mut evictions = 0u64;
+        if planners == 1 {
+            for (w, &ri) in winners.iter().enumerate() {
+                let req = &reqs[ri as usize];
+                rows_recorded += req.write_rows.len() as u64;
+                for &row in &req.write_rows {
+                    evictions += tables[self.partition_of(row)].record(row, ts_vec[w]) as u64;
+                }
+            }
+        } else {
+            let mut part_records: Vec<Vec<(RowId, Timestamp)>> =
+                (0..n_parts).map(|_| Vec::new()).collect();
+            for (w, &ri) in winners.iter().enumerate() {
+                let req = &reqs[ri as usize];
+                rows_recorded += req.write_rows.len() as u64;
+                for &row in &req.write_rows {
+                    part_records[self.partition_of(row)].push((row, ts_vec[w]));
+                }
+            }
+            // Per-partition record lists are in slot order (= timestamp
+            // order), which is all per-row monotonicity needs; partitions
+            // are disjoint, so recording parallelizes like the probes did.
+            struct RecordWork {
+                records: Vec<(RowId, Timestamp)>,
+                evicted: u64,
+            }
+            let mut record_work: Vec<RecordWork> = part_records
+                .into_iter()
+                .map(|records| RecordWork {
+                    records,
+                    evicted: 0,
+                })
+                .collect();
+            self.for_each_partition(tables, &mut record_work, |table, w| {
+                for &(row, ts) in &w.records {
+                    w.evicted += table.record(row, ts) as u64;
+                }
+            });
+            evictions = record_work.iter().map(|w| w.evicted).sum();
+        }
+        if rows_recorded > 0 {
+            self.counters.rows_recorded.add(rows_recorded);
+        }
+        if evictions > 0 {
+            self.counters.evictions.add(evictions);
+        }
+
+        let mut outcomes = Vec::with_capacity(reqs.len());
+        // The epoch settles status records and counters in bulk: every
+        // status shard is locked once for the whole batch (brief — single
+        // shard-lock holders never nest, so this cannot cycle) instead of
+        // once per transaction, and each counter takes one atomic add
+        // instead of one per transaction. Totals and final table contents
+        // are exactly what the per-transaction path would produce.
+        let mut status: Vec<_> = self.status.iter().map(|s| s.lock()).collect();
+        let (mut commits, mut ww, mut rw, mut tmax, mut client) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        for (i, pending) in pendings.iter().enumerate() {
+            let start_ts = reqs[i].start_ts;
+            let outcome = match pending {
+                PendingOutcome::ReadOnly => CommitOutcome::Committed(start_ts),
+                PendingOutcome::Commit { winner } => {
+                    let commit_ts = ts_vec[*winner as usize];
+                    status[Self::status_shard_index(start_ts)].record_commit(start_ts, commit_ts);
+                    commits += 1;
+                    CommitOutcome::Committed(commit_ts)
+                }
+                PendingOutcome::Abort(source) => {
+                    let reason = self.materialize_abort(source, start_ts, &ts_vec);
+                    match reason {
+                        AbortReason::WriteWriteConflict { .. } => ww += 1,
+                        AbortReason::ReadWriteConflict { .. } => rw += 1,
+                        AbortReason::TmaxExceeded { .. } => tmax += 1,
+                        AbortReason::ClientRequested => client += 1,
+                    }
+                    status[Self::status_shard_index(start_ts)].record_abort(start_ts);
+                    CommitOutcome::Aborted(reason)
+                }
+            };
+            outcomes.push(outcome);
+        }
+        drop(status);
+        if commits > 0 {
+            self.counters.commits.add(commits);
+        }
+        if ww > 0 {
+            self.counters.ww_aborts.add(ww);
+        }
+        if rw > 0 {
+            self.counters.rw_aborts.add(rw);
+        }
+        if tmax > 0 {
+            self.counters.tmax_aborts.add(tmax);
+        }
+        if client > 0 {
+            self.counters.client_aborts.add(client);
+        }
+
+        if let Some(journal) = &self.journal {
+            for (i, log) in check_log.iter().enumerate() {
+                let txn = reqs[i].start_ts.raw();
+                for (row, verdict) in log {
+                    let conflict = match verdict {
+                        RowVerdict::Pass => None,
+                        RowVerdict::Conflict(ts) => Some(ts.raw()),
+                        RowVerdict::IntraConflict(w) => Some(ts_vec[*w as usize].raw()),
+                    };
+                    journal.record(
+                        txn,
+                        EventData::CheckRow {
+                            row: row.raw(),
+                            conflict,
+                        },
+                    );
+                }
+            }
+            journal.record(
+                0,
+                EventData::EpochPublish {
+                    epoch,
+                    committed: winners.len() as u64,
+                    aborted: loser_starts.len() as u64,
+                },
+            );
+        }
+        outcomes
+    }
+
+    /// The epoch-of-one fast path: the same decision, counters, journal
+    /// entries, and publisher contract as [`BatchedOracle::plan_requests`],
+    /// without the partition work lists, the intra-batch write map, or any
+    /// of the per-epoch scaffolding allocations — none of which can matter
+    /// when the batch has a single member (there is nothing to partition
+    /// across planners and no intra-batch conflict to arbitrate). This is
+    /// the path every decision takes in a single-threaded embedder (DST) and
+    /// what the bench's batch-size-1 parity criterion measures, so its fixed
+    /// cost must stay comparable to one sharded lock-probe-record round.
+    fn plan_single(
+        &self,
+        tables: &mut [Table],
+        req: &CommitRequest,
+        publisher: &dyn EpochPublisher,
+        epoch: u64,
+    ) -> CommitOutcome {
+        let journaling = self.journal.is_some();
+        if self.obs_enabled {
+            self.obs.planners.record(1);
+        }
+        if req.is_read_only() {
+            self.counters.read_only_commits.inc();
+            publisher.publish_epoch(&[], &[]);
+            if let Some(journal) = &self.journal {
+                journal.record(
+                    0,
+                    EventData::EpochPublish {
+                        epoch,
+                        committed: 0,
+                        aborted: 0,
+                    },
+                );
+            }
+            return CommitOutcome::Committed(req.start_ts);
+        }
+        let check_rows = self.check_rows(req);
+        let mut checked = 0u64;
+        let mut check_log: Vec<(RowId, Option<Timestamp>)> = Vec::new();
+        let mut refusal: Option<AbortReason> = None;
+        for &row in check_rows {
+            checked += 1;
+            let probe = tables[self.partition_of(row)].probe(row);
+            let verdict = check_row_probe(self.level, row, probe, req.start_ts);
+            if journaling {
+                let conflict = verdict.as_ref().err().and_then(AbortReason::conflict_ts);
+                check_log.push((row, conflict));
+            }
+            if let Err(reason) = verdict {
+                refusal = Some(reason);
+                break;
+            }
+        }
+        if checked > 0 {
+            self.counters.rows_checked.add(checked);
+        }
+        if refusal.is_none()
+            && self.level == IsolationLevel::WriteSnapshot
+            && !req.read_ranges.is_empty()
+        {
+            let mut ranges_checked = 0u64;
+            for &range in &req.read_ranges {
+                ranges_checked += 1;
+                let mut base = Probe::NeverWritten;
+                for table in tables.iter() {
+                    base = combine_probes(base, table.probe_range(range));
+                }
+                if let Err(reason) = check_range_probe(range, base, req.start_ts) {
+                    refusal = Some(reason);
+                    break;
+                }
+            }
+            self.counters.ranges_checked.add(ranges_checked);
+        }
+        let outcome = match refusal {
+            None => {
+                let ts_vec = publisher.publish_epoch(&[req.start_ts], &[]);
+                let commit_ts = ts_vec[0];
+                let mut evictions = 0u64;
+                for &row in &req.write_rows {
+                    evictions += tables[self.partition_of(row)].record(row, commit_ts) as u64;
+                }
+                if !req.write_rows.is_empty() {
+                    self.counters.rows_recorded.add(req.write_rows.len() as u64);
+                }
+                if evictions > 0 {
+                    self.counters.evictions.add(evictions);
+                }
+                self.status_shard(req.start_ts)
+                    .lock()
+                    .record_commit(req.start_ts, commit_ts);
+                self.counters.commits.inc();
+                CommitOutcome::Committed(commit_ts)
+            }
+            Some(reason) => {
+                publisher.publish_epoch(&[], &[req.start_ts]);
+                match reason {
+                    AbortReason::WriteWriteConflict { .. } => self.counters.ww_aborts.inc(),
+                    AbortReason::ReadWriteConflict { .. } => self.counters.rw_aborts.inc(),
+                    AbortReason::TmaxExceeded { .. } => self.counters.tmax_aborts.inc(),
+                    AbortReason::ClientRequested => self.counters.client_aborts.inc(),
+                }
+                self.status_shard(req.start_ts)
+                    .lock()
+                    .record_abort(req.start_ts);
+                CommitOutcome::Aborted(reason)
+            }
+        };
+        if let Some(journal) = &self.journal {
+            let txn = req.start_ts.raw();
+            for (row, conflict) in &check_log {
+                journal.record(
+                    txn,
+                    EventData::CheckRow {
+                        row: row.raw(),
+                        conflict: conflict.map(Timestamp::raw),
+                    },
+                );
+            }
+            let committed = u64::from(outcome.is_committed());
+            journal.record(
+                0,
+                EventData::EpochPublish {
+                    epoch,
+                    committed,
+                    aborted: 1 - committed,
+                },
+            );
+        }
+        outcome
+    }
+
+    /// Resolves an [`AbortSource`] into the exact [`AbortReason`] the serial
+    /// oracle would have reported, now that the epoch's commit timestamps
+    /// exist.
+    fn materialize_abort(
+        &self,
+        source: &AbortSource,
+        start_ts: Timestamp,
+        ts_vec: &[Timestamp],
+    ) -> AbortReason {
+        match *source {
+            AbortSource::Base(reason) => reason,
+            AbortSource::Row { row, winner } => {
+                let committed_at = ts_vec[winner as usize];
+                match self.level {
+                    IsolationLevel::Snapshot => {
+                        AbortReason::WriteWriteConflict { row, committed_at }
+                    }
+                    IsolationLevel::WriteSnapshot => {
+                        AbortReason::ReadWriteConflict { row, committed_at }
+                    }
+                }
+            }
+            AbortSource::Range {
+                range,
+                base,
+                winner,
+            } => {
+                let combined = combine_probes(base, Probe::Resident(ts_vec[winner as usize]));
+                check_range_probe(range, combined, start_ts)
+                    .expect_err("an intra-batch winner's commit postdates every epoch start")
+            }
+        }
+    }
+
+    /// Registers a client-requested abort.
+    pub fn abort(&self, start_ts: Timestamp) {
+        self.counters.client_aborts.inc();
+        self.status_shard(start_ts).lock().record_abort(start_ts);
+    }
+
+    /// Overturns a decided-but-unpublished commit whose durability step
+    /// failed; semantics as
+    /// [`StatusOracleCore::abort_after_decide`](crate::StatusOracleCore::abort_after_decide)
+    /// — the recorded `lastCommit` rows stay (they can only cause spurious
+    /// aborts, never admit a conflicting commit).
+    pub fn abort_after_decide(&self, start_ts: Timestamp) {
+        self.status_shard(start_ts).lock().overturn_commit(start_ts);
+        self.counters.commits_overturned.inc();
+    }
+
+    /// Queries a transaction's status (§2.2 reader-side visibility support).
+    pub fn status(&self, start_ts: Timestamp) -> TxnStatus {
+        self.status_shard(start_ts).lock().status(start_ts)
+    }
+
+    /// Global `T_max` (maximum over partitions; [`Timestamp::ZERO`] when
+    /// unbounded or nothing has been evicted).
+    pub fn t_max(&self) -> Timestamp {
+        self.plan
+            .lock()
+            .tables
+            .iter()
+            .map(Table::t_max)
+            .max()
+            .unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Total rows resident in `lastCommit` across partitions.
+    pub fn resident_rows(&self) -> usize {
+        self.plan.lock().tables.iter().map(Table::len).sum()
+    }
+
+    /// Probes `lastCommit` for one row without counting it as a conflict
+    /// check (diagnostic/test access).
+    pub fn probe_row(&self, row: RowId) -> Probe {
+        self.plan.lock().tables[self.partition_of(row)].probe(row)
+    }
+
+    /// The most recently issued timestamp on the shared counter.
+    pub fn last_issued_ts(&self) -> Timestamp {
+        self.ts.last_issued()
+    }
+
+    /// Activity counters, folded into a plain value.
+    pub fn stats(&self) -> OracleStats {
+        self.counters.view()
+    }
+
+    /// A shared handle onto the live counters (see [`OracleCounters`]);
+    /// readable without touching the planning slot.
+    pub fn counters(&self) -> OracleCounters {
+        self.counters.clone()
+    }
+
+    /// Re-applies a committed transaction during WAL recovery (recovery is
+    /// single-threaded and in WAL order).
+    pub fn replay_commit(&self, start_ts: Timestamp, commit_ts: Timestamp, rows: &[RowId]) {
+        self.ts.advance_to(commit_ts);
+        {
+            let mut state = self.plan.lock();
+            for &row in rows {
+                let evicted = state.tables[self.partition_of(row)].record(row, commit_ts);
+                self.counters.evictions.add(evicted as u64);
+            }
+        }
+        self.status_shard(start_ts)
+            .lock()
+            .record_commit(start_ts, commit_ts);
+    }
+
+    /// Re-applies an aborted transaction during WAL recovery.
+    pub fn replay_abort(&self, start_ts: Timestamp) {
+        self.ts.advance_to(start_ts);
+        self.status_shard(start_ts).lock().record_abort(start_ts);
+    }
+
+    /// Advances the shared timestamp counter past `bound` (recovery of a
+    /// §6.2 reservation record).
+    pub fn advance_timestamps(&self, bound: Timestamp) {
+        self.ts.advance_to(bound);
+    }
+
+    #[inline]
+    fn status_shard_index(start_ts: Timestamp) -> usize {
+        (start_ts.raw().wrapping_mul(FIB_HASH) >> 60) as usize & (STATUS_SHARDS - 1)
+    }
+
+    fn status_shard(&self, start_ts: Timestamp) -> &Mutex<CommitTable> {
+        &self.status[Self::status_shard_index(start_ts)]
+    }
+}
+
+impl std::fmt::Debug for BatchedOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchedOracle")
+            .field("level", &self.level)
+            .field("max_batch", &self.max_batch)
+            .field("planners", &self.planners)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::StatusOracleCore;
+
+    fn rows(ids: &[u64]) -> Vec<RowId> {
+        ids.iter().map(|&i| RowId(i)).collect()
+    }
+
+    fn oracle(level: IsolationLevel, partitions: usize) -> BatchedOracle {
+        BatchedOracle::unbounded(level, partitions, Arc::new(SharedTimestampSource::new()))
+    }
+
+    #[test]
+    fn lost_update_aborts_under_wsi() {
+        let o = oracle(IsolationLevel::WriteSnapshot, 16);
+        let t1 = o.begin();
+        let t2 = o.begin();
+        assert!(o
+            .commit(CommitRequest::new(t1, rows(&[1]), rows(&[1])))
+            .is_committed());
+        let out = o.commit(CommitRequest::new(t2, rows(&[1]), rows(&[1])));
+        assert!(matches!(
+            out,
+            CommitOutcome::Aborted(AbortReason::ReadWriteConflict { row: RowId(1), .. })
+        ));
+    }
+
+    #[test]
+    fn write_skew_admitted_by_si_refused_by_wsi() {
+        for (level, expect_both) in [
+            (IsolationLevel::Snapshot, true),
+            (IsolationLevel::WriteSnapshot, false),
+        ] {
+            let o = oracle(level, 4);
+            let t1 = o.begin();
+            let t2 = o.begin();
+            let c1 = o.commit(CommitRequest::new(t1, rows(&[1, 2]), rows(&[1])));
+            let c2 = o.commit(CommitRequest::new(t2, rows(&[1, 2]), rows(&[2])));
+            assert!(c1.is_committed());
+            assert_eq!(c2.is_committed(), expect_both, "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn intra_batch_conflict_first_slot_wins_and_names_real_culprit() {
+        let o = oracle(IsolationLevel::WriteSnapshot, 16);
+        let t1 = o.begin();
+        let t2 = o.begin();
+        let outs = o.commit_batch(vec![
+            CommitRequest::new(t1, rows(&[7]), rows(&[7])),
+            CommitRequest::new(t2, rows(&[7]), rows(&[7])),
+        ]);
+        let winner_ts = outs[0].commit_ts().expect("first slot wins");
+        match outs[1] {
+            CommitOutcome::Aborted(AbortReason::ReadWriteConflict { row, committed_at }) => {
+                assert_eq!(row, RowId(7));
+                assert_eq!(committed_at, winner_ts, "culprit is the real commit ts");
+            }
+            other => panic!("expected intra-batch abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intra_batch_disjoint_requests_all_commit_in_slot_order() {
+        let o = oracle(IsolationLevel::WriteSnapshot, 4);
+        let starts: Vec<Timestamp> = (0..5).map(|_| o.begin()).collect();
+        let outs = o.commit_batch(
+            starts
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| CommitRequest::new(t, rows(&[i as u64]), rows(&[i as u64])))
+                .collect(),
+        );
+        let ts: Vec<Timestamp> = outs.iter().map(|o| o.commit_ts().unwrap()).collect();
+        for pair in ts.windows(2) {
+            assert!(pair[0] < pair[1], "slot order = timestamp order");
+        }
+    }
+
+    #[test]
+    fn read_only_commits_free_inside_and_outside_batches() {
+        let o = oracle(IsolationLevel::WriteSnapshot, 4);
+        let t1 = o.begin();
+        let out = o.commit(CommitRequest::read_only(t1));
+        assert_eq!(out, CommitOutcome::Committed(t1));
+        let t2 = o.begin();
+        let t3 = o.begin();
+        let outs = o.commit_batch(vec![
+            CommitRequest::read_only(t2),
+            CommitRequest::new(t3, rows(&[9]), rows(&[9])),
+        ]);
+        assert_eq!(outs[0], CommitOutcome::Committed(t2));
+        assert!(outs[1].is_committed());
+        assert_eq!(o.stats().read_only_commits, 2);
+    }
+
+    /// A single-threaded pipelined window must behave exactly like the
+    /// same requests submitted one at a time: positional outcomes, slot
+    /// order = window order = timestamp order, read-only members free,
+    /// and intra-window conflicts resolved first-slot-wins.
+    #[test]
+    fn pipelined_window_matches_sequential_submission() {
+        let o = oracle(IsolationLevel::WriteSnapshot, 8);
+        let starts: Vec<Timestamp> = (0..6).map(|_| o.begin()).collect();
+        let outs = o.commit_pipelined(vec![
+            CommitRequest::new(starts[0], rows(&[1]), rows(&[1])),
+            CommitRequest::read_only(starts[1]),
+            CommitRequest::new(starts[2], rows(&[2]), rows(&[2])),
+            // Reads row 1 — the window's first member already wrote it, and
+            // its commit timestamp postdates this start: abort.
+            CommitRequest::new(starts[3], rows(&[1]), rows(&[3])),
+            CommitRequest::read_only(starts[4]),
+            CommitRequest::new(starts[5], rows(&[4]), rows(&[4])),
+        ]);
+        assert_eq!(outs.len(), 6);
+        assert_eq!(outs[1], CommitOutcome::Committed(starts[1]));
+        assert_eq!(outs[4], CommitOutcome::Committed(starts[4]));
+        let winner_ts = outs[0].commit_ts().expect("first slot wins");
+        match outs[3] {
+            CommitOutcome::Aborted(AbortReason::ReadWriteConflict { row, committed_at }) => {
+                assert_eq!(row, RowId(1));
+                assert_eq!(committed_at, winner_ts);
+            }
+            other => panic!("expected conflict with the window's first member, got {other:?}"),
+        }
+        let commit_order: Vec<Timestamp> = [0usize, 2, 5]
+            .iter()
+            .map(|&i| outs[i].commit_ts().unwrap())
+            .collect();
+        for pair in commit_order.windows(2) {
+            assert!(pair[0] < pair[1], "window order = timestamp order");
+        }
+        let stats = o.stats();
+        assert_eq!(stats.read_only_commits, 2);
+        assert_eq!(stats.commits, 3);
+        assert_eq!(stats.rw_aborts, 1);
+    }
+
+    /// Windows larger than the internal chunk still resolve every request
+    /// and keep the counters reconciled.
+    #[test]
+    fn pipelined_window_larger_than_chunk_resolves_fully() {
+        let o = oracle(IsolationLevel::WriteSnapshot, 4);
+        let n = 200u64;
+        let reqs: Vec<CommitRequest> = (0..n)
+            .map(|i| {
+                let t = o.begin();
+                CommitRequest::new(t, rows(&[i]), rows(&[i]))
+            })
+            .collect();
+        let outs = o.commit_pipelined(reqs);
+        assert_eq!(outs.len(), n as usize);
+        assert!(outs.iter().all(CommitOutcome::is_committed));
+        let stats = o.stats();
+        assert_eq!(stats.begins, n);
+        assert_eq!(stats.commits, n);
+        assert_eq!(stats.total_aborts(), 0);
+    }
+
+    #[test]
+    fn range_conflicts_detected_against_base_and_intra_batch_writes() {
+        let o = oracle(IsolationLevel::WriteSnapshot, 8);
+        let t1 = o.begin();
+        let t2 = o.begin();
+        // t1 writes row 5; t2's range scan [0, 10) overlaps it — both in one
+        // epoch, so the conflict is intra-batch.
+        let outs = o.commit_batch(vec![
+            CommitRequest::new(t1, rows(&[]), rows(&[5])),
+            CommitRequest::new(t2, rows(&[]), rows(&[50]))
+                .with_read_ranges(vec![RowRange::new(0, 10)]),
+        ]);
+        let winner_ts = outs[0].commit_ts().unwrap();
+        match outs[1] {
+            CommitOutcome::Aborted(AbortReason::ReadWriteConflict { row, committed_at }) => {
+                assert_eq!(row, RowId(0), "range conflicts report the range start");
+                assert_eq!(committed_at, winner_ts);
+            }
+            other => panic!("expected range abort, got {other:?}"),
+        }
+        // Cross-epoch: a scan that began before the winner's commit and
+        // overlaps the committed write aborts against the base table state.
+        let t3 = o.begin();
+        let t4 = o.begin();
+        assert!(o
+            .commit(CommitRequest::new(t4, rows(&[]), rows(&[6])))
+            .is_committed());
+        let out = o.commit(
+            CommitRequest::new(t3, rows(&[]), rows(&[60]))
+                .with_read_ranges(vec![RowRange::new(0, 10)]),
+        );
+        assert!(out.is_aborted());
+    }
+
+    #[test]
+    fn bounded_tables_raise_tmax_and_abort_pessimistically() {
+        let ts = Arc::new(SharedTimestampSource::new());
+        let o = BatchedOracle::bounded(IsolationLevel::WriteSnapshot, 1, 2, ts);
+        let old = o.begin();
+        // Fill and overflow the 2-row table so old state is evicted.
+        for row in 10..14u64 {
+            let t = o.begin();
+            assert!(o
+                .commit(CommitRequest::new(t, rows(&[]), rows(&[row])))
+                .is_committed());
+        }
+        assert!(o.t_max() > Timestamp::ZERO);
+        let out = o.commit(CommitRequest::new(old, rows(&[10]), rows(&[99])));
+        assert!(matches!(
+            out,
+            CommitOutcome::Aborted(AbortReason::TmaxExceeded { .. })
+        ));
+        assert_eq!(o.stats().tmax_aborts, 1);
+    }
+
+    #[test]
+    fn matches_serial_oracle_exactly_when_driven_one_at_a_time() {
+        for level in [IsolationLevel::Snapshot, IsolationLevel::WriteSnapshot] {
+            let mut serial = StatusOracleCore::unbounded(level);
+            let batched = oracle(level, 16);
+            // A braided schedule over a small universe: overlapping reads and
+            // writes, some read-only.
+            let specs: &[(&[u64], &[u64])] = &[
+                (&[1, 2], &[1]),
+                (&[2, 3], &[2, 3]),
+                (&[1], &[]),
+                (&[3, 4], &[4]),
+                (&[1, 4], &[1, 4]),
+                (&[2], &[2]),
+            ];
+            let mut pending = Vec::new();
+            for &(r, w) in specs {
+                let ts_s = serial.begin();
+                let ts_b = batched.begin();
+                assert_eq!(ts_s, ts_b);
+                pending.push((ts_s, rows(r), rows(w)));
+            }
+            for (ts, r, w) in pending {
+                let out_s = serial.commit(CommitRequest::new(ts, r.clone(), w.clone()));
+                let out_b = batched.commit(CommitRequest::new(ts, r, w));
+                assert_eq!(out_s, out_b, "level {level:?}");
+            }
+            assert_eq!(serial.stats(), batched.stats(), "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn multiple_planner_threads_produce_identical_decisions() {
+        let run = |planners: usize| {
+            let o = oracle(IsolationLevel::WriteSnapshot, 8).with_planners(planners);
+            let starts: Vec<Timestamp> = (0..12).map(|_| o.begin()).collect();
+            let reqs: Vec<CommitRequest> = starts
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| CommitRequest::new(t, rows(&[i as u64 % 4]), rows(&[i as u64 % 4])))
+                .collect();
+            (o.commit_batch(reqs), o.stats())
+        };
+        let (out1, stats1) = run(1);
+        let (out4, stats4) = run(4);
+        assert_eq!(out1, out4);
+        assert_eq!(stats1, stats4);
+    }
+
+    #[test]
+    fn concurrent_hot_key_herd_keeps_invariants() {
+        let o = Arc::new(oracle(IsolationLevel::WriteSnapshot, 16).with_max_batch(8));
+        let threads = 8;
+        let per_thread = 200;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let o = Arc::clone(&o);
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        let t = o.begin();
+                        let _ = o.commit(CommitRequest::new(t, rows(&[1]), rows(&[1])));
+                    }
+                });
+            }
+        });
+        let stats = o.stats();
+        assert_eq!(
+            stats.commits + stats.rw_aborts,
+            (threads * per_thread) as u64
+        );
+        // Every commit got a distinct, monotonic timestamp; at least one
+        // transaction on the hot key must have won.
+        assert!(stats.commits >= 1);
+        assert!(o.epoch_obs().epochs_total() >= 1);
+        match o.probe_row(RowId(1)) {
+            Probe::Resident(ts) => assert!(ts <= o.last_issued_ts()),
+            other => panic!("hot row must be resident, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn journal_records_epoch_seal_publish_and_culprit_verdicts() {
+        let journal = Journal::new();
+        let o = oracle(IsolationLevel::WriteSnapshot, 4).with_journal(journal.clone());
+        let t1 = o.begin();
+        let t2 = o.begin();
+        let outs = o.commit_batch(vec![
+            CommitRequest::new(t1, rows(&[3]), rows(&[3])),
+            CommitRequest::new(t2, rows(&[3]), rows(&[3])),
+        ]);
+        let winner_ts = outs[0].commit_ts().unwrap().raw();
+        let events = journal.snapshot();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.data, EventData::EpochSeal { size: 2, .. })));
+        assert!(events.iter().any(|e| matches!(
+            e.data,
+            EventData::EpochPublish {
+                committed: 1,
+                aborted: 1,
+                ..
+            }
+        )));
+        assert!(
+            events.iter().any(|e| e.txn == t2.raw()
+                && matches!(
+                    e.data,
+                    EventData::CheckRow {
+                        row: 3,
+                        conflict: Some(ts)
+                    } if ts == winner_ts
+                )),
+            "the intra-batch victim's verdict names the winner's commit ts"
+        );
+    }
+
+    #[test]
+    fn status_replay_and_overturn_bookkeeping() {
+        let o = oracle(IsolationLevel::WriteSnapshot, 4);
+        let t1 = o.begin();
+        let out = o.commit(CommitRequest::new(t1, rows(&[1]), rows(&[1])));
+        let cts = out.commit_ts().unwrap();
+        assert_eq!(o.status(t1), TxnStatus::Committed(cts));
+        o.abort_after_decide(t1);
+        assert_eq!(o.status(t1), TxnStatus::Aborted);
+        assert_eq!(o.stats().commits, 0, "overturn nets the commit out");
+
+        let o2 = oracle(IsolationLevel::WriteSnapshot, 4);
+        o2.replay_commit(Timestamp(1), Timestamp(2), &rows(&[1]));
+        o2.replay_abort(Timestamp(3));
+        o2.advance_timestamps(Timestamp(10));
+        assert_eq!(o2.status(Timestamp(1)), TxnStatus::Committed(Timestamp(2)));
+        assert_eq!(o2.status(Timestamp(3)), TxnStatus::Aborted);
+        assert!(o2.last_issued_ts() >= Timestamp(10));
+        assert_eq!(o2.probe_row(RowId(1)), Probe::Resident(Timestamp(2)));
+        assert_eq!(o2.resident_rows(), 1);
+    }
+}

@@ -50,6 +50,7 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+mod batched;
 mod commit_table;
 mod error;
 mod lastcommit;
@@ -60,6 +61,7 @@ mod sharded;
 pub mod ssi;
 mod ts;
 
+pub use batched::{BatchedOracle, EpochObs, EpochPublisher};
 pub use commit_table::{CommitTable, TxnStatus};
 pub use error::{AbortReason, CommitOutcome, Error, Result};
 pub use lastcommit::{BoundedLastCommit, LastCommitTable, Probe, UnboundedLastCommit};

@@ -890,7 +890,7 @@ impl std::fmt::Debug for DecisionGuard<'_> {
 /// covering both shards would have given: resident timestamps take the
 /// maximum, and any eviction uncertainty poisons the result pessimistically
 /// (mirroring [`BoundedLastCommit`]'s own `probe_range`).
-fn combine_probes(a: Probe, b: Probe) -> Probe {
+pub(crate) fn combine_probes(a: Probe, b: Probe) -> Probe {
     match (a, b) {
         (Probe::NeverWritten, x) | (x, Probe::NeverWritten) => x,
         (Probe::Resident(x), Probe::Resident(y)) => Probe::Resident(x.max(y)),

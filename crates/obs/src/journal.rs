@@ -223,6 +223,27 @@ pub enum EventData {
         /// Row identifier.
         row: u64,
     },
+    /// The batched oracle sealed an epoch: `size` commit requests left the
+    /// intake ring and entered conflict planning as one batch.
+    EpochSeal {
+        /// Monotonic epoch number (per oracle).
+        epoch: u64,
+        /// Requests sealed into the batch.
+        size: u64,
+    },
+    /// The batched oracle published an epoch's decisions atomically:
+    /// `committed` winners became visible together, `aborted` losers were
+    /// resolved in the same step. Intra-batch victims' `CheckRow` events
+    /// carry the winning slot's real commit timestamp, so `explain_abort`
+    /// joins them to their culprits exactly as on the per-decision paths.
+    EpochPublish {
+        /// Epoch number (matches the preceding [`EventData::EpochSeal`]).
+        epoch: u64,
+        /// Requests admitted by the batch's conflict analysis.
+        committed: u64,
+        /// Requests aborted by the batch's conflict analysis.
+        aborted: u64,
+    },
 }
 
 impl EventData {
@@ -259,13 +280,19 @@ impl EventData {
             EventData::Retry { attempt } => (10, attempt, 0, 0),
             EventData::ServerRead { row, cache_hit } => (11, row, cache_hit as u64, 0),
             EventData::ServerWrite { row } => (12, row, 0, 0),
+            EventData::EpochSeal { epoch, size } => (13, epoch, size, 0),
+            EventData::EpochPublish {
+                epoch,
+                committed,
+                aborted,
+            } => (14, epoch, committed, aborted),
         }
     }
 
     /// Unpacks an encoded (kind-word, a, b, c). `None` for unknown kinds
     /// (a torn slot that slipped past the stamp check cannot panic a
     /// reader).
-    fn decode(kind: u64, a: u64, b: u64, _c: u64) -> Option<EventData> {
+    fn decode(kind: u64, a: u64, b: u64, c: u64) -> Option<EventData> {
         let sub = kind >> 8;
         Some(match kind & 0xFF {
             0 => EventData::Begin,
@@ -310,6 +337,12 @@ impl EventData {
                 cache_hit: b != 0,
             },
             12 => EventData::ServerWrite { row: a },
+            13 => EventData::EpochSeal { epoch: a, size: b },
+            14 => EventData::EpochPublish {
+                epoch: a,
+                committed: b,
+                aborted: c,
+            },
             _ => return None,
         })
     }
@@ -358,6 +391,8 @@ impl EventData {
             EventData::Retry { .. } => "retry",
             EventData::ServerRead { .. } => "server_read",
             EventData::ServerWrite { .. } => "server_write",
+            EventData::EpochSeal { .. } => "epoch_seal",
+            EventData::EpochPublish { .. } => "epoch_publish",
         }
     }
 }
@@ -436,6 +471,14 @@ impl Event {
                 )
             }
             EventData::ServerWrite { row } => format!("server write row {row}"),
+            EventData::EpochSeal { epoch, size } => {
+                format!("epoch {epoch} sealed ({size} requests)")
+            }
+            EventData::EpochPublish {
+                epoch,
+                committed,
+                aborted,
+            } => format!("epoch {epoch} published ({committed} committed, {aborted} aborted)"),
         };
         if self.txn == 0 {
             format!("[{:>8}] {:>10}us            {body}", self.seqno, self.ts_us)
@@ -928,6 +971,15 @@ mod tests {
                 },
             ),
             (0, EventData::ServerWrite { row: 6 }),
+            (0, EventData::EpochSeal { epoch: 3, size: 8 }),
+            (
+                0,
+                EventData::EpochPublish {
+                    epoch: 3,
+                    committed: 6,
+                    aborted: 2,
+                },
+            ),
         ];
         for &(txn, data) in &samples {
             j.record(txn, data);

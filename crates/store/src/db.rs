@@ -14,6 +14,13 @@
 //!   over disjoint shards decide in parallel. The old single
 //!   `Mutex<`[`StatusOracleCore`]`>` path remains available behind
 //!   [`OracleMode::Serial`] as a compatibility/benchmark baseline.
+//! * [`OracleMode::Batched`] removes even the per-decision shard handshake:
+//!   committers append to [`wsi_core::BatchedOracle`]'s lock-free epoch
+//!   ring and whole batches are conflict-planned at once, with the epoch's
+//!   commit-index entries installed under one write hold and its WAL
+//!   records enqueued as one group (see [`DbPublisher`]) — the hot-key
+//!   regime where every committer hashes to the same shard costs the same
+//!   as the disjoint one.
 //! * `begin` never takes any oracle lock: start timestamps come from a
 //!   shared atomic counter via the lock-striped
 //!   [`registry::ActiveTxnRegistry`], with §6.2 batched reservation records
@@ -40,8 +47,9 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use parking_lot::{Mutex, MutexGuard};
 use wsi_core::{
-    hash_row_key, AbortReason, CommitRequest, ConcurrentOracle, DecisionGuard, IsolationLevel,
-    OracleCounters, OracleStats, RowId, SharedTimestampSource, StatusOracleCore, Timestamp,
+    hash_row_key, AbortReason, BatchedOracle, CommitRequest, ConcurrentOracle, DecisionGuard,
+    EpochPublisher, IsolationLevel, OracleCounters, OracleStats, RowId, SharedTimestampSource,
+    StatusOracleCore, Timestamp,
 };
 use wsi_obs::{AbortExplanation, Cause, EventData, Journal, SpanOutcome, TxnPhase, TxnSpan};
 use wsi_wal::{Ledger, LedgerConfig, LedgerObs, LedgerStats};
@@ -107,6 +115,18 @@ pub enum OracleMode {
     /// one mutex, every decision serialized. Kept as a baseline for
     /// benchmarks and as an escape hatch.
     Serial,
+    /// The epoch-batched [`BatchedOracle`]: committers append to a
+    /// lock-free intake ring (one `fetch_add` on the hot path) and whole
+    /// epochs are conflict-planned at once over `shards` hash partitions,
+    /// with intra-batch conflicts resolved in deterministic arrival order.
+    /// Hot-key workloads that serialize the sharded oracle onto one shard
+    /// pay the same cost as cold keys here. `shards` is rounded up to a
+    /// power of two.
+    Batched {
+        /// Number of `lastCommit` partitions the planner splits batches
+        /// over.
+        shards: usize,
+    },
 }
 
 impl Default for OracleMode {
@@ -236,6 +256,14 @@ impl DbOptions {
         self
     }
 
+    /// Selects the epoch-batched commit path with the given partition count
+    /// (see [`OracleMode::Batched`]).
+    #[must_use]
+    pub fn batched_oracle(mut self, shards: usize) -> Self {
+        self.oracle = OracleMode::Batched { shards };
+        self
+    }
+
     /// Enables or disables the observability layer (see
     /// [`DbOptions::obs`]).
     #[must_use]
@@ -290,16 +318,24 @@ pub(crate) enum CommitOracle {
     Serial(Mutex<Manager>),
     /// Sharded: lock only the touched shards ([`OracleMode::Sharded`]).
     Sharded(ConcurrentOracle),
+    /// Epoch-batched: decisions planned a batch at a time
+    /// ([`OracleMode::Batched`]); never goes through
+    /// [`CommitOracle::lock_for`].
+    Batched(BatchedOracle),
 }
 
 impl CommitOracle {
     /// Acquires whatever mutual exclusion this request's decision needs:
     /// the single manager mutex, or the request's `lastCommit` shards in
-    /// canonical order.
+    /// canonical order. The batched oracle has no per-decision scope — its
+    /// commit path goes through [`BatchedOracle::submit`] instead.
     pub(crate) fn lock_for(&self, req: &CommitRequest) -> OracleGuard<'_> {
         match self {
             CommitOracle::Serial(manager) => OracleGuard::Serial(manager.lock()),
             CommitOracle::Sharded(oracle) => OracleGuard::Sharded(oracle.lock_for(req)),
+            CommitOracle::Batched(_) => {
+                unreachable!("batched decisions go through BatchedOracle::submit")
+            }
         }
     }
 
@@ -309,6 +345,7 @@ impl CommitOracle {
         match self {
             CommitOracle::Serial(manager) => manager.lock().oracle.abort_after_decide(start_ts),
             CommitOracle::Sharded(oracle) => oracle.abort_after_decide(start_ts),
+            CommitOracle::Batched(oracle) => oracle.abort_after_decide(start_ts),
         }
     }
 
@@ -322,6 +359,7 @@ impl CommitOracle {
                     .replay_commit(start_ts, commit_ts, rows);
             }
             CommitOracle::Sharded(oracle) => oracle.replay_commit(start_ts, commit_ts, rows),
+            CommitOracle::Batched(oracle) => oracle.replay_commit(start_ts, commit_ts, rows),
         }
     }
 
@@ -330,6 +368,7 @@ impl CommitOracle {
         match self {
             CommitOracle::Serial(manager) => manager.lock().oracle.replay_abort(start_ts),
             CommitOracle::Sharded(oracle) => oracle.replay_abort(start_ts),
+            CommitOracle::Batched(oracle) => oracle.replay_abort(start_ts),
         }
     }
 
@@ -338,6 +377,7 @@ impl CommitOracle {
         match self {
             CommitOracle::Serial(manager) => manager.lock().oracle.advance_timestamps(bound),
             CommitOracle::Sharded(oracle) => oracle.advance_timestamps(bound),
+            CommitOracle::Batched(oracle) => oracle.advance_timestamps(bound),
         }
     }
 
@@ -346,6 +386,7 @@ impl CommitOracle {
         match self {
             CommitOracle::Serial(manager) => manager.lock().oracle.counters(),
             CommitOracle::Sharded(oracle) => oracle.counters(),
+            CommitOracle::Batched(oracle) => oracle.counters(),
         }
     }
 }
@@ -383,6 +424,104 @@ impl OracleGuard<'_> {
             OracleGuard::Serial(m) => m.oracle.abort_checked(start_ts, reason),
             OracleGuard::Sharded(g) => g.abort_checked(start_ts, reason),
         }
+    }
+}
+
+/// Shard count of the batched path's pending-batch side table.
+const PENDING_BATCH_SHARDS: usize = 16;
+
+/// In-flight write batches of the batched commit path, keyed by start
+/// timestamp: the submitting thread parks its batch here before entering the
+/// epoch ring, and the epoch publisher — which may run on *any* committer
+/// thread — retrieves it to enqueue the WAL record. Only maintained when a
+/// WAL pipeline exists; sharded so concurrent submitters rarely collide.
+pub(crate) struct PendingBatches {
+    shards: Vec<Mutex<std::collections::HashMap<u64, WriteBatch>>>,
+}
+
+impl PendingBatches {
+    fn new() -> Self {
+        PendingBatches {
+            shards: (0..PENDING_BATCH_SHARDS)
+                .map(|_| Mutex::new(std::collections::HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, start_ts: Timestamp) -> &Mutex<std::collections::HashMap<u64, WriteBatch>> {
+        let idx = (start_ts.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize
+            & (PENDING_BATCH_SHARDS - 1);
+        &self.shards[idx]
+    }
+
+    fn insert(&self, start_ts: Timestamp, batch: WriteBatch) {
+        self.shard(start_ts).lock().insert(start_ts.raw(), batch);
+    }
+
+    fn remove(&self, start_ts: Timestamp) -> WriteBatch {
+        self.shard(start_ts)
+            .lock()
+            .remove(&start_ts.raw())
+            .expect("every epoch member parked its batch before submitting")
+    }
+}
+
+/// The store's [`EpochPublisher`]: invoked once per epoch by whichever
+/// committer sealed it, with the oracle's planning slot held. Winners are
+/// published according to the durability mode — sync epochs enqueue as one
+/// contiguous WAL group with timestamps issued inside the pipeline's lock
+/// ([`CommitPipeline::push_sync_group`]); immediately-published epochs issue
+/// every timestamp and install every commit-index entry under one index
+/// write hold ([`CommitIndex::record_commits_with`]), so readers observe the
+/// whole epoch or none of it. Losers' aborts are published here too, before
+/// any waiter wakes. Lock order: the oracle's planning slot is outermost,
+/// then the pipeline queue lock or the commit index's write lock — neither
+/// is ever held while acquiring the other, and nothing in here blocks on a
+/// condition, so the hierarchy stays acyclic.
+struct DbPublisher<'a> {
+    inner: &'a DbInner,
+    sync: bool,
+}
+
+impl EpochPublisher for DbPublisher<'_> {
+    fn publish_epoch(&self, winners: &[Timestamp], losers: &[Timestamp]) -> Vec<Timestamp> {
+        let ts_vec = match &self.inner.pipeline {
+            Some(pipeline) => {
+                let commits: Vec<(Timestamp, WriteBatch)> = winners
+                    .iter()
+                    .map(|&start| (start, self.inner.pending_batches.remove(start)))
+                    .collect();
+                if self.sync {
+                    // Decided-but-unpublished: the owners wait on
+                    // `sync_commit`, and visibility flips after the quorum
+                    // ack, exactly as on the per-decision path.
+                    pipeline.push_sync_group(&self.inner.ts, &commits)
+                } else {
+                    let ts_vec = self
+                        .inner
+                        .index
+                        .record_commits_with(winners, || self.inner.ts.next());
+                    for ((start, batch), &commit_ts) in commits.into_iter().zip(&ts_vec) {
+                        pipeline.push_batched(start, commit_ts, batch);
+                    }
+                    ts_vec
+                }
+            }
+            None => self
+                .inner
+                .index
+                .record_commits_with(winners, || self.inner.ts.next()),
+        };
+        for &start in losers {
+            if self.inner.pipeline.is_some() {
+                let _ = self.inner.pending_batches.remove(start);
+            }
+            self.inner.index.record_abort(start);
+            if let Some(pipeline) = &self.inner.pipeline {
+                pipeline.push_abort(start);
+            }
+        }
+        ts_vec
     }
 }
 
@@ -429,6 +568,9 @@ pub(crate) struct DbInner {
     pub(crate) registry: ActiveTxnRegistry,
     /// Present whenever the database has a WAL.
     pub(crate) pipeline: Option<CommitPipeline>,
+    /// Batched-path write batches in flight between submit and epoch
+    /// publish; only populated when `pipeline` is present.
+    pub(crate) pending_batches: PendingBatches,
     /// Shared handle onto the oracle's lock-free counters. Paths that no
     /// longer visit the oracle (begins, read-only commits, rollbacks) bump
     /// these directly, and [`Db::stats`] reads them without taking the
@@ -542,6 +684,19 @@ impl Db {
                 }
                 CommitOracle::Sharded(oracle)
             }
+            OracleMode::Batched { shards } => {
+                let oracle = match options.last_commit_capacity {
+                    Some(cap) => {
+                        BatchedOracle::bounded(options.isolation, shards, cap, Arc::clone(&ts))
+                    }
+                    None => BatchedOracle::unbounded(options.isolation, shards, Arc::clone(&ts)),
+                };
+                let mut oracle = oracle.with_obs_enabled(options.obs);
+                if let Some(journal) = &journal {
+                    oracle = oracle.with_journal(journal.clone());
+                }
+                CommitOracle::Batched(oracle)
+            }
         };
         let counters = oracle.counters();
         let obs = options
@@ -569,8 +724,14 @@ impl Db {
             if let Some(wal_obs) = &wal_obs {
                 wal_obs.register_in(&obs.registry);
             }
-            if let CommitOracle::Sharded(sharded) = &oracle {
-                sharded.shard_obs().register_in(&obs.registry);
+            match &oracle {
+                CommitOracle::Sharded(sharded) => {
+                    sharded.shard_obs().register_in(&obs.registry);
+                }
+                CommitOracle::Batched(batched) => {
+                    batched.epoch_obs().register_in(&obs.registry);
+                }
+                CommitOracle::Serial(_) => {}
             }
             if mvcc.is_arena() {
                 let arena_obs = Arc::new(ArenaObs::new(journal.clone()));
@@ -594,6 +755,7 @@ impl Db {
                     obs.as_ref().map(|o| o.registry_contention.clone()),
                 ),
                 pipeline,
+                pending_batches: PendingBatches::new(),
                 counters,
                 wal_obs,
                 obs,
@@ -880,7 +1042,28 @@ impl Db {
             span.stamp(TxnPhase::ConflictCheck, now_us);
         }
         let check_began_us = self.inner.now_us();
-        let decision: Result<Timestamp> = {
+        let decision: Result<Timestamp> = if let CommitOracle::Batched(oracle) = &self.inner.oracle
+        {
+            // Epoch-batched path: no per-decision lock. Park the batch where
+            // the epoch publisher (possibly another committer thread) can
+            // find it, append to the intake ring, and wait for — or
+            // cooperatively plan — the epoch. The publisher records the
+            // commit-index entries, WAL queue entries, and abort records for
+            // the whole epoch before `submit` returns.
+            if self.inner.pipeline.is_some() {
+                self.inner
+                    .pending_batches
+                    .insert(start_ts, Arc::clone(&batch));
+            }
+            let publisher = DbPublisher {
+                inner: &self.inner,
+                sync,
+            };
+            match oracle.submit(req, &publisher) {
+                wsi_core::CommitOutcome::Committed(commit_ts) => Ok(commit_ts),
+                wsi_core::CommitOutcome::Aborted(reason) => Err(Error::Aborted(reason)),
+            }
+        } else {
             let mut guard = self.inner.oracle.lock_for(&req);
             match guard.check(&req) {
                 Ok(()) => {

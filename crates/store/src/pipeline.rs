@@ -169,6 +169,37 @@ impl CommitPipeline {
         commit_ts
     }
 
+    /// The epoch form of [`CommitPipeline::push_sync`]: issues commit
+    /// timestamps for a whole epoch's winners (in the given slot order) and
+    /// enqueues them, all under one pipeline-lock hold.
+    ///
+    /// `sync_pending` rises by the epoch size *before* the first timestamp
+    /// is issued, preserving the begin gate's invariant for every member,
+    /// and the queue receives the epoch contiguously in timestamp order —
+    /// so the whole epoch rides one group-commit flush (the WAL alignment
+    /// the batched oracle's publish step is specified to provide).
+    pub(crate) fn push_sync_group(
+        &self,
+        ts: &SharedTimestampSource,
+        commits: &[(Timestamp, WriteBatch)],
+    ) -> Vec<Timestamp> {
+        let mut inner = self.inner.lock();
+        self.sync_pending
+            .fetch_add(commits.len() as u64, Ordering::SeqCst);
+        commits
+            .iter()
+            .map(|(start_ts, batch)| {
+                let commit_ts = ts.next();
+                inner.queue.push_back(PendingCommit {
+                    start_ts: *start_ts,
+                    commit_ts,
+                    batch: Arc::clone(batch),
+                });
+                commit_ts
+            })
+            .collect()
+    }
+
     /// Enqueues an already-published batched/none-mode commit for eventual
     /// persistence. Must be called while still holding the decision scope
     /// that issued `commit_ts`. Under the serial oracle that makes queue

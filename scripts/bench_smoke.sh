@@ -12,6 +12,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+repo_root="$(pwd)"
 bin="${1:-target/release}"
 bin="$(cd "$bin" && pwd)"
 
@@ -31,20 +32,51 @@ echo "== bench smoke (binaries from $bin, scratch $scratch) =="
 "$bin/mvcc_scaling" 100 5 >/dev/null
 # trace_overhead is also the flight-recorder acceptance gate (exit 1 when
 # the journal costs >5% geomean), so running it here makes the smoke fail
-# on an overhead regression, at reduced-but-stable scale.
-"$bin/trace_overhead" 2000 >/dev/null
+# on an overhead regression. At this reduced scale the geomean jitters
+# ±5% run-to-run on a one-core host (hypervisor steal), so the gate gets
+# best-of-three — the same medicine oracle_scaling's raw cells take — and
+# only a repeatable overhead regression fails the smoke.
+trace_ok=0
+for attempt in 1 2 3; do
+    if "$bin/trace_overhead" 2000 >/dev/null; then
+        trace_ok=1
+        break
+    fi
+    echo "  trace_overhead gate attempt $attempt failed; retrying" >&2
+done
+if [ "$trace_ok" -ne 1 ]; then
+    echo "error: trace_overhead gate failed three runs in a row" >&2
+    exit 1
+fi
 
 # A bench binary that exits 0 without writing its artifact is a harness
 # bug, not a validation detail: fail loudly, naming the missing artifact,
 # before any JSON parsing (which would otherwise surface the problem as an
-# unrelated-looking open() traceback).
+# unrelated-looking open() traceback). The list of required artifacts is
+# derived from EXPERIMENTS.md — every `BENCH_*.json` a bench section names
+# must come out of the smoke run — so a newly documented artifact is gated
+# the day it is written up, and a documented-but-never-produced one (PR 3
+# shipped its oracle-scaling section with no committed artifact) fails here
+# instead of surviving as a broken reproduction promise.
+experiments_artifacts="$(grep -o 'BENCH_[A-Za-z0-9_]*\.json' "$repo_root/EXPERIMENTS.md" | sort -u)"
+if [ -z "$experiments_artifacts" ]; then
+    echo "error: EXPERIMENTS.md names no BENCH_*.json artifacts; the derivation is broken" >&2
+    exit 1
+fi
 missing=0
-for artifact in BENCH_store_concurrency.json \
-    BENCH_store_concurrency_metrics.json BENCH_oracle_scaling.json \
-    BENCH_mvcc_scaling.json BENCH_trace_overhead.json \
-    TRACE_flight_recorder.json; do
+for artifact in $experiments_artifacts TRACE_flight_recorder.json; do
     if ! test -s "$artifact"; then
-        echo "error: bench ran but produced no artifact: $artifact" >&2
+        echo "error: EXPERIMENTS.md names $artifact but the bench run produced no such file" >&2
+        missing=1
+    fi
+done
+# Artifacts EXPERIMENTS.md declares "checked into" must also exist at the
+# repo root at full scale — the smoke's scratch copies never clobber them,
+# so nothing else guarantees they were actually committed.
+for artifact in $(grep -o 'checked into `BENCH_[A-Za-z0-9_]*\.json`' "$repo_root/EXPERIMENTS.md" \
+    | grep -o 'BENCH_[A-Za-z0-9_]*\.json' | sort -u); do
+    if ! test -s "$repo_root/$artifact"; then
+        echo "error: EXPERIMENTS.md says $artifact is checked in, but the repo root has no such file" >&2
         missing=1
     fi
 done

@@ -18,12 +18,25 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --all-targets --workspace -- -D warnings
 
-# Sharded-oracle gates: the serial/concurrent equivalence property tests
-# must hold for SI, WSI, and the bounded Algorithm-3 variant, and the
-# multi-threaded stress suite runs again in release mode (the debug run
+# Oracle-backend gates: the three-way Serial/Sharded/Batched equivalence
+# property tests must hold for SI, WSI, and the bounded Algorithm-3
+# variant (exact OracleStats equality, §5.2 ranges included), the batched
+# backend's arrival-order determinism suite must pass, and both
+# multi-threaded stress suites run again in release mode (the debug run
 # above is too slow to shake out interleavings).
 cargo test -q -p wsi-core --test oracle_equivalence
+cargo test -q -p wsi-core --test batched_determinism
 cargo test -q --release -p wsi-store --test sharded_stress
+cargo test -q --release -p wsi-store --test batched_stress
+
+# Batched-backend bench smoke: the epoch ring must drain a pipelined
+# multi-thread sweep end-to-end (a liveness bug in the seal/plan/publish
+# protocol hangs here, not in the unit tests). Runs in a scratch dir so
+# the reduced-scale artifact never clobbers the committed full-scale one.
+oracle_scaling_bin="$(pwd)/target/release/oracle_scaling"
+batched_scratch="$(mktemp -d)"
+(cd "$batched_scratch" && "$oracle_scaling_bin" 150 5 --backend batched >/dev/null)
+rm -rf "$batched_scratch"
 
 # Partitioned-store gates: every store layout (single-lock, sharded,
 # lock-free arena) must be observationally equivalent (proptest over
