@@ -53,6 +53,39 @@ fn fault_matrix_ssi() {
     matrix_for(EngineKind::Ssi);
 }
 
+/// The reclamation-storm preset must exercise the packed-node lifecycle
+/// end to end: the adaptive arena migrates hot chains into packed
+/// multi-version nodes, GC and insert-time pruning empty them, and the
+/// storm's forced epoch sweeps retire and free them whole. A contended
+/// corpus (few keys, many clients) keeps every chain hot enough to
+/// migrate within the run.
+#[test]
+fn reclamation_storm_exercises_packed_node_retirement() {
+    let mut migrations = 0u64;
+    let mut packed_retired = 0u64;
+    for seed in SEEDS {
+        let config = RunConfig::new(EngineKind::Wsi, seed)
+            .steps(STEPS)
+            .keys(2)
+            .clients(8)
+            .plan("reclamation-storm", FaultPlan::reclamation_storm(STEPS));
+        let report = run(&config);
+        let rec = report
+            .reclamation
+            .expect("the arena layout reports reclamation accounting");
+        migrations += rec.migrations;
+        packed_retired += rec.packed_retired;
+    }
+    assert!(
+        migrations > 0,
+        "the storm corpus must migrate at least one hot chain into packed nodes"
+    );
+    assert!(
+        packed_retired > 0,
+        "the storm must retire at least one packed node whole"
+    );
+}
+
 /// Quorum loss makes commits fail *after* their record reached a minority
 /// bookie; crashing before the heal lets recovery resurrect them. The
 /// harness must account for the resurrection (the history records the

@@ -1,5 +1,6 @@
 //! The lock-free version-store layout: a chunked version arena, CAS-installed
-//! per-key chain heads, and epoch-based reclamation.
+//! per-key chain heads, chain-length-adaptive packed nodes, and epoch-based
+//! reclamation.
 //!
 //! This is the data plane behind [`crate::MvccStore`]'s `Arena` layout
 //! (`DbOptions::store_layout`, the default). Where the locked layout guards
@@ -11,37 +12,56 @@
 //!   visibility per version exactly as the locked layout does (stamp →
 //!   resolver). The only synchronization on the read path is an epoch *pin*
 //!   (two atomics on the thread's own cache line).
-//! * **Writers publish with one CAS.** A version is allocated from the
-//!   [`VersionArena`], fully initialized (writer start, cleared stamp,
-//!   value), linked to the current head, and installed by a single
-//!   compare-and-swap on the key's chain head. A failed CAS means another
-//!   writer published first; retry against the new head. Versions are
-//!   thereby *invisible until published* and chains are never observed
-//!   half-initialized (the `Release` CAS orders the slot writes before the
-//!   head store that any `Acquire` reader synchronizes with).
+//! * **Writers publish with one CAS.** On a cold chain a version is
+//!   allocated from the [`VersionArena`], fully initialized, linked to the
+//!   current head, and installed by a single compare-and-swap on the key's
+//!   chain head. On a hot (migrated) chain the head is a **packed
+//!   multi-version node** and publication is a CAS on the node's occupancy
+//!   word instead — claiming one of the node's spare slots without moving
+//!   the head at all (spilling a fresh packed node only when the head node
+//!   is full). Either way versions are *invisible until published* and
+//!   never observed half-initialized (the `Release` publish orders the slot
+//!   writes before the store any `Acquire` reader synchronizes with).
+//! * **Chains adapt their layout to their length.** Cold/short chains stay
+//!   one-version-per-node — minimal latency, zero migration cost. Once a
+//!   key accumulates [`MIGRATE_SINGLES`] single-version nodes, the next
+//!   publisher migrates the chain's stamped prefix into packed nodes
+//!   holding up to [`PACK_CAP`] `(commit_ts, value)` pairs sorted descending
+//!   by commit timestamp, so a hot-key snapshot read does one head load, a
+//!   couple of node hops, and an **in-node binary search** over a contiguous
+//!   timestamp array instead of a pointer chase over ~32 scattered nodes.
+//!   The chain shape invariant is *singles prefix, packed suffix*. See
+//!   DESIGN.md §13 for the migration safety argument.
 //! * **Restructurers serialize per key, readers don't wait for them.**
-//!   Abort cleanup, insert-time pruning, and the GC unlink versions
-//!   mid-chain; those (rare) operations take the key entry's spin lock so at
+//!   Abort cleanup, insert-time pruning, migration, and the GC restructure
+//!   chains; those (rare) operations take the key entry's spin lock so at
 //!   most one restructurer rewrites a chain at a time, while concurrent
-//!   readers keep walking: an unlinked version's `next` pointer is left
+//!   readers keep walking: an unlinked node's `next` pointer is left
 //!   untouched until reclamation, so a reader standing on it still reaches
-//!   the live tail.
-//! * **Reclamation is epoch-based.** Unlinked versions are *retired* to a
-//!   limbo list tagged with the global epoch; their slots are freed (and
-//!   recycled through a tagged free list) only once the epoch has advanced
-//!   twice past the retirement epoch, which the participant protocol in
+//!   the live tail. Inside a packed node, removal is a **dead bit** — the
+//!   entry's timestamp stays in place (preserving the sorted prefix's
+//!   search order) and the node itself is unlinked only once every entry is
+//!   dead and in-flight claims have been *sealed* out.
+//! * **Reclamation is epoch-based.** Unlinked nodes — single-version slots
+//!   and packed nodes alike — are *retired* to a limbo list tagged with the
+//!   global epoch; they are freed (and recycled through tagged free lists)
+//!   only once the epoch has advanced twice past the retirement epoch,
+//!   which the participant protocol in
 //!   [`crate::registry::EpochParticipants`] guarantees no pinned reader can
-//!   survive. GC is therefore an incremental per-key sweep — no shard
-//!   freeze, no stop-the-world pause. See DESIGN.md §6 for the full safety
-//!   argument.
+//!   survive. `retired == freed + limbo` counts retire *units*: one per
+//!   single slot, one per packed node. See DESIGN.md §6 for the epoch
+//!   safety argument.
 //!
 //! Version handles are [`VersionIdx`]-packed `u64`s: a 32-bit slot index
 //! plus the slot's 32-bit *generation*, bumped on every free, so a stale
 //! handle to a recycled slot can never be confused with the slot's new
-//! occupant (ABA protection). Everything here is safe Rust: chunks live in
-//! `OnceLock`s, links are index-valued atomics, and each slot's value sits
-//! behind an uncontended spin mutex — so even a protocol bug cannot become
-//! memory unsafety, only a failed test.
+//! occupant (ABA protection). Bit 31 of the index half is the
+//! [`PACKED_TAG`]: set, the handle names a [`PackedNode`] in the
+//! [`PackedArena`]; clear, a single-version [`Slot`] in the
+//! [`VersionArena`]. Everything here is safe Rust: chunks live in
+//! `OnceLock`s, links are index-valued atomics, and values sit behind
+//! uncontended spin mutexes — so even a protocol bug cannot become memory
+//! unsafety, only a failed test.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::Bound;
@@ -65,8 +85,15 @@ const CHUNK_SLOTS: usize = 1024;
 
 /// Maximum chunks; `CHUNK_SLOTS * MAX_CHUNKS` bounds *resident* versions
 /// (retired slots recycle through the free list, so steady state sits far
-/// below this).
+/// below this). Must stay below `1 << 31` so slot indices never collide
+/// with [`PACKED_TAG`].
 const MAX_CHUNKS: usize = 4096;
+
+/// Packed nodes per packed-arena chunk (power of two).
+const PACKED_CHUNK_SLOTS: usize = 256;
+
+/// Maximum packed-arena chunks; bounds *resident* packed nodes.
+const MAX_PACKED_CHUNKS: usize = 4096;
 
 /// Key entries per entry-arena chunk (power of two).
 const ENTRY_CHUNK_SLOTS: usize = 1024;
@@ -85,6 +112,47 @@ const NULL_ENTRY: u64 = u64::MAX;
 
 /// Free-list "empty" sentinel in the low half of the tagged head.
 const FREE_NONE: u32 = u32::MAX;
+
+/// Bit 31 of a handle's index half: set for packed-node handles. Single
+/// slots and packed nodes live in separate arenas whose capacities both
+/// stay below `1 << 31`, so the bit is unambiguous ([`NULL_VIDX`] also has
+/// it set — always test for null first).
+const PACKED_TAG: u32 = 1 << 31;
+
+/// Versions per packed multi-version node: two cache lines of commit
+/// timestamps, so an in-node binary search touches at most 128 bytes.
+/// (Raising this to 32 — the occupancy word's ceiling — measured *slower*
+/// on the high-contention cells: the unsorted claim region grows with the
+/// capacity and reads scan it linearly, so bigger nodes trade cheap sorted
+/// lookups for expensive claim scans.)
+const PACK_CAP: usize = 16;
+
+/// `SEALED` flag in the low half of a packed node's occupancy word: set by
+/// a restructurer about to retire the node, it makes every later claim CAS
+/// fail so the claimer reloads the chain head instead of publishing into a
+/// node that is leaving the chain.
+const SEALED: u32 = 1 << 31;
+
+/// Claim-count mask of the occupancy word's low half.
+const CLAIM_MASK: u32 = SEALED - 1;
+
+/// Single-version nodes a chain accumulates before an (adaptive-mode)
+/// publisher migrates its stamped prefix into packed nodes.
+const MIGRATE_SINGLES: u32 = 8;
+
+/// Minimum stamped singles for a migration to be worth the restructure.
+const MIN_MIGRATE: usize = 4;
+
+/// Entries built into the first (newest) packed node of a migration. Kept
+/// at half capacity so the node — which typically becomes the chain head —
+/// retains spare slots for subsequent claim-publishes.
+const HEAD_BUILD: usize = PACK_CAP / 2;
+
+/// Whether a non-null handle names a packed multi-version node.
+#[inline]
+fn is_packed(handle: u64) -> bool {
+    handle != NULL_VIDX && (handle as u32) & PACKED_TAG != 0
+}
 
 /// A generation-tagged handle to a version slot: `generation << 32 | slot`.
 ///
@@ -112,8 +180,17 @@ impl VersionIdx {
     }
 }
 
-/// One version slot. All fields are atomics (or a spin mutex) because slots
-/// are read lock-free while writers, stampers, and the GC mutate them.
+/// Where a version lives: its own single-version slot, or one entry of a
+/// packed multi-version node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    Single(u64),
+    Packed(u64, usize),
+}
+
+/// One single-version slot. All fields are atomics (or a spin mutex)
+/// because slots are read lock-free while writers, stampers, and the GC
+/// mutate them.
 #[derive(Debug)]
 struct Slot {
     /// Allocation generation; bumped on free (ABA protection).
@@ -123,7 +200,7 @@ struct Slot {
     /// Eager commit stamp (raw); `0` = not stamped (timestamp 0 is never
     /// issued to a transaction).
     committed_at: AtomicU64,
-    /// Packed [`VersionIdx`] of the next-older published version, or
+    /// Packed [`VersionIdx`] of the next-older chain node, or
     /// [`NULL_VIDX`]. While the slot sits on the free list this holds the
     /// next free slot index instead.
     next: AtomicU64,
@@ -144,6 +221,76 @@ impl Default for Slot {
             value: SpinMutex::new(None),
         }
     }
+}
+
+/// A packed multi-version node: up to [`PACK_CAP`] versions of one key in
+/// a single arena slot, the hot-chain layout.
+///
+/// Entries `0..sorted` are the node's **sorted prefix**: stamped at build
+/// time, descending by commit timestamp, and immutable thereafter (removal
+/// sets a dead bit but leaves the timestamp, so binary search stays
+/// sound). Entries `sorted..` are **claimed** by publishers one occupancy
+/// CAS at a time and published individually via ready bits; they are
+/// scanned linearly because their commit order is not known at claim time.
+///
+/// The occupancy word `occ` packs `ready_bitmask << 32 | SEALED? | claims`:
+/// a claim CAS bumps the count, the claimer initializes its entry, then
+/// `fetch_or`s its ready bit with `Release` — the entry-level publish.
+/// `dead` is written only under the owning key's restructuring lock.
+#[derive(Debug)]
+struct PackedNode {
+    /// Allocation generation; bumped on free (ABA protection).
+    gen: AtomicU32,
+    /// Sorted-prefix length (immutable once the node is published).
+    sorted: AtomicU32,
+    /// `ready_bitmask << 32 | (SEALED | claim_count)`.
+    occ: AtomicU64,
+    /// Dead bitmask: entry `i` is logically removed when bit `i` is set.
+    /// Written only by restructurers under the entry lock.
+    dead: AtomicU64,
+    /// Packed [`VersionIdx`] of the next-older chain node, or
+    /// [`NULL_VIDX`]. Free-list link while the node is on the free list.
+    next: AtomicU64,
+    /// Writer start timestamps (raw), per entry.
+    ws: [AtomicU64; PACK_CAP],
+    /// Commit stamps (raw; 0 = unstamped), per entry. Contiguous, so the
+    /// in-node search never leaves two cache lines.
+    cts: [AtomicU64; PACK_CAP],
+    /// Values (`None` = tombstone), per entry.
+    vals: [SpinMutex<Option<Bytes>>; PACK_CAP],
+}
+
+impl Default for PackedNode {
+    fn default() -> Self {
+        PackedNode {
+            gen: AtomicU32::new(0),
+            sorted: AtomicU32::new(0),
+            occ: AtomicU64::new(0),
+            dead: AtomicU64::new(0),
+            next: AtomicU64::new(NULL_VIDX),
+            ws: std::array::from_fn(|_| AtomicU64::new(0)),
+            cts: std::array::from_fn(|_| AtomicU64::new(0)),
+            vals: std::array::from_fn(|_| SpinMutex::new(None)),
+        }
+    }
+}
+
+/// Claim count of an occupancy word.
+#[inline]
+fn occ_claims(occ: u64) -> u32 {
+    occ as u32 & CLAIM_MASK
+}
+
+/// Whether an occupancy word is sealed against further claims.
+#[inline]
+fn occ_sealed(occ: u64) -> bool {
+    occ as u32 & SEALED != 0
+}
+
+/// Ready bitmask of an occupancy word.
+#[inline]
+fn occ_ready(occ: u64) -> u32 {
+    (occ >> 32) as u32
 }
 
 /// The chunked version arena: slots live in lazily-allocated fixed-size
@@ -247,7 +394,8 @@ impl VersionArena {
 
     /// Reclaims a retired slot: invalidates outstanding handles (generation
     /// bump), drops the value, and pushes the slot onto the free list. Must
-    /// only be called after the epoch grace period has expired.
+    /// only be called after the epoch grace period has expired (or before
+    /// the slot was ever published).
     fn free(&self, packed: u64) {
         let idx = VersionIdx::slot(packed);
         let slot = self.slot_raw(idx);
@@ -276,6 +424,152 @@ impl VersionArena {
     }
 }
 
+/// The chunked packed-node arena: same chunk/free-list design as
+/// [`VersionArena`], holding [`PackedNode`]s. Handles carry
+/// [`PACKED_TAG`] in the index half.
+#[derive(Debug)]
+struct PackedArena {
+    chunks: Vec<OnceLock<Box<[PackedNode]>>>,
+    len: AtomicU32,
+    /// Tagged free-list head: `tag << 32 | node` (`FREE_NONE` = empty);
+    /// free-list indices are *untagged*.
+    free: AtomicU64,
+    chunks_inited: AtomicU64,
+}
+
+impl PackedArena {
+    fn new() -> Self {
+        PackedArena {
+            chunks: (0..MAX_PACKED_CHUNKS).map(|_| OnceLock::new()).collect(),
+            len: AtomicU32::new(0),
+            free: AtomicU64::new(FREE_NONE as u64),
+            chunks_inited: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn node(&self, packed: u64) -> &PackedNode {
+        debug_assert!(is_packed(packed), "single handle dereferenced as packed");
+        let node = self.node_raw(VersionIdx::slot(packed) & !PACKED_TAG);
+        debug_assert_eq!(
+            node.gen.load(Ordering::Relaxed),
+            VersionIdx::generation(packed),
+            "stale generation packed handle dereferenced"
+        );
+        node
+    }
+
+    #[inline]
+    fn node_raw(&self, idx: u32) -> &PackedNode {
+        &self.chunks[idx as usize / PACKED_CHUNK_SLOTS]
+            .get()
+            .expect("packed index implies initialized chunk")[idx as usize % PACKED_CHUNK_SLOTS]
+    }
+
+    fn alloc_raw(&self) -> u32 {
+        loop {
+            let head = self.free.load(Ordering::Acquire);
+            let idx = head as u32;
+            if idx == FREE_NONE {
+                break;
+            }
+            let next = self.node_raw(idx).next.load(Ordering::Relaxed) as u32;
+            let tagged = ((head >> 32).wrapping_add(1) << 32) | next as u64;
+            if self
+                .free
+                .compare_exchange(head, tagged, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return idx;
+            }
+        }
+        let idx = self.len.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            (idx as usize) < MAX_PACKED_CHUNKS * PACKED_CHUNK_SLOTS,
+            "packed-node arena capacity exhausted ({} nodes)",
+            MAX_PACKED_CHUNKS * PACKED_CHUNK_SLOTS
+        );
+        self.chunks[idx as usize / PACKED_CHUNK_SLOTS].get_or_init(|| {
+            self.chunks_inited.fetch_add(1, Ordering::Relaxed);
+            (0..PACKED_CHUNK_SLOTS)
+                .map(|_| PackedNode::default())
+                .collect()
+        });
+        idx
+    }
+
+    /// Allocates a spill node holding exactly one freshly-claimed (so far
+    /// unsorted, unstamped) version. The caller links and CAS-publishes it.
+    fn alloc_spill(&self, writer_start: Timestamp, value: Option<Bytes>) -> u64 {
+        let idx = self.alloc_raw();
+        let node = self.node_raw(idx);
+        node.sorted.store(0, Ordering::Relaxed);
+        node.dead.store(0, Ordering::Relaxed);
+        node.next.store(NULL_VIDX, Ordering::Relaxed);
+        node.ws[0].store(writer_start.raw(), Ordering::Relaxed);
+        node.cts[0].store(0, Ordering::Relaxed);
+        *node.vals[0].lock() = value;
+        node.occ.store((1u64 << 32) | 1, Ordering::Relaxed);
+        VersionIdx::pack(node.gen.load(Ordering::Relaxed), idx | PACKED_TAG)
+    }
+
+    /// Allocates a node pre-filled with a sorted (descending by commit
+    /// timestamp) run of stamped versions — the migration build path. The
+    /// caller links and publishes it.
+    fn alloc_built(&self, entries: &[(u64, u64, Option<Bytes>)]) -> u64 {
+        debug_assert!(!entries.is_empty() && entries.len() <= PACK_CAP);
+        let idx = self.alloc_raw();
+        let node = self.node_raw(idx);
+        for (i, (ws, cts, value)) in entries.iter().enumerate() {
+            node.ws[i].store(*ws, Ordering::Relaxed);
+            node.cts[i].store(*cts, Ordering::Relaxed);
+            *node.vals[i].lock() = value.clone();
+        }
+        let k = entries.len() as u32;
+        node.sorted.store(k, Ordering::Relaxed);
+        node.dead.store(0, Ordering::Relaxed);
+        node.next.store(NULL_VIDX, Ordering::Relaxed);
+        let ready = ((1u64 << k) - 1) << 32;
+        node.occ.store(ready | k as u64, Ordering::Relaxed);
+        VersionIdx::pack(node.gen.load(Ordering::Relaxed), idx | PACKED_TAG)
+    }
+
+    /// Reclaims a retired node: generation bump, values dropped, full state
+    /// reset, pushed onto the free list. Grace period must have expired (or
+    /// the node was never published).
+    fn free(&self, packed: u64) {
+        let idx = VersionIdx::slot(packed) & !PACKED_TAG;
+        let node = self.node_raw(idx);
+        debug_assert_eq!(
+            node.gen.load(Ordering::Relaxed),
+            VersionIdx::generation(packed)
+        );
+        node.gen.fetch_add(1, Ordering::Relaxed);
+        for v in &node.vals {
+            *v.lock() = None;
+        }
+        node.occ.store(0, Ordering::Relaxed);
+        node.dead.store(0, Ordering::Relaxed);
+        node.sorted.store(0, Ordering::Relaxed);
+        loop {
+            let head = self.free.load(Ordering::Acquire);
+            node.next.store((head as u32) as u64, Ordering::Relaxed);
+            let tagged = ((head >> 32).wrapping_add(1) << 32) | idx as u64;
+            if self
+                .free
+                .compare_exchange(head, tagged, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    fn chunk_count(&self) -> u64 {
+        self.chunks_inited.load(Ordering::Relaxed)
+    }
+}
+
 /// One key's entry in the chain-head table. Entries are **immortal**: once
 /// a key has been written its entry is never deallocated (an empty chain is
 /// encoded as a null head), which is what lets the bucket lists be walked
@@ -283,17 +577,20 @@ impl VersionArena {
 #[derive(Debug)]
 struct KeyEntry {
     key: Bytes,
-    /// Packed [`VersionIdx`] of the newest published version, or
-    /// [`NULL_VIDX`] for an (observably absent) empty chain.
+    /// Packed [`VersionIdx`] of the newest chain node, or [`NULL_VIDX`]
+    /// for an (observably absent) empty chain.
     head: AtomicU64,
     /// Next entry index in this hash bucket's list, or [`NULL_ENTRY`].
     bucket_next: AtomicU64,
-    /// Serializes chain *restructuring* (abort unlink, pruning, GC) for
-    /// this key. Readers and publishing writers never take it.
+    /// Serializes chain *restructuring* (abort unlink, pruning, migration,
+    /// GC) for this key. Readers and publishing writers never take it.
     lock: SpinMutex<()>,
-    /// Approximate chain length, maintained by publishers/restructurers to
-    /// arm insert-time pruning. Advisory only.
+    /// Approximate live version count, maintained by publishers and
+    /// restructurers to arm insert-time pruning. Advisory only.
     approx_len: AtomicU32,
+    /// Approximate single-version node count, arming chain migration in
+    /// adaptive mode. Advisory only.
+    singles: AtomicU32,
 }
 
 /// Append-only chunked storage for [`KeyEntry`]s.
@@ -399,6 +696,7 @@ impl ChainHeadTable {
             bucket_next: AtomicU64::new(self.buckets[bucket].load(Ordering::Relaxed)),
             lock: SpinMutex::new(()),
             approx_len: AtomicU32::new(0),
+            singles: AtomicU32::new(0),
         });
         // Publish into the bucket list; creation is exclusive (index write
         // lock held), so a plain store suffices for the head.
@@ -408,7 +706,8 @@ impl ChainHeadTable {
     }
 }
 
-/// A version retired to the limbo list, waiting out its grace period.
+/// A node retired to the limbo list, waiting out its grace period. The
+/// handle's [`PACKED_TAG`] routes the eventual free to the right arena.
 type LimboEntry = (u64, u64); // (retire epoch, packed VersionIdx)
 
 /// The lock-free arena layout of the MVCC store. See the module docs.
@@ -416,29 +715,50 @@ type LimboEntry = (u64, u64); // (retire epoch, packed VersionIdx)
 pub(crate) struct ArenaStore {
     table: ChainHeadTable,
     arena: VersionArena,
+    packed: PackedArena,
     epochs: EpochParticipants,
-    /// Retired-but-not-freed versions, epoch-tagged, oldest first (epochs
-    /// are pushed in nondecreasing order). Touched only by restructurers
-    /// and the maintenance/GC path — never by readers.
+    /// Retired-but-not-freed nodes, epoch-tagged, oldest first (epochs are
+    /// pushed in nondecreasing order). Touched only by restructurers and
+    /// the maintenance/GC path — never by readers.
     limbo: SpinMutex<VecDeque<LimboEntry>>,
     /// GC low-water mark (raw timestamp) feeding insert-time pruning.
     watermark: AtomicU64,
-    /// Lifetime counts backing the `retired == freed + limbo` identity.
+    /// Lifetime counts backing the `retired == freed + limbo` identity
+    /// (units: one per single slot, one per packed node).
     retired: AtomicU64,
     freed: AtomicU64,
+    /// Chain migrations into packed nodes performed (lifetime).
+    migrations: AtomicU64,
+    /// Packed nodes retired (lifetime; each also counts once in `retired`).
+    packed_retired: AtomicU64,
+    /// Whether hot chains migrate into packed nodes. Off = the flat PR 5
+    /// layout, kept selectable for equivalence tests and benchmarks.
+    adaptive: bool,
+    /// Chain length arming insert-time pruning.
+    prune_len: usize,
     obs: Option<Arc<ArenaObs>>,
 }
 
 impl ArenaStore {
+    /// The default configuration: adaptive layout, standard prune bound.
     pub(crate) fn new() -> Self {
+        Self::with_config(true, PRUNE_CHAIN_LEN)
+    }
+
+    pub(crate) fn with_config(adaptive: bool, prune_len: usize) -> Self {
         ArenaStore {
             table: ChainHeadTable::new(),
             arena: VersionArena::new(),
+            packed: PackedArena::new(),
             epochs: EpochParticipants::new(),
             limbo: SpinMutex::new(VecDeque::new()),
             watermark: AtomicU64::new(0),
             retired: AtomicU64::new(0),
             freed: AtomicU64::new(0),
+            migrations: AtomicU64::new(0),
+            packed_retired: AtomicU64::new(0),
+            adaptive,
+            prune_len: prune_len.max(2),
             obs: None,
         }
     }
@@ -447,58 +767,85 @@ impl ArenaStore {
         self.obs = Some(obs);
     }
 
-    /// Inserts an (invisible) version: allocate, link, publish by one CAS.
+    /// Inserts an (invisible) version: allocate or claim, link, publish.
+    /// This one-at-a-time API may be called repeatedly with the same key
+    /// and writer, so it pays the same-writer duplicate probe.
     pub(crate) fn insert_version(&self, key: Bytes, writer_start: Timestamp, value: Option<Bytes>) {
         let _pin = self.epochs.pin();
-        self.insert_one(key, writer_start, value);
+        self.insert_one(key, writer_start, value, true);
     }
 
     /// Batch insert (commit apply / WAL replay): one pin for the batch.
+    /// Keys within a batch must be distinct (commit applies and WAL records
+    /// materialize a per-transaction write *map*, so they are), which lets
+    /// every insert skip the same-writer duplicate chain walk — the batch
+    /// path is the data-plane hot path.
     pub(crate) fn insert_versions<I>(&self, writer_start: Timestamp, writes: I)
     where
         I: IntoIterator<Item = (Bytes, Option<Bytes>)>,
     {
         let _pin = self.epochs.pin();
         for (key, value) in writes {
-            self.insert_one(key, writer_start, value);
+            self.insert_one(key, writer_start, value, false);
         }
     }
 
-    fn insert_one(&self, key: Bytes, writer_start: Timestamp, value: Option<Bytes>) {
+    fn insert_one(&self, key: Bytes, writer_start: Timestamp, value: Option<Bytes>, dedup: bool) {
         let entry = self.table.find_or_create(key);
-        let packed = self.arena.alloc(writer_start, value);
-        let slot = self.arena.slot(packed);
-        loop {
+        let mut single: Option<u64> = None;
+        let mut spill: Option<u64> = None;
+        let published = loop {
             let head = entry.head.load(Ordering::Acquire);
-            slot.next.store(head, Ordering::Relaxed);
-            if entry
-                .head
-                .compare_exchange_weak(head, packed, Ordering::Release, Ordering::Relaxed)
-                .is_ok()
-            {
-                break;
+            if is_packed(head) {
+                // Hot chain: claim a spare slot in the head node — the head
+                // pointer itself never moves on this path.
+                let node = self.packed.node(head);
+                if let Some(i) = Self::try_claim(node, writer_start, &value) {
+                    break Loc::Packed(head, i);
+                }
+                // Head node full or sealed: spill a fresh packed node.
+                let sp = *spill
+                    .get_or_insert_with(|| self.packed.alloc_spill(writer_start, value.clone()));
+                self.packed.node(sp).next.store(head, Ordering::Relaxed);
+                if entry
+                    .head
+                    .compare_exchange(head, sp, Ordering::Release, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    break Loc::Packed(sp, 0);
+                }
+            } else {
+                let s =
+                    *single.get_or_insert_with(|| self.arena.alloc(writer_start, value.clone()));
+                self.arena.slot(s).next.store(head, Ordering::Relaxed);
+                if entry
+                    .head
+                    .compare_exchange_weak(head, s, Ordering::Release, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    break Loc::Single(s);
+                }
+            }
+        };
+        // Return unused pre-allocations (never published: no grace period).
+        if let Some(s) = single {
+            if !matches!(published, Loc::Single(p) if p == s) {
+                self.arena.free(s);
             }
         }
-        // A transaction that writes the same key twice through this API
-        // replaces its earlier version (the locked layout's in-place
-        // overwrite). The writer itself is single-threaded, so any duplicate
-        // is already published and stable; scan from our own `next` so the
-        // new version is never mistaken for the duplicate.
-        let mut cur = slot.next.load(Ordering::Relaxed);
-        while cur != NULL_VIDX {
-            let s = self.arena.slot(cur);
-            if s.writer_start.load(Ordering::Relaxed) == writer_start.raw() {
-                let _guard = entry.lock.lock();
-                let removed = self.sweep_chain(entry, |p, s| {
-                    p != packed && s.writer_start.load(Ordering::Relaxed) == writer_start.raw()
-                });
-                self.retire_all(&removed);
-                break;
+        if let Some(sp) = spill {
+            if !matches!(published, Loc::Packed(p, _) if p == sp) {
+                self.packed.free(sp);
             }
-            cur = s.next.load(Ordering::Acquire);
+        }
+        if dedup {
+            self.resolve_duplicate(entry, writer_start, published);
         }
         let len = entry.approx_len.fetch_add(1, Ordering::Relaxed) + 1;
-        if len as usize >= PRUNE_CHAIN_LEN {
+        if let Some(obs) = &self.obs {
+            obs.chain_len.record(len as u64);
+        }
+        if len as usize >= self.prune_len {
             let pruned = self.prune_entry(entry);
             if pruned > 0 {
                 if let Some(obs) = &self.obs {
@@ -506,36 +853,568 @@ impl ArenaStore {
                 }
             }
         }
+        if self.adaptive {
+            match published {
+                Loc::Single(_) => {
+                    let singles = entry.singles.fetch_add(1, Ordering::Relaxed) + 1;
+                    if singles >= MIGRATE_SINGLES {
+                        self.migrate_entry(entry);
+                        // Migration prepends a HEAD_BUILD-full node to the
+                        // packed tail; merge the accumulated underfull ones.
+                        self.consolidate_entry(entry);
+                    }
+                }
+                // A spill grew the chain by a node (once per ~PACK_CAP
+                // publishes on a hot key): fold the cold tail's claim
+                // regions back into fully sorted nodes so reads keep their
+                // in-node binary search.
+                Loc::Packed(p, _) if spill == Some(p) => self.consolidate_entry(entry),
+                Loc::Packed(..) => {}
+            }
+        }
+    }
+
+    /// Claims one spare entry of a packed node and publishes a version into
+    /// it: an occupancy CAS reserves index `claims`, the entry is
+    /// initialized, and the `Release` `fetch_or` of its ready bit is the
+    /// publish. Returns `None` when the node is full or sealed.
+    fn try_claim(
+        node: &PackedNode,
+        writer_start: Timestamp,
+        value: &Option<Bytes>,
+    ) -> Option<usize> {
+        loop {
+            let occ = node.occ.load(Ordering::Acquire);
+            let claims = occ_claims(occ);
+            if occ_sealed(occ) || claims as usize >= PACK_CAP {
+                return None;
+            }
+            if node
+                .occ
+                .compare_exchange(occ, occ + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let i = claims as usize;
+                node.ws[i].store(writer_start.raw(), Ordering::Relaxed);
+                node.cts[i].store(0, Ordering::Relaxed);
+                *node.vals[i].lock() = value.clone();
+                node.occ.fetch_or(1u64 << (32 + i), Ordering::Release);
+                return Some(i);
+            }
+        }
+    }
+
+    /// Seals a packed node against further claims and waits until every
+    /// claim already granted has published its ready bit, so the node's
+    /// contents are stable. Returns the final ready mask. Idempotent.
+    fn seal(node: &PackedNode) -> u32 {
+        let prior = node.occ.fetch_or(SEALED as u64, Ordering::AcqRel);
+        let claims = occ_claims(prior);
+        loop {
+            let ready = occ_ready(node.occ.load(Ordering::Acquire));
+            if ready.count_ones() >= claims {
+                return ready;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Ready-and-not-dead entry mask of a packed node.
+    #[inline]
+    fn live_mask(&self, node: &PackedNode) -> u32 {
+        occ_ready(node.occ.load(Ordering::Acquire)) & !(node.dead.load(Ordering::Acquire) as u32)
+    }
+
+    /// Marks packed entries dead. Caller holds the entry lock (the only
+    /// writer discipline `dead` needs); the timestamps stay in place so the
+    /// sorted prefix's search order survives.
+    fn mark_dead(node: &PackedNode, mask: u64) {
+        let dead = node.dead.load(Ordering::Relaxed);
+        node.dead.store(dead | mask, Ordering::Release);
+    }
+
+    /// The `next` link of any chain node (single or packed).
+    #[inline]
+    fn next_atomic(&self, handle: u64) -> &AtomicU64 {
+        if is_packed(handle) {
+            &self.packed.node(handle).next
+        } else {
+            &self.arena.slot(handle).next
+        }
+    }
+
+    #[inline]
+    fn next_of(&self, handle: u64) -> u64 {
+        self.next_atomic(handle).load(Ordering::Acquire)
+    }
+
+    /// Walks every live version of a chain, passing
+    /// `(loc, writer_start, committed_at-or-0)`. Caller must hold a pin.
+    fn for_each_live(&self, entry: &KeyEntry, mut f: impl FnMut(Loc, u64, u64)) {
+        let mut cur = entry.head.load(Ordering::Acquire);
+        while cur != NULL_VIDX {
+            if is_packed(cur) {
+                let node = self.packed.node(cur);
+                let live = self.live_mask(node);
+                for i in 0..PACK_CAP {
+                    if live & (1 << i) != 0 {
+                        f(
+                            Loc::Packed(cur, i),
+                            node.ws[i].load(Ordering::Relaxed),
+                            node.cts[i].load(Ordering::Acquire),
+                        );
+                    }
+                }
+            } else {
+                let slot = self.arena.slot(cur);
+                f(
+                    Loc::Single(cur),
+                    slot.writer_start.load(Ordering::Relaxed),
+                    slot.committed_at.load(Ordering::Acquire),
+                );
+            }
+            cur = self.next_of(cur);
+        }
+    }
+
+    /// A transaction that writes the same key twice through this API
+    /// replaces its earlier version (the locked layout's in-place
+    /// overwrite). The writer itself is single-threaded, so any duplicate
+    /// is already published and stable; the just-published location is
+    /// excluded so the new version is never mistaken for the duplicate.
+    fn resolve_duplicate(&self, entry: &KeyEntry, writer_start: Timestamp, published: Loc) {
+        let ws = writer_start.raw();
+        let mut found = false;
+        self.for_each_live(entry, |loc, w, _| {
+            if loc != published && w == ws {
+                found = true;
+            }
+        });
+        if !found {
+            return;
+        }
+        let _guard = entry.lock.lock();
+        let mut doomed: Vec<u64> = Vec::new();
+        let mut marked = false;
+        let mut cur = entry.head.load(Ordering::Acquire);
+        while cur != NULL_VIDX {
+            if is_packed(cur) {
+                let node = self.packed.node(cur);
+                let live = self.live_mask(node);
+                let mut mask = 0u64;
+                for i in 0..PACK_CAP {
+                    if live & (1 << i) != 0
+                        && Loc::Packed(cur, i) != published
+                        && node.ws[i].load(Ordering::Relaxed) == ws
+                    {
+                        mask |= 1 << i;
+                    }
+                }
+                if mask != 0 {
+                    Self::mark_dead(node, mask);
+                    marked = true;
+                }
+            } else if Loc::Single(cur) != published
+                && self.arena.slot(cur).writer_start.load(Ordering::Relaxed) == ws
+            {
+                doomed.push(cur);
+            }
+            cur = self.next_of(cur);
+        }
+        let mut removed = if doomed.is_empty() {
+            Vec::new()
+        } else {
+            self.sweep_chain(entry, |h| doomed.contains(&h))
+        };
+        if marked {
+            removed.extend(self.retire_dead_nodes(entry));
+        }
+        if !removed.is_empty() || marked {
+            self.reset_len(entry);
+        }
+        self.retire_all(&removed);
     }
 
     /// Insert-time pruning against the store watermark: among *stamped*
     /// versions with `committed_at < watermark` the newest is the keep
     /// bound; stamped versions strictly below the bound are invisible to
-    /// every current and future snapshot and are unlinked. Identical keep
-    /// rule to the locked layout's `prune_stamped_below`.
+    /// every current and future snapshot. Singles are unlinked; packed
+    /// entries are dead-marked, and nodes whose live set empties are
+    /// sealed, unlinked, and retired whole. Identical keep rule to the
+    /// locked layout's `prune_stamped_below`. Returns versions pruned.
     fn prune_entry(&self, entry: &KeyEntry) -> u64 {
         let watermark = self.watermark.load(Ordering::Relaxed);
         let _guard = entry.lock.lock();
         let mut bound: Option<u64> = None;
-        let mut cur = entry.head.load(Ordering::Acquire);
-        while cur != NULL_VIDX {
-            let slot = self.arena.slot(cur);
-            let stamped = slot.committed_at.load(Ordering::Acquire);
-            if stamped != 0 && stamped < watermark && bound.is_none_or(|b| stamped > b) {
-                bound = Some(stamped);
+        self.for_each_live(entry, |_, _, cts| {
+            if cts != 0 && cts < watermark && bound.is_none_or(|b| cts > b) {
+                bound = Some(cts);
             }
-            cur = slot.next.load(Ordering::Acquire);
-        }
+        });
         let Some(bound) = bound else {
             return 0;
         };
-        let removed = self.sweep_chain(entry, |_, slot| {
-            let stamped = slot.committed_at.load(Ordering::Acquire);
-            stamped != 0 && stamped < bound
-        });
+        let mut doomed: Vec<u64> = Vec::new();
+        let mut marked = false;
+        let mut pruned = 0u64;
+        let mut cur = entry.head.load(Ordering::Acquire);
+        while cur != NULL_VIDX {
+            if is_packed(cur) {
+                let node = self.packed.node(cur);
+                let live = self.live_mask(node);
+                let mut mask = 0u64;
+                for i in 0..PACK_CAP {
+                    if live & (1 << i) != 0 {
+                        let cts = node.cts[i].load(Ordering::Acquire);
+                        if cts != 0 && cts < bound {
+                            mask |= 1 << i;
+                        }
+                    }
+                }
+                if mask != 0 {
+                    Self::mark_dead(node, mask);
+                    marked = true;
+                    pruned += mask.count_ones() as u64;
+                }
+            } else {
+                let slot = self.arena.slot(cur);
+                let cts = slot.committed_at.load(Ordering::Acquire);
+                if cts != 0 && cts < bound {
+                    doomed.push(cur);
+                    pruned += 1;
+                }
+            }
+            cur = self.next_of(cur);
+        }
+        if doomed.is_empty() && !marked {
+            return 0;
+        }
+        let mut removed = if doomed.is_empty() {
+            Vec::new()
+        } else {
+            self.sweep_chain(entry, |h| doomed.contains(&h))
+        };
+        if marked {
+            removed.extend(self.retire_dead_nodes(entry));
+        }
         self.reset_len(entry);
         self.retire_all(&removed);
-        removed.len() as u64
+        pruned
+    }
+
+    /// Migrates a hot chain's stamped singles into packed multi-version
+    /// nodes (adaptive mode). Only *stamped* versions move: a stamped
+    /// version's commit timestamp and value are immutable, so the copy
+    /// cannot race the lock-free `stamp_commit` path — unstamped singles
+    /// stay in place and migrate on a later pass once stamped.
+    ///
+    /// Ordering is attach-then-unlink: the packed replacement is linked
+    /// after the last single *before* the migrated singles are unlinked, so
+    /// a concurrent reader sees each migrated version once or (transiently)
+    /// twice — never zero times. The duplicate is harmless: both copies
+    /// carry the same commit timestamp and value.
+    fn migrate_entry(&self, entry: &KeyEntry) {
+        let _guard = entry.lock.lock();
+        // The singles prefix ends at the first packed node (chain shape
+        // invariant); mid-chain links are stable under the entry lock.
+        let mut stamped: Vec<(u64, u64, u64, Option<Bytes>)> = Vec::new();
+        let mut last_single: Option<u64> = None;
+        let mut first_packed = NULL_VIDX;
+        let mut cur = entry.head.load(Ordering::Acquire);
+        while cur != NULL_VIDX {
+            if is_packed(cur) {
+                first_packed = cur;
+                break;
+            }
+            let slot = self.arena.slot(cur);
+            let cts = slot.committed_at.load(Ordering::Acquire);
+            if cts != 0 {
+                stamped.push((
+                    cur,
+                    slot.writer_start.load(Ordering::Relaxed),
+                    cts,
+                    slot.value.lock().clone(),
+                ));
+            }
+            last_single = Some(cur);
+            cur = slot.next.load(Ordering::Acquire);
+        }
+        if stamped.len() < MIN_MIGRATE {
+            // Resync the trigger counter so it re-arms honestly.
+            self.reset_len(entry);
+            return;
+        }
+        // Newest first; ties (impossible for distinct committed writers)
+        // broken by writer start for determinism.
+        stamped.sort_unstable_by(|a, b| b.2.cmp(&a.2).then(b.1.cmp(&a.1)));
+        // Build the packed replacement. The first (newest) node is left
+        // half-filled: it typically becomes the chain head, and its spare
+        // slots are what subsequent claim-publishes fill.
+        let mut nodes: Vec<u64> = Vec::new();
+        let mut off = 0;
+        while off < stamped.len() {
+            let take = if off == 0 {
+                HEAD_BUILD.min(stamped.len())
+            } else {
+                PACK_CAP.min(stamped.len() - off)
+            };
+            let chunk: Vec<(u64, u64, Option<Bytes>)> = stamped[off..off + take]
+                .iter()
+                .map(|(_, ws, cts, v)| (*ws, *cts, v.clone()))
+                .collect();
+            nodes.push(self.packed.alloc_built(&chunk));
+            off += take;
+        }
+        for w in nodes.windows(2) {
+            self.packed.node(w[0]).next.store(w[1], Ordering::Relaxed);
+        }
+        self.packed
+            .node(*nodes.last().expect("at least one node built"))
+            .next
+            .store(first_packed, Ordering::Relaxed);
+        // Attach, then unlink.
+        let splice = last_single.expect("stamped singles imply a single exists");
+        self.arena
+            .slot(splice)
+            .next
+            .store(nodes[0], Ordering::Release);
+        let handles: Vec<u64> = stamped.iter().map(|(h, _, _, _)| *h).collect();
+        let removed = self.sweep_chain(entry, |h| handles.contains(&h));
+        debug_assert_eq!(removed.len(), handles.len());
+        self.reset_len(entry);
+        self.retire_all(&removed);
+        self.migrations.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.migrations.inc();
+        }
+    }
+
+    /// Folds the cold packed tail of a chain back into full, sorted nodes
+    /// (adaptive mode). Two degradations feed it:
+    ///
+    /// * **Spill nodes** are born with a one-entry sorted prefix and fill
+    ///   through claims, so without this pass a long-lived hot chain
+    ///   converges to a linear claim scan in every node and the in-node
+    ///   binary search stops paying.
+    /// * **Migrated nodes** are built [`HEAD_BUILD`]-full (spare capacity
+    ///   for claims that only arrive if the node becomes the head), so a
+    ///   chain whose head keeps cycling through fresh singles accumulates
+    ///   half-empty sorted nodes and twice the hops per lookup.
+    ///
+    /// Triggered once per spill and once per migration — both once per
+    /// ~[`PACK_CAP`] publishes on a hot key — so for prune-bounded chains
+    /// the copy cost amortizes to O(1) per publish.
+    ///
+    /// Candidates are every packed node except a packed chain *head* (the
+    /// claim target). The rebuilt run starts at the first candidate that
+    /// leaks live entries past its sorted prefix or is underfull with a
+    /// successor, and extends to the end of the tail; it is rebuilt only if
+    /// it contains a leak or the rebuild saves at least one node. Each run
+    /// node is sealed — late claims (from publishers that loaded the node
+    /// while it was still the head) are locked out, in-flight ones waited
+    /// for — and is movable only if every live entry it holds is stamped:
+    /// stamped entries are immutable, so copying them cannot race
+    /// `stamp_commit`, while a node holding an unstamped entry must stay in
+    /// place (stamps land by position) and pushes the run start past it.
+    /// Sealed-but-kept nodes are benign: stamps and reads still work; only
+    /// claims are refused, and non-head nodes receive none.
+    ///
+    /// The rebuilt run replaces the old one with a single `Release` store
+    /// on its predecessor's link (attach-then-unlink as in
+    /// [`Self::migrate_entry`]): a reader standing in the old run keeps its
+    /// forward view through the old links until the epoch reclaimer frees
+    /// the retired nodes (DESIGN.md §13).
+    fn consolidate_entry(&self, entry: &KeyEntry) {
+        let _guard = entry.lock.lock();
+        // Walk the singles prefix (chain shape is S* P*), remembering the
+        // handle whose link precedes the first candidate.
+        let head = entry.head.load(Ordering::Acquire);
+        let mut cur = head;
+        let mut last_single = NULL_VIDX;
+        while cur != NULL_VIDX && !is_packed(cur) {
+            last_single = cur;
+            cur = self.arena.slot(cur).next.load(Ordering::Acquire);
+        }
+        if cur == NULL_VIDX {
+            return;
+        }
+        let first_pred = if cur == head {
+            // Packed head: it is the claim target, skip it.
+            cur = self.packed.node(cur).next.load(Ordering::Acquire);
+            head
+        } else {
+            last_single
+        };
+        let mut tail: Vec<u64> = Vec::new();
+        while cur != NULL_VIDX {
+            if !is_packed(cur) {
+                return; // mid-chain single: lost a race with a restructure
+            }
+            tail.push(cur);
+            cur = self.packed.node(cur).next.load(Ordering::Acquire);
+        }
+        let leaks = |h: u64| {
+            let node = self.packed.node(h);
+            let sorted = node.sorted.load(Ordering::Relaxed) as usize;
+            let sorted_mask = ((1u64 << sorted) - 1) as u32;
+            self.live_mask(node) & !sorted_mask != 0
+        };
+        let live_count = |h: u64| self.live_mask(self.packed.node(h)).count_ones() as usize;
+        // Fully-sorted full nodes are left alone — rebuilding them would be
+        // pure churn. An underfull *last* node is the legitimate remainder.
+        let Some(first_worthy) = (0..tail.len())
+            .find(|&i| leaks(tail[i]) || (live_count(tail[i]) < PACK_CAP && i + 1 < tail.len()))
+        else {
+            return;
+        };
+        // Cheap pre-gate before any sealing: non-head nodes gain no new
+        // claims, so live counts only shrink and this estimate of the
+        // rebuild's node savings is an upper bound. Refused runs (the
+        // common per-spill case: a full tail that is merely unsorted) cost
+        // one chain walk and no seals.
+        {
+            let estimate: usize = tail[first_worthy..].iter().map(|&h| live_count(h)).sum();
+            if (tail.len() - first_worthy).saturating_sub(estimate.div_ceil(PACK_CAP)) < 2 {
+                return;
+            }
+        }
+        // Seal the run and verify it is movable; an unstamped live entry
+        // (checked post-seal, so the entry set is final) keeps its node in
+        // the chain and pushes the start of the rebuilt run past it.
+        let mut start = first_worthy;
+        let mut ready_masks: Vec<u32> = Vec::new();
+        for (i, &h) in tail[first_worthy..].iter().enumerate() {
+            let node = self.packed.node(h);
+            let ready = Self::seal(node);
+            ready_masks.push(ready);
+            let live = ready & !(node.dead.load(Ordering::Acquire) as u32);
+            for j in 0..PACK_CAP {
+                if live & (1 << j) != 0 && node.cts[j].load(Ordering::Acquire) == 0 {
+                    start = first_worthy + i + 1;
+                    break;
+                }
+            }
+        }
+        if start >= tail.len() {
+            return;
+        }
+        let run = &tail[start..];
+        let total_live: usize = run.iter().map(|&h| live_count(h)).sum();
+        let saved = run.len().saturating_sub(total_live.div_ceil(PACK_CAP));
+        // Rebuild only when it shortens the chain by at least two nodes.
+        // Sorting a full spill tail *without* shrinking it measured as a
+        // net loss (the high-contention read-heavy cell drops 6–12% when
+        // the pass fires per spill): snapshot reads are dominated by the
+        // newest versions near the head, so in-node binary search on the
+        // cold tail cannot repay a per-spill copy + retire of the whole
+        // run. Fewer hops can — this gate makes the pass a compaction of
+        // underfull migrated nodes and prune-sparsified nodes only.
+        if saved < 2 {
+            return;
+        }
+        // Collect the run's live entries, newest first (ties broken by
+        // writer start for determinism, as in migration).
+        let mut entries: Vec<(u64, u64, Option<Bytes>)> = Vec::new();
+        for &h in run {
+            let node = self.packed.node(h);
+            let live = self.live_mask(node);
+            for j in 0..PACK_CAP {
+                if live & (1 << j) != 0 {
+                    entries.push((
+                        node.ws[j].load(Ordering::Relaxed),
+                        node.cts[j].load(Ordering::Acquire),
+                        node.vals[j].lock().clone(),
+                    ));
+                }
+            }
+        }
+        entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(b.0.cmp(&a.0)));
+        // Rebuild as full sorted nodes (cold tails need no claim room) and
+        // wire the replacement run to the first kept node after the run.
+        let keep_next = self
+            .packed
+            .node(*tail.last().expect("run is non-empty"))
+            .next
+            .load(Ordering::Acquire);
+        let mut nodes: Vec<u64> = Vec::new();
+        let mut off = 0;
+        while off < entries.len() {
+            let take = PACK_CAP.min(entries.len() - off);
+            nodes.push(self.packed.alloc_built(&entries[off..off + take]));
+            off += take;
+        }
+        for w in nodes.windows(2) {
+            self.packed.node(w[0]).next.store(w[1], Ordering::Relaxed);
+        }
+        if let Some(&last) = nodes.last() {
+            self.packed
+                .node(last)
+                .next
+                .store(keep_next, Ordering::Relaxed);
+        }
+        let new_first = nodes.first().copied().unwrap_or(keep_next);
+        // Attach, then unlink: the old run drops out of the chain with one
+        // predecessor-link store; its internal links stay intact for any
+        // reader still standing inside it.
+        let pred = if start == 0 {
+            first_pred
+        } else {
+            tail[start - 1]
+        };
+        if is_packed(pred) {
+            self.packed
+                .node(pred)
+                .next
+                .store(new_first, Ordering::Release);
+        } else {
+            self.arena
+                .slot(pred)
+                .next
+                .store(new_first, Ordering::Release);
+        }
+        self.packed_retired
+            .fetch_add(run.len() as u64, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            for &ready in &ready_masks[start - first_worthy..] {
+                obs.packed_occupancy.record(ready.count_ones() as u64);
+            }
+        }
+        self.retire_all(run);
+        self.reset_len(entry);
+    }
+
+    /// Unlinks and returns (for retirement) every packed node whose live
+    /// set is empty. Each candidate is first *sealed* — late claims are
+    /// locked out and in-flight ones waited for — then re-checked, so a
+    /// concurrent publish into the node either lands before the seal (the
+    /// node stays) or fails its claim and re-reads the chain head. Caller
+    /// holds the entry lock.
+    fn retire_dead_nodes(&self, entry: &KeyEntry) -> Vec<u64> {
+        let mut fully_dead: Vec<u64> = Vec::new();
+        let mut cur = entry.head.load(Ordering::Acquire);
+        while cur != NULL_VIDX {
+            if is_packed(cur) {
+                let node = self.packed.node(cur);
+                if self.live_mask(node) == 0 {
+                    let ready = Self::seal(node);
+                    if ready & !(node.dead.load(Ordering::Acquire) as u32) == 0 {
+                        fully_dead.push(cur);
+                        if let Some(obs) = &self.obs {
+                            obs.packed_occupancy.record(ready.count_ones() as u64);
+                        }
+                    }
+                }
+            }
+            cur = self.next_of(cur);
+        }
+        if fully_dead.is_empty() {
+            return fully_dead;
+        }
+        let removed = self.sweep_chain(entry, |h| fully_dead.contains(&h));
+        debug_assert_eq!(removed.len(), fully_dead.len());
+        self.packed_retired
+            .fetch_add(removed.len() as u64, Ordering::Relaxed);
+        removed
     }
 
     /// Stamps the commit timestamp onto a writer's versions (eager §2.2
@@ -549,34 +1428,77 @@ impl ArenaStore {
         for key in keys {
             if let Some(entry) = self.table.find(key) {
                 let mut cur = entry.head.load(Ordering::Acquire);
-                while cur != NULL_VIDX {
-                    let slot = self.arena.slot(cur);
-                    if slot.writer_start.load(Ordering::Relaxed) == writer_start.raw() {
-                        slot.committed_at.store(commit_ts.raw(), Ordering::Release);
-                        break;
+                'chain: while cur != NULL_VIDX {
+                    if is_packed(cur) {
+                        let node = self.packed.node(cur);
+                        let live = self.live_mask(node);
+                        for i in 0..PACK_CAP {
+                            if live & (1 << i) != 0
+                                && node.ws[i].load(Ordering::Relaxed) == writer_start.raw()
+                            {
+                                node.cts[i].store(commit_ts.raw(), Ordering::Release);
+                                break 'chain;
+                            }
+                        }
+                    } else {
+                        let slot = self.arena.slot(cur);
+                        if slot.writer_start.load(Ordering::Relaxed) == writer_start.raw() {
+                            slot.committed_at.store(commit_ts.raw(), Ordering::Release);
+                            break 'chain;
+                        }
                     }
-                    cur = slot.next.load(Ordering::Acquire);
+                    cur = self.next_of(cur);
                 }
             }
         }
     }
 
-    /// Removes a writer's versions (abort cleanup).
+    /// Removes a writer's versions (abort cleanup): singles are unlinked,
+    /// packed entries dead-marked (retiring any node that empties).
     pub(crate) fn remove_versions<'a, I>(&self, writer_start: Timestamp, keys: I)
     where
         I: IntoIterator<Item = &'a Bytes>,
     {
         let _pin = self.epochs.pin();
+        let ws = writer_start.raw();
         for key in keys {
             if let Some(entry) = self.table.find(key) {
                 let _guard = entry.lock.lock();
-                let removed = self.sweep_chain(entry, |_, slot| {
-                    slot.writer_start.load(Ordering::Relaxed) == writer_start.raw()
-                });
-                if !removed.is_empty() {
-                    self.reset_len(entry);
-                    self.retire_all(&removed);
+                let mut doomed: Vec<u64> = Vec::new();
+                let mut marked = false;
+                let mut cur = entry.head.load(Ordering::Acquire);
+                while cur != NULL_VIDX {
+                    if is_packed(cur) {
+                        let node = self.packed.node(cur);
+                        let live = self.live_mask(node);
+                        let mut mask = 0u64;
+                        for i in 0..PACK_CAP {
+                            if live & (1 << i) != 0 && node.ws[i].load(Ordering::Relaxed) == ws {
+                                mask |= 1 << i;
+                            }
+                        }
+                        if mask != 0 {
+                            Self::mark_dead(node, mask);
+                            marked = true;
+                        }
+                    } else if self.arena.slot(cur).writer_start.load(Ordering::Relaxed) == ws {
+                        doomed.push(cur);
+                    }
+                    cur = self.next_of(cur);
                 }
+                if doomed.is_empty() && !marked {
+                    continue;
+                }
+                let mut removed = if doomed.is_empty() {
+                    Vec::new()
+                } else {
+                    self.sweep_chain(entry, |h| doomed.contains(&h))
+                };
+                if marked {
+                    removed.extend(self.retire_dead_nodes(entry));
+                }
+                self.reset_len(entry);
+                self.retire_all(&removed);
             }
         }
     }
@@ -603,33 +1525,90 @@ impl ArenaStore {
     /// Chain-walk core of `read`/`scan`. Returns `None` when no version is
     /// visible, `Some(None)` for a visible tombstone. Caller must hold an
     /// epoch pin.
+    ///
+    /// A packed node resolves in two steps: a **binary search** over its
+    /// sorted prefix (descending commit timestamps — the first index below
+    /// the snapshot is the newest visible there, modulo dead bits), then a
+    /// linear pass over the claimed suffix, whose commit order is unknown.
     fn read_chain<R: VersionResolver + ?Sized>(
         &self,
         entry: &KeyEntry,
         reader_start: Timestamp,
         resolver: &R,
     ) -> Option<Option<Bytes>> {
-        let mut best: Option<(u64, u64)> = None; // (packed, commit_ts)
+        let mut best: Option<(Loc, u64)> = None;
         let mut cur = entry.head.load(Ordering::Acquire);
         while cur != NULL_VIDX {
-            let slot = self.arena.slot(cur);
-            let stamped = slot.committed_at.load(Ordering::Acquire);
-            let commit_ts = if stamped != 0 {
-                Some(stamped)
+            if is_packed(cur) {
+                let node = self.packed.node(cur);
+                let live = self.live_mask(node);
+                let sorted = node.sorted.load(Ordering::Relaxed) as usize;
+                if sorted > 0 {
+                    let (mut lo, mut hi) = (0usize, sorted);
+                    while lo < hi {
+                        let mid = (lo + hi) / 2;
+                        if node.cts[mid].load(Ordering::Relaxed) < reader_start.raw() {
+                            hi = mid;
+                        } else {
+                            lo = mid + 1;
+                        }
+                    }
+                    for i in lo..sorted {
+                        if live & (1 << i) != 0 {
+                            let ts = node.cts[i].load(Ordering::Relaxed);
+                            if best.is_none_or(|(_, b)| ts > b) {
+                                best = Some((Loc::Packed(cur, i), ts));
+                            }
+                            break;
+                        }
+                    }
+                }
+                for i in sorted..PACK_CAP {
+                    if live & (1 << i) == 0 {
+                        continue;
+                    }
+                    let stamped = node.cts[i].load(Ordering::Acquire);
+                    let commit_ts = if stamped != 0 {
+                        Some(stamped)
+                    } else {
+                        resolver
+                            .resolve(Timestamp(node.ws[i].load(Ordering::Relaxed)))
+                            .commit_ts()
+                            .map(Timestamp::raw)
+                    };
+                    if let Some(ts) = commit_ts {
+                        if ts < reader_start.raw() && best.is_none_or(|(_, b)| ts > b) {
+                            best = Some((Loc::Packed(cur, i), ts));
+                        }
+                    }
+                }
             } else {
-                resolver
-                    .resolve(Timestamp(slot.writer_start.load(Ordering::Relaxed)))
-                    .commit_ts()
-                    .map(Timestamp::raw)
-            };
-            if let Some(ts) = commit_ts {
-                if ts < reader_start.raw() && best.is_none_or(|(_, b)| ts > b) {
-                    best = Some((cur, ts));
+                let slot = self.arena.slot(cur);
+                let stamped = slot.committed_at.load(Ordering::Acquire);
+                let commit_ts = if stamped != 0 {
+                    Some(stamped)
+                } else {
+                    resolver
+                        .resolve(Timestamp(slot.writer_start.load(Ordering::Relaxed)))
+                        .commit_ts()
+                        .map(Timestamp::raw)
+                };
+                if let Some(ts) = commit_ts {
+                    if ts < reader_start.raw() && best.is_none_or(|(_, b)| ts > b) {
+                        best = Some((Loc::Single(cur), ts));
+                    }
                 }
             }
-            cur = slot.next.load(Ordering::Acquire);
+            cur = self.next_of(cur);
         }
-        best.map(|(packed, _)| self.arena.slot(packed).value.lock().clone())
+        best.map(|(loc, _)| self.value_of(loc))
+    }
+
+    fn value_of(&self, loc: Loc) -> Option<Bytes> {
+        match loc {
+            Loc::Single(h) => self.arena.slot(h).value.lock().clone(),
+            Loc::Packed(h, i) => self.packed.node(h).vals[i].lock().clone(),
+        }
     }
 
     /// Range scan over the ordered key index. Holds the index's read lock
@@ -670,7 +1649,7 @@ impl ArenaStore {
             .count()
     }
 
-    /// Total published versions.
+    /// Total live published versions.
     pub(crate) fn version_count(&self) -> usize {
         let _pin = self.epochs.pin();
         let n = self.table.entries.len();
@@ -679,12 +1658,18 @@ impl ArenaStore {
             .sum()
     }
 
+    /// Live version count of a chain (packed nodes contribute their live
+    /// entries, not 1).
     fn chain_len(&self, entry: &KeyEntry) -> usize {
         let mut len = 0;
         let mut cur = entry.head.load(Ordering::Acquire);
         while cur != NULL_VIDX {
-            len += 1;
-            cur = self.arena.slot(cur).next.load(Ordering::Acquire);
+            len += if is_packed(cur) {
+                self.live_mask(self.packed.node(cur)).count_ones() as usize
+            } else {
+                1
+            };
+            cur = self.next_of(cur);
         }
         len
     }
@@ -725,16 +1710,9 @@ impl ArenaStore {
         for (key, &idx) in index.iter() {
             let entry = self.table.entries.get(idx);
             let mut stamps: Vec<(u64, Option<u64>)> = Vec::new();
-            let mut cur = entry.head.load(Ordering::Acquire);
-            while cur != NULL_VIDX {
-                let slot = self.arena.slot(cur);
-                let stamped = slot.committed_at.load(Ordering::Acquire);
-                stamps.push((
-                    slot.writer_start.load(Ordering::Relaxed),
-                    (stamped != 0).then_some(stamped),
-                ));
-                cur = slot.next.load(Ordering::Acquire);
-            }
+            self.for_each_live(entry, |_, ws, cts| {
+                stamps.push((ws, (cts != 0).then_some(cts)));
+            });
             if !stamps.is_empty() {
                 stamps.sort_unstable_by_key(|(ws, _)| *ws);
                 out.push((key.clone(), stamps));
@@ -744,12 +1722,12 @@ impl ArenaStore {
     }
 
     /// Incremental, non-blocking GC sweep: per key (under that key's
-    /// restructuring lock only — readers never wait), resolve every
+    /// restructuring lock only — readers never wait), resolve every live
     /// version's fate, stamp surviving committed versions, unlink aborted
-    /// versions and committed versions superseded below the watermark, and
-    /// retire the unlinked ones to the limbo list. Same keep rule — and
-    /// therefore identical [`GcStats`] on a quiescent store — as the locked
-    /// layout.
+    /// and superseded singles, dead-mark the packed equivalents (retiring
+    /// nodes that empty), and retire the unlinked nodes to the limbo list.
+    /// Same keep rule — and therefore identical [`GcStats`] on a quiescent
+    /// store — as the locked layout.
     pub(crate) fn gc<R: VersionResolver + ?Sized>(
         &self,
         watermark: Timestamp,
@@ -768,60 +1746,93 @@ impl ArenaStore {
             let mut had_any = false;
             let mut bound: Option<u64> = None;
             // Pass 1: resolve fates and stamp; record per-version verdicts.
-            let mut verdicts: Vec<(u64, Verdict)> = Vec::new();
+            let mut verdicts: Vec<(Loc, Verdict)> = Vec::new();
             let mut cur = entry.head.load(Ordering::Acquire);
             while cur != NULL_VIDX {
-                had_any = true;
-                let slot = self.arena.slot(cur);
-                let stamped = slot.committed_at.load(Ordering::Acquire);
-                let status = if stamped != 0 {
-                    TxnStatus::Committed(Timestamp(stamped))
-                } else {
-                    resolver.resolve(Timestamp(slot.writer_start.load(Ordering::Relaxed)))
-                };
-                let verdict = match status {
-                    TxnStatus::Committed(ts) => {
-                        if stamped == 0 {
-                            slot.committed_at.store(ts.raw(), Ordering::Release);
-                            stats.versions_stamped += 1;
+                if is_packed(cur) {
+                    let node = self.packed.node(cur);
+                    let live = self.live_mask(node);
+                    for i in 0..PACK_CAP {
+                        if live & (1 << i) == 0 {
+                            continue;
                         }
-                        if ts.raw() < watermark.raw() && bound.is_none_or(|b| ts.raw() > b) {
-                            bound = Some(ts.raw());
-                        }
-                        Verdict::Committed(ts.raw())
+                        had_any = true;
+                        let stamped = node.cts[i].load(Ordering::Acquire);
+                        let status = if stamped != 0 {
+                            TxnStatus::Committed(Timestamp(stamped))
+                        } else {
+                            resolver.resolve(Timestamp(node.ws[i].load(Ordering::Relaxed)))
+                        };
+                        let verdict = Self::classify(
+                            status,
+                            stamped,
+                            watermark,
+                            &mut bound,
+                            &mut stats,
+                            |ts| node.cts[i].store(ts, Ordering::Release),
+                        );
+                        verdicts.push((Loc::Packed(cur, i), verdict));
                     }
-                    TxnStatus::Aborted => Verdict::Aborted,
-                    TxnStatus::Pending => Verdict::Pending,
-                };
-                verdicts.push((cur, verdict));
-                cur = slot.next.load(Ordering::Acquire);
+                } else {
+                    had_any = true;
+                    let slot = self.arena.slot(cur);
+                    let stamped = slot.committed_at.load(Ordering::Acquire);
+                    let status = if stamped != 0 {
+                        TxnStatus::Committed(Timestamp(stamped))
+                    } else {
+                        resolver.resolve(Timestamp(slot.writer_start.load(Ordering::Relaxed)))
+                    };
+                    let verdict =
+                        Self::classify(status, stamped, watermark, &mut bound, &mut stats, |ts| {
+                            slot.committed_at.store(ts, Ordering::Release)
+                        });
+                    verdicts.push((Loc::Single(cur), verdict));
+                }
+                cur = self.next_of(cur);
             }
             if !had_any {
                 continue;
             }
-            // Pass 2: unlink per the keep rule. Deterministic by packed
-            // handle so a sweep restart (racing publisher) re-derives the
+            // Pass 2: unlink/mark per the keep rule. Deterministic by
+            // location so a sweep restart (racing publisher) re-derives the
             // same decisions.
-            let doomed: Vec<u64> = verdicts
-                .iter()
-                .filter_map(|&(packed, v)| match v {
-                    Verdict::Aborted => Some(packed),
-                    Verdict::Committed(ts) if bound.is_some_and(|b| ts < b) => Some(packed),
-                    _ => None,
-                })
-                .collect();
-            for &(_, v) in &verdicts {
-                match v {
-                    Verdict::Aborted => stats.aborted_removed += 1,
-                    Verdict::Committed(ts) if bound.is_some_and(|b| ts < b) => {
-                        stats.versions_dropped += 1
+            let mut doomed_singles: Vec<u64> = Vec::new();
+            let mut node_masks: Vec<(u64, u64)> = Vec::new();
+            for &(loc, v) in &verdicts {
+                let doom = match v {
+                    Verdict::Aborted => {
+                        stats.aborted_removed += 1;
+                        true
                     }
-                    _ => {}
+                    Verdict::Committed(ts) if bound.is_some_and(|b| ts < b) => {
+                        stats.versions_dropped += 1;
+                        true
+                    }
+                    _ => false,
+                };
+                if doom {
+                    match loc {
+                        Loc::Single(h) => doomed_singles.push(h),
+                        Loc::Packed(h, i) => match node_masks.iter_mut().find(|(n, _)| *n == h) {
+                            Some((_, mask)) => *mask |= 1 << i,
+                            None => node_masks.push((h, 1 << i)),
+                        },
+                    }
                 }
             }
-            if !doomed.is_empty() {
-                let removed = self.sweep_chain(entry, |packed, _| doomed.contains(&packed));
-                debug_assert_eq!(removed.len(), doomed.len());
+            if !doomed_singles.is_empty() || !node_masks.is_empty() {
+                for &(h, mask) in &node_masks {
+                    Self::mark_dead(self.packed.node(h), mask);
+                }
+                let mut removed = if doomed_singles.is_empty() {
+                    Vec::new()
+                } else {
+                    self.sweep_chain(entry, |h| doomed_singles.contains(&h))
+                };
+                debug_assert_eq!(removed.len(), doomed_singles.len());
+                if !node_masks.is_empty() {
+                    removed.extend(self.retire_dead_nodes(entry));
+                }
                 self.reset_len(entry);
                 self.retire_all(&removed);
             }
@@ -845,11 +1856,38 @@ impl ArenaStore {
         stats
     }
 
+    /// Shared GC pass-1 bookkeeping: stamps a committed-but-unstamped
+    /// version via `stamp`, folds the version into the keep bound, and
+    /// returns its verdict.
+    fn classify(
+        status: TxnStatus,
+        stamped: u64,
+        watermark: Timestamp,
+        bound: &mut Option<u64>,
+        stats: &mut GcStats,
+        stamp: impl FnOnce(u64),
+    ) -> Verdict {
+        match status {
+            TxnStatus::Committed(ts) => {
+                if stamped == 0 {
+                    stamp(ts.raw());
+                    stats.versions_stamped += 1;
+                }
+                if ts.raw() < watermark.raw() && bound.is_none_or(|b| ts.raw() > b) {
+                    *bound = Some(ts.raw());
+                }
+                Verdict::Committed(ts.raw())
+            }
+            TxnStatus::Aborted => Verdict::Aborted,
+            TxnStatus::Pending => Verdict::Pending,
+        }
+    }
+
     /// Epoch maintenance: advance the global epoch (at most twice — each
     /// step re-checks that every pinned participant has caught up) and free
     /// limbo entries whose grace period (`retire epoch + 2 ≤ global`) has
-    /// expired. Called from GC and from the `Db` watermark tick; cheap when
-    /// there is nothing to do.
+    /// expired, routing each handle to its arena by tag. Called from GC and
+    /// from the `Db` watermark tick; cheap when there is nothing to do.
     pub(crate) fn maintain(&self) {
         let mut advanced = false;
         for _ in 0..2 {
@@ -874,7 +1912,11 @@ impl ArenaStore {
         };
         if !expired.is_empty() {
             for &packed in &expired {
-                self.arena.free(packed);
+                if is_packed(packed) {
+                    self.packed.free(packed);
+                } else {
+                    self.arena.free(packed);
+                }
             }
             self.freed
                 .fetch_add(expired.len() as u64, Ordering::Relaxed);
@@ -903,7 +1945,8 @@ impl ArenaStore {
         let retired = self.retired.load(Ordering::Relaxed);
         let freed = self.freed.load(Ordering::Relaxed);
         obs.limbo.set(retired.saturating_sub(freed));
-        obs.chunks.set(self.arena.chunk_count());
+        obs.chunks
+            .set(self.arena.chunk_count() + self.packed.chunk_count());
     }
 
     /// Reclamation accounting snapshot.
@@ -915,31 +1958,29 @@ impl ArenaStore {
             retired,
             freed,
             limbo: retired - freed,
-            chunks: self.arena.chunk_count(),
+            chunks: self.arena.chunk_count() + self.packed.chunk_count(),
+            migrations: self.migrations.load(Ordering::Relaxed),
+            packed_retired: self.packed_retired.load(Ordering::Relaxed),
         }
     }
 
-    /// Unlinks every version `should_remove` selects, returning the removed
-    /// handles (the caller retires them). Must be called under the entry's
-    /// restructuring lock; the predicate must be pure, because a racing
-    /// publisher CAS on the head forces a restart from the (new) head.
+    /// Unlinks every chain node `should_remove` selects (by handle),
+    /// returning the removed handles (the caller retires them). Must be
+    /// called under the entry's restructuring lock; the predicate must be
+    /// pure, because a racing publisher CAS on the head forces a restart
+    /// from the (new) head.
     ///
-    /// Unlinking never touches a removed version's own `next` pointer, so a
-    /// concurrent reader standing on an unlinked version still walks into
-    /// the live remainder of the chain.
-    fn sweep_chain(
-        &self,
-        entry: &KeyEntry,
-        should_remove: impl Fn(u64, &Slot) -> bool,
-    ) -> Vec<u64> {
+    /// Unlinking never touches a removed node's own `next` pointer, so a
+    /// concurrent reader standing on an unlinked node still walks into the
+    /// live remainder of the chain.
+    fn sweep_chain(&self, entry: &KeyEntry, should_remove: impl Fn(u64) -> bool) -> Vec<u64> {
         let mut removed = Vec::new();
         'restart: loop {
             let mut prev: Option<u64> = None;
             let mut cur = entry.head.load(Ordering::Acquire);
             while cur != NULL_VIDX {
-                let slot = self.arena.slot(cur);
-                let next = slot.next.load(Ordering::Acquire);
-                if should_remove(cur, slot) {
+                let next = self.next_of(cur);
+                if should_remove(cur) && !removed.contains(&cur) {
                     match prev {
                         None => {
                             // Removing the head races only with publishers
@@ -956,7 +1997,7 @@ impl ArenaStore {
                         // Mid-chain `next` pointers are only written by
                         // restructurers, which we exclude via the entry
                         // lock: a plain store is race-free.
-                        Some(p) => self.arena.slot(p).next.store(next, Ordering::Release),
+                        Some(p) => self.next_atomic(p).store(next, Ordering::Release),
                     }
                     removed.push(cur);
                 } else {
@@ -969,13 +2010,26 @@ impl ArenaStore {
         removed
     }
 
-    /// Re-derives the exact chain length after a restructure.
+    /// Re-derives the exact chain length (and singles count) after a
+    /// restructure.
     fn reset_len(&self, entry: &KeyEntry) {
-        let len = self.chain_len(entry) as u32;
+        let mut len = 0u32;
+        let mut singles = 0u32;
+        let mut cur = entry.head.load(Ordering::Acquire);
+        while cur != NULL_VIDX {
+            if is_packed(cur) {
+                len += self.live_mask(self.packed.node(cur)).count_ones();
+            } else {
+                len += 1;
+                singles += 1;
+            }
+            cur = self.next_of(cur);
+        }
         entry.approx_len.store(len, Ordering::Relaxed);
+        entry.singles.store(singles, Ordering::Relaxed);
     }
 
-    /// Retires unlinked versions to the limbo list at the current epoch.
+    /// Retires unlinked nodes to the limbo list at the current epoch.
     fn retire_all(&self, removed: &[u64]) {
         if removed.is_empty() {
             return;
@@ -1028,6 +2082,10 @@ mod tests {
         assert_eq!(VersionIdx::generation(packed), 7);
         assert_eq!(VersionIdx::slot(packed), 1234);
         assert_ne!(packed, NULL_VIDX);
+        assert!(!is_packed(packed));
+        let tagged = VersionIdx::pack(7, 1234 | PACKED_TAG);
+        assert!(is_packed(tagged));
+        assert!(!is_packed(NULL_VIDX), "null is never a packed handle");
     }
 
     #[test]
@@ -1043,6 +2101,20 @@ mod tests {
             VersionIdx::generation(a) + 1,
             "generation bumped: stale handles cannot alias"
         );
+    }
+
+    #[test]
+    fn packed_arena_recycles_nodes_with_fresh_generations() {
+        let packed = PackedArena::new();
+        let a = packed.alloc_spill(Timestamp(1), Some(b("x")));
+        assert!(is_packed(a));
+        packed.free(a);
+        let c = packed.alloc_spill(Timestamp(2), Some(b("y")));
+        assert_eq!(VersionIdx::slot(c), VersionIdx::slot(a), "node recycled");
+        assert_eq!(VersionIdx::generation(c), VersionIdx::generation(a) + 1);
+        let node = packed.node(c);
+        assert_eq!(occ_claims(node.occ.load(Ordering::Relaxed)), 1);
+        assert_eq!(node.dead.load(Ordering::Relaxed), 0, "free resets state");
     }
 
     #[test]
@@ -1087,6 +2159,149 @@ mod tests {
         assert_eq!(
             store.read(b"k", Timestamp(100), &resolver_none),
             SnapshotRead::Absent
+        );
+    }
+
+    /// Write+stamp `n` versions of `key` with starts `2i-1`, commits `2i`.
+    fn hammer(store: &ArenaStore, key: &str, n: u64) {
+        for i in 1..=n {
+            store.insert_version(b(key), Timestamp(2 * i - 1), Some(b(&format!("v{i}"))));
+            store.stamp_commit(Timestamp(2 * i - 1), Timestamp(2 * i), [&b(key)]);
+        }
+    }
+
+    #[test]
+    fn hot_chains_migrate_into_packed_nodes() {
+        let store = ArenaStore::new();
+        hammer(&store, "hot", 12);
+        let rec = store.reclamation();
+        assert!(rec.migrations >= 1, "12 stamped singles trigger migration");
+        assert_eq!(store.version_count(), 12, "no version lost or duplicated");
+        assert_eq!(rec.retired, rec.freed + rec.limbo);
+        // Every historical snapshot still resolves to the right version.
+        for i in 1..=12u64 {
+            assert_eq!(
+                store.read(b"hot", Timestamp(2 * i + 1), &resolver_none),
+                SnapshotRead::Value(b(&format!("v{i}"))),
+                "snapshot just after commit {i}"
+            );
+        }
+        assert_eq!(
+            store.read(b"hot", Timestamp(2), &resolver_none),
+            SnapshotRead::Absent,
+            "snapshot at the first commit sees nothing (strict <)"
+        );
+    }
+
+    #[test]
+    fn spills_trigger_consolidation_of_the_cold_tail() {
+        let store = ArenaStore::new();
+        // Enough stamped writes for several spills past the first
+        // migration, so the cold tail accumulates unsorted spill nodes
+        // and the consolidation pass has work to do.
+        hammer(&store, "hot", 80);
+        let rec = store.reclamation();
+        assert!(rec.migrations >= 1);
+        assert!(
+            rec.packed_retired > 0,
+            "consolidation retires rebuilt spill nodes without any gc"
+        );
+        assert_eq!(rec.retired, rec.freed + rec.limbo);
+        assert_eq!(store.version_count(), 80, "no version lost or duplicated");
+        for i in 1..=80u64 {
+            assert_eq!(
+                store.read(b"hot", Timestamp(2 * i + 1), &resolver_none),
+                SnapshotRead::Value(b(&format!("v{i}"))),
+                "snapshot just after commit {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_layout_matches_flat_reads_and_stamps() {
+        let adaptive = ArenaStore::new();
+        let flat = ArenaStore::with_config(false, PRUNE_CHAIN_LEN);
+        for store in [&adaptive, &flat] {
+            hammer(store, "hot", 20);
+            store.insert_version(b("hot"), Timestamp(1001), Some(b("pending")));
+            store.insert_version(b("cold"), Timestamp(1003), Some(b("c")));
+            store.stamp_commit(Timestamp(1003), Timestamp(1004), [&b("cold")]);
+        }
+        assert!(adaptive.reclamation().migrations >= 1);
+        assert_eq!(flat.reclamation().migrations, 0, "flat never migrates");
+        assert_eq!(adaptive.dump_stamps(), flat.dump_stamps());
+        assert_eq!(adaptive.version_count(), flat.version_count());
+        for snap in [3u64, 21, 41, 2000] {
+            assert_eq!(
+                adaptive.read(b"hot", Timestamp(snap), &resolver_none),
+                flat.read(b"hot", Timestamp(snap), &resolver_none)
+            );
+        }
+        assert_eq!(
+            adaptive.scan(b"", None, Timestamp(2000), &resolver_none, usize::MAX),
+            flat.scan(b"", None, Timestamp(2000), &resolver_none, usize::MAX)
+        );
+    }
+
+    #[test]
+    fn fully_dead_packed_nodes_retire_through_limbo() {
+        let store = ArenaStore::new();
+        hammer(&store, "hot", 64);
+        assert!(store.reclamation().migrations >= 1);
+        // Raise the watermark past everything and GC: all but the newest
+        // stamped version is superseded, emptying the older packed nodes.
+        let stats = store.gc(Timestamp(1_000_000), &resolver_none);
+        assert!(stats.versions_dropped > 0);
+        assert_eq!(store.version_count(), 1, "only the newest survives");
+        let rec = store.reclamation();
+        assert!(rec.packed_retired > 0, "emptied packed nodes were retired");
+        assert_eq!(rec.retired, rec.freed + rec.limbo);
+        store.maintain();
+        store.maintain();
+        let rec = store.reclamation();
+        assert_eq!(rec.limbo, 0, "grace period expired, everything freed");
+        assert_eq!(rec.retired, rec.freed);
+        assert_eq!(
+            store.read(b"hot", Timestamp(u64::MAX), &resolver_none),
+            SnapshotRead::Value(b("v64"))
+        );
+    }
+
+    #[test]
+    fn abort_of_a_claimed_packed_entry_dead_marks_it() {
+        let store = ArenaStore::new();
+        hammer(&store, "hot", 10); // migrated: head is a packed node
+        assert!(store.reclamation().migrations >= 1);
+        store.insert_version(b("hot"), Timestamp(101), Some(b("doomed")));
+        let before = store.version_count();
+        store.remove_versions(Timestamp(101), [&b("hot")]);
+        assert_eq!(store.version_count(), before - 1);
+        // The aborted claim is invisible even to a resolver that would
+        // commit it (it is dead, not merely unstamped).
+        let resolver = |_ts: Timestamp| TxnStatus::Committed(Timestamp(102));
+        assert_eq!(
+            store.read(b"hot", Timestamp(1000), &resolver),
+            SnapshotRead::Value(b("v10"))
+        );
+    }
+
+    #[test]
+    fn duplicate_writes_into_a_packed_head_keep_one_version() {
+        let store = ArenaStore::new();
+        hammer(&store, "hot", 10);
+        store.insert_version(b("hot"), Timestamp(201), Some(b("first")));
+        store.insert_version(b("hot"), Timestamp(201), Some(b("second")));
+        store.stamp_commit(Timestamp(201), Timestamp(202), [&b("hot")]);
+        let stamps = store.dump_stamps();
+        let chain = &stamps[0].1;
+        assert_eq!(
+            chain.iter().filter(|(ws, _)| *ws == 201).count(),
+            1,
+            "same-writer rewrite replaced the earlier version"
+        );
+        assert_eq!(
+            store.read(b"hot", Timestamp(1000), &resolver_none),
+            SnapshotRead::Value(b("second"))
         );
     }
 }

@@ -182,6 +182,16 @@ pub struct DbOptions {
     /// selects [`StoreLayout::Locked`] implicitly, so existing call sites
     /// that ask for a shard count keep their meaning.
     pub store_layout: StoreLayout,
+    /// Whether the arena layout adapts hot chains into packed multi-version
+    /// nodes (on by default). Off selects the flat one-version-per-node
+    /// arena, kept for equivalence tests and benchmarks. Only meaningful
+    /// under [`StoreLayout::Arena`].
+    pub arena_adaptive: bool,
+    /// Chain length at which insert-time pruning (and, for the adaptive
+    /// arena, migration pressure) kicks in. The default matches the store's
+    /// historical bound; the `mvcc_scaling` bench's chain-depth sweep
+    /// varies it.
+    pub prune_chain_len: usize,
     /// If set, [`Db::run`]'s retry backoff draws its jitter from a shared
     /// counter seeded here instead of the wall clock, making retry pauses a
     /// pure function of the seed and the draw order — required for
@@ -211,6 +221,8 @@ impl DbOptions {
             oracle: OracleMode::default(),
             store_shards: DEFAULT_STORE_SHARDS,
             store_layout: StoreLayout::default(),
+            arena_adaptive: true,
+            prune_chain_len: crate::mvcc::PRUNE_CHAIN_LEN,
             retry_seed: None,
             journal: true,
         }
@@ -237,6 +249,22 @@ impl DbOptions {
     #[must_use]
     pub fn store_layout(mut self, layout: StoreLayout) -> Self {
         self.store_layout = layout;
+        self
+    }
+
+    /// Enables or disables adaptive packed-node migration in the arena
+    /// layout (see [`DbOptions::arena_adaptive`]).
+    #[must_use]
+    pub fn arena_adaptive(mut self, enabled: bool) -> Self {
+        self.arena_adaptive = enabled;
+        self
+    }
+
+    /// Sets the insert-time prune bound (see
+    /// [`DbOptions::prune_chain_len`]; clamped to ≥ 2).
+    #[must_use]
+    pub fn prune_chain_len(mut self, len: usize) -> Self {
+        self.prune_chain_len = len;
         self
     }
 
@@ -715,10 +743,12 @@ impl Db {
                 )
             }
         };
-        let mut mvcc = match options.store_layout {
-            StoreLayout::Locked => MvccStore::with_shards(options.store_shards),
-            StoreLayout::Arena => MvccStore::arena(),
-        };
+        let mut mvcc = MvccStore::configured(
+            options.store_layout,
+            options.store_shards,
+            options.arena_adaptive,
+            options.prune_chain_len,
+        );
         if let Some(obs) = &obs {
             counters.register_in(&obs.registry);
             if let Some(wal_obs) = &wal_obs {

@@ -117,8 +117,8 @@ impl VersionChain {
     /// commit below the watermark are invisible to every current and future
     /// snapshot (the GC's own keep rule) and can be dropped inline. Returns
     /// the number of versions pruned.
-    fn insert(&mut self, version: Version, watermark: Timestamp) -> u64 {
-        let pruned = if self.versions.len() >= PRUNE_CHAIN_LEN {
+    fn insert(&mut self, version: Version, watermark: Timestamp, prune_len: usize) -> u64 {
+        let pruned = if self.versions.len() >= prune_len {
             self.prune_stamped_below(watermark)
         } else {
             0
@@ -331,6 +331,8 @@ pub(crate) struct LockedStore {
     shards: Vec<Shard>,
     /// `64 - log2(shard count)`; unused when there is one shard.
     shift: u32,
+    /// Chain length arming insert-time pruning.
+    prune_len: usize,
     /// Per-shard lock metrics; `None` outside an instrumented `Db`.
     obs: Option<Arc<StoreShardObs>>,
 }
@@ -350,10 +352,17 @@ impl LockedStore {
     /// Creates an empty store partitioned into `shards` regions (rounded up
     /// to a power of two, minimum 1).
     pub fn with_shards(shards: usize) -> Self {
+        Self::with_config(shards, PRUNE_CHAIN_LEN)
+    }
+
+    /// Creates an empty store with an explicit insert-time prune bound
+    /// (clamped to ≥ 2; the bench's chain-depth sweep varies it).
+    pub fn with_config(shards: usize, prune_len: usize) -> Self {
         let n = shards.max(1).next_power_of_two();
         LockedStore {
             shards: (0..n).map(|_| Shard::default()).collect(),
             shift: 64 - (n as u64).trailing_zeros(),
+            prune_len: prune_len.max(2),
             obs: None,
         }
     }
@@ -448,6 +457,7 @@ impl LockedStore {
                 committed_at: None,
             },
             watermark,
+            self.prune_len,
         );
         drop(data);
         self.note_pruned(pruned);
@@ -471,6 +481,7 @@ impl LockedStore {
                         committed_at: None,
                     },
                     watermark,
+                    self.prune_len,
                 );
             }
             drop(data);
@@ -493,6 +504,7 @@ impl LockedStore {
                         committed_at: None,
                     },
                     watermark,
+                    self.prune_len,
                 );
             }
         }
@@ -815,8 +827,14 @@ pub struct ReclamationStats {
     pub freed: u64,
     /// Versions currently waiting out their grace period (`retired - freed`).
     pub limbo: u64,
-    /// Arena chunks allocated.
+    /// Arena chunks allocated (single-version and packed-node chunks).
     pub chunks: u64,
+    /// Chains migrated from single-version nodes into packed multi-version
+    /// nodes (adaptive layout; lifetime total).
+    pub migrations: u64,
+    /// Packed multi-version nodes retired whole (each also counts once in
+    /// `retired`).
+    pub packed_retired: u64,
 }
 
 /// Which data-plane layout an [`MvccStore`] (and a `Db`) uses.
@@ -841,8 +859,9 @@ pub enum StoreLayout {
 ///   reads take no lock at all; GC is an incremental non-blocking sweep.
 ///
 /// The equivalence proptests in `tests/store_equivalence.rs` drive all
-/// three configurations (locked-1 / locked-16 / arena) through identical
-/// histories and assert identical reads, scans, stamps, and GC stats.
+/// four configurations (locked-1 / locked-16 / flat arena / adaptive
+/// arena) through identical histories and assert identical reads, scans,
+/// stamps, and GC stats.
 #[derive(Debug)]
 pub struct MvccStore {
     inner: StoreImpl,
@@ -851,7 +870,9 @@ pub struct MvccStore {
 #[derive(Debug)]
 enum StoreImpl {
     Locked(LockedStore),
-    Arena(ArenaStore),
+    // Boxed: the arena carries inline counters and epoch state, so the
+    // variant would otherwise dwarf `Locked` (clippy: large_enum_variant).
+    Arena(Box<ArenaStore>),
 }
 
 impl Default for MvccStore {
@@ -876,10 +897,43 @@ impl MvccStore {
         }
     }
 
-    /// Creates an empty lock-free arena store.
+    /// Creates an empty lock-free arena store in the default (adaptive)
+    /// configuration: hot chains migrate into packed multi-version nodes.
     pub fn arena() -> Self {
         MvccStore {
-            inner: StoreImpl::Arena(ArenaStore::new()),
+            inner: StoreImpl::Arena(Box::default()),
+        }
+    }
+
+    /// Creates an empty lock-free arena store that never migrates chains —
+    /// the flat one-version-per-node layout, kept selectable for
+    /// equivalence tests and benchmarks.
+    pub fn arena_flat() -> Self {
+        MvccStore {
+            inner: StoreImpl::Arena(Box::new(ArenaStore::with_config(false, PRUNE_CHAIN_LEN))),
+        }
+    }
+
+    /// Creates a store from explicit configuration: the layout, the locked
+    /// layout's shard count, whether the arena layout adapts hot chains
+    /// into packed nodes, and the insert-time prune bound (`Db::open`'s
+    /// single construction path).
+    pub fn configured(
+        layout: StoreLayout,
+        shards: usize,
+        arena_adaptive: bool,
+        prune_len: usize,
+    ) -> Self {
+        match layout {
+            StoreLayout::Locked => MvccStore {
+                inner: StoreImpl::Locked(LockedStore::with_config(shards, prune_len)),
+            },
+            StoreLayout::Arena => MvccStore {
+                inner: StoreImpl::Arena(Box::new(ArenaStore::with_config(
+                    arena_adaptive,
+                    prune_len,
+                ))),
+            },
         }
     }
 
@@ -1084,11 +1138,13 @@ mod tests {
         }
     }
 
-    /// Every test layout: single-lock, partitioned, and lock-free arena.
-    fn layouts() -> [MvccStore; 3] {
+    /// Every test layout: single-lock, partitioned, flat arena, and
+    /// adaptive arena.
+    fn layouts() -> [MvccStore; 4] {
         [
             MvccStore::new(),
             MvccStore::with_shards(8),
+            MvccStore::arena_flat(),
             MvccStore::arena(),
         ]
     }
@@ -1351,7 +1407,11 @@ mod tests {
         // A hot key written by thousands of already-stamped writers: with
         // the watermark raised past them, the chain must stay bounded by
         // insert-time pruning alone (no explicit GC sweep).
-        for store in [MvccStore::new(), MvccStore::arena()] {
+        for store in [
+            MvccStore::new(),
+            MvccStore::arena_flat(),
+            MvccStore::arena(),
+        ] {
             for i in 1..=4_000u64 {
                 let start = 2 * i - 1;
                 let commit = 2 * i;
@@ -1378,7 +1438,11 @@ mod tests {
         // Mixed chain: stamped-old (prunable), stamped-new (keep bound),
         // unstamped pending (must keep). Grow past the threshold and check
         // the survivors.
-        for store in [MvccStore::new(), MvccStore::arena()] {
+        for store in [
+            MvccStore::new(),
+            MvccStore::arena_flat(),
+            MvccStore::arena(),
+        ] {
             // An unstamped pending version from writer 1.
             store.insert_version(b("k"), Timestamp(1), Some(b("pending")));
             for i in 2..=(PRUNE_CHAIN_LEN as u64 + 8) {
@@ -1404,6 +1468,7 @@ mod tests {
     fn all_layouts_agree_on_a_mixed_workload() {
         let single = MvccStore::new();
         let sharded = MvccStore::with_shards(8);
+        let arena_flat = MvccStore::arena_flat();
         let arena = MvccStore::arena();
         let entries: Vec<(u64, TxnStatus)> = (0..50u64)
             .map(|i| {
@@ -1415,7 +1480,7 @@ mod tests {
                 (i + 1, fate)
             })
             .collect();
-        for store in [&single, &sharded, &arena] {
+        for store in [&single, &sharded, &arena_flat, &arena] {
             for i in 0..50u64 {
                 let key = b(&format!("key-{:03}", i * 7 % 40));
                 let value = (i % 5 != 4).then(|| b(&format!("v{i}")));
@@ -1432,7 +1497,7 @@ mod tests {
             for i in 0..40u64 {
                 let key = format!("key-{i:03}");
                 let expect = single.read(key.as_bytes(), snap, &r);
-                for other in [&sharded, &arena] {
+                for other in [&sharded, &arena_flat, &arena] {
                     assert_eq!(
                         expect,
                         other.read(key.as_bytes(), snap, &r),
@@ -1440,7 +1505,7 @@ mod tests {
                     );
                 }
             }
-            for other in [&sharded, &arena] {
+            for other in [&sharded, &arena_flat, &arena] {
                 assert_eq!(
                     single.scan(b"", None, snap, &r, usize::MAX),
                     other.scan(b"", None, snap, &r, usize::MAX)
@@ -1452,7 +1517,7 @@ mod tests {
             }
         }
         let s1 = single.gc(Timestamp(1015), &r);
-        for other in [&sharded, &arena] {
+        for other in [&sharded, &arena_flat, &arena] {
             assert_eq!(
                 s1,
                 other.gc(Timestamp(1015), &r),
@@ -1465,8 +1530,10 @@ mod tests {
         }
         // Arena GC actually reclaims: everything unlinked is either freed
         // already or waiting out its grace period, never both.
-        let rec = arena.reclamation().expect("arena reports reclamation");
-        assert_eq!(rec.retired, rec.freed + rec.limbo);
-        assert!(rec.retired > 0, "the sweep retired the dropped versions");
+        for store in [&arena_flat, &arena] {
+            let rec = store.reclamation().expect("arena reports reclamation");
+            assert_eq!(rec.retired, rec.freed + rec.limbo);
+            assert!(rec.retired > 0, "the sweep retired the dropped versions");
+        }
     }
 }

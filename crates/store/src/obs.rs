@@ -203,7 +203,8 @@ pub(crate) struct ArenaObs {
     pub(crate) freed: Counter,
     /// Versions currently in limbo (retired − freed).
     pub(crate) limbo: Gauge,
-    /// Arena chunks allocated (each holds a fixed number of version slots).
+    /// Arena chunks allocated, single-version and packed-node chunks
+    /// combined (each holds a fixed number of slots of its kind).
     pub(crate) chunks: Gauge,
     /// Keys with at least one published version, refreshed on GC and
     /// `Db::stats`.
@@ -214,6 +215,17 @@ pub(crate) struct ArenaObs {
     pub(crate) inline_pruned: Counter,
     /// Full store sweeps performed by the GC.
     pub(crate) gc_sweeps: Counter,
+    /// log₂ histogram of chain length observed at each publish (the length
+    /// *after* the insert) — shows how hot the hot keys run and whether
+    /// migration keeps chains short.
+    pub(crate) chain_len: Histogram,
+    /// Chains migrated from single-version nodes into packed multi-version
+    /// nodes (lifetime total).
+    pub(crate) migrations: Counter,
+    /// log₂ histogram of the final occupancy (published entries) of each
+    /// packed node at retire time — how full packed nodes get before they
+    /// drain.
+    pub(crate) packed_occupancy: Histogram,
     /// Flight-recorder handle for GC-sweep and epoch-advance events.
     pub(crate) journal: Option<Journal>,
 }
@@ -230,6 +242,9 @@ impl ArenaObs {
             versions: Gauge::new(),
             inline_pruned: Counter::new(),
             gc_sweeps: Counter::new(),
+            chain_len: Histogram::new(),
+            migrations: Counter::new(),
+            packed_occupancy: Histogram::new(),
             journal,
         }
     }
@@ -245,5 +260,8 @@ impl ArenaObs {
         registry.register_gauge("store_arena_versions", &self.versions);
         registry.register_counter("store_arena_inline_pruned_total", &self.inline_pruned);
         registry.register_counter("store_arena_gc_sweeps_total", &self.gc_sweeps);
+        registry.register_histogram("store_chain_len", &self.chain_len);
+        registry.register_counter("store_chain_migrations_total", &self.migrations);
+        registry.register_histogram("store_packed_node_occupancy", &self.packed_occupancy);
     }
 }

@@ -27,6 +27,18 @@
 //!    oracle's multi-shard lock protocol (`ConcurrentOracle::lock_for`):
 //!    every committer acquires its shard set in ascending shard order, which
 //!    must be deadlock-free and exclusive over the whole set.
+//! 5. **Packed-node occupancy claims vs. concurrent readers** — the
+//!    adaptive arena's in-node publish path (`arena::try_claim`): claim
+//!    indices are unique, an entry is never readable before it is
+//!    initialized (the ready bit is set with a Release `fetch_or` only
+//!    after the entry is built), the ready mask is monotone, and sealing
+//!    stops further claims while every pre-seal claim still publishes.
+//! 6. **Chain migration vs. a reader standing mid-chain** — the adaptive
+//!    arena's attach-then-unlink restructure (`arena::migrate_entry`):
+//!    every committed version stays reachable from the head throughout the
+//!    splice, and a reader parked on an unlinked single still reaches every
+//!    version at or below its position because unlinked nodes keep their
+//!    forward links until the epoch reclaimer frees them (DESIGN.md §13).
 #![cfg(feature = "loom")]
 
 use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -445,5 +457,306 @@ fn decision_guard_ascending_order_is_deadlock_free_and_exclusive() {
         for h in holders.iter() {
             assert_eq!(h.load(Ordering::SeqCst), 0, "all shards released");
         }
+    });
+}
+
+/// Packed-node capacity for protocol model 5 (scaled down from
+/// `arena::PACK_CAP` so the schedule space stays tractable).
+const PCAP: u64 = 4;
+
+/// Sealed flag in the occupancy word's claim half (mirrors
+/// `arena::SEALED`, shifted down to the model's word layout).
+const P_SEALED: u64 = 1 << 31;
+
+/// Claim-count mask (mirrors `arena::CLAIM_MASK`).
+const P_CLAIMS: u64 = P_SEALED - 1;
+
+/// Protocol 5: the packed node's single-word occupancy protocol. The word
+/// packs `ready_bitmask << 32 | (SEALED | claim_count)`; writers claim an
+/// index by CAS-bumping the count, initialize their entry, then publish it
+/// with a Release `fetch_or` of the ready bit. Readers take the Acquire-
+/// loaded ready mask as the only license to touch entries. A sealer flips
+/// `SEALED` concurrently; claims that lost to the seal must not land.
+#[test]
+fn packed_node_claims_are_unique_initialized_and_seal_bounded() {
+    const WRITERS: usize = 2;
+    const TRIES: u64 = 3;
+    loom::model(|| {
+        let occ = Arc::new(AtomicU64::new(0));
+        // Per-entry commit stamp: 0 = uninitialized. Only written by the
+        // claim winner, only read under a set ready bit.
+        let cts: Arc<Vec<AtomicU64>> = Arc::new((0..PCAP).map(|_| AtomicU64::new(0)).collect());
+        // Claim-uniqueness witness: swapping in a writer tag must see 0.
+        let claimed_by: Arc<Vec<AtomicU64>> =
+            Arc::new((0..PCAP).map(|_| AtomicU64::new(0)).collect());
+
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let occ = Arc::clone(&occ);
+                let cts = Arc::clone(&cts);
+                let claimed_by = Arc::clone(&claimed_by);
+                thread::spawn(move || {
+                    for t in 0..TRIES {
+                        // Mirrors `arena::PackedNode::try_claim`.
+                        let idx = loop {
+                            let o = occ.load(Ordering::Acquire);
+                            let claims = o & P_CLAIMS;
+                            if o & P_SEALED != 0 || claims >= PCAP {
+                                break None;
+                            }
+                            if occ
+                                .compare_exchange_weak(
+                                    o,
+                                    o + 1,
+                                    Ordering::Acquire,
+                                    Ordering::Relaxed,
+                                )
+                                .is_ok()
+                            {
+                                break Some(claims);
+                            }
+                        };
+                        let Some(idx) = idx else { return };
+                        assert_eq!(
+                            claimed_by[idx as usize].swap(w as u64 + 1, Ordering::SeqCst),
+                            0,
+                            "claim index {idx} handed out twice"
+                        );
+                        // Build the entry, then publish its ready bit with
+                        // Release — the ordering the reader relies on.
+                        cts[idx as usize].store(100 * (w as u64 + 1) + t, Ordering::Relaxed);
+                        occ.fetch_or(1 << (32 + idx), Ordering::Release);
+                    }
+                })
+            })
+            .collect();
+
+        let sealer = {
+            let occ = Arc::clone(&occ);
+            thread::spawn(move || {
+                thread::yield_now();
+                // Mirrors `arena::PackedNode::seal`: stop new claims, then
+                // wait for every granted claim to publish its ready bit.
+                let o = occ.fetch_or(P_SEALED, Ordering::AcqRel);
+                let claims = o & P_CLAIMS;
+                let mut spins = 0u32;
+                loop {
+                    let now = occ.load(Ordering::Acquire);
+                    if (now >> 32).count_ones() as u64 >= claims {
+                        break;
+                    }
+                    spins += 1;
+                    assert!(spins < 100_000, "granted claim never published");
+                    thread::yield_now();
+                }
+            })
+        };
+
+        let reader = {
+            let occ = Arc::clone(&occ);
+            let cts = Arc::clone(&cts);
+            thread::spawn(move || {
+                let mut last_ready = 0u64;
+                for _ in 0..6 {
+                    let o = occ.load(Ordering::Acquire);
+                    let ready = o >> 32;
+                    assert_eq!(
+                        ready & !last_ready & last_ready,
+                        0,
+                        "ready bits never clear"
+                    );
+                    assert!(ready & last_ready == last_ready, "ready mask is monotone");
+                    assert!(
+                        (ready.count_ones() as u64) <= (o & P_CLAIMS),
+                        "more ready entries than claims"
+                    );
+                    for i in 0..PCAP {
+                        if ready & (1 << i) != 0 {
+                            // The Release fetch_or publishes the entry: a
+                            // set ready bit means a fully built entry.
+                            assert_ne!(
+                                cts[i as usize].load(Ordering::Relaxed),
+                                0,
+                                "ready entry {i} read uninitialized"
+                            );
+                        }
+                    }
+                    last_ready = ready;
+                }
+            })
+        };
+
+        for w in writers {
+            w.join().unwrap();
+        }
+        sealer.join().unwrap();
+        reader.join().unwrap();
+
+        // Quiescent: the node is sealed, every granted claim published, and
+        // no claim landed past the seal (CAS success implies the loaded old
+        // value carried no SEALED bit).
+        let o = occ.load(Ordering::SeqCst);
+        let claims = o & P_CLAIMS;
+        assert_ne!(o & P_SEALED, 0, "sealed");
+        assert!(claims <= PCAP, "claims bounded by capacity");
+        assert_eq!(
+            (o >> 32).count_ones() as u64,
+            claims,
+            "every granted claim published exactly one ready bit"
+        );
+        for i in 0..claims {
+            assert_ne!(
+                cts[i as usize].load(Ordering::SeqCst),
+                0,
+                "claimed entry {i} left uninitialized"
+            );
+        }
+    });
+}
+
+/// Singles in protocol model 6's chain (head = index 3, tail = index 0).
+const M_SINGLES: usize = 4;
+
+/// Packed-pointer tag for model 6 (mirrors `arena::PACKED_TAG`: bit 31 of
+/// the handle distinguishes packed nodes from single slots).
+const M_PTAG: u64 = 1 << 31;
+
+/// Protocol 6: attach-then-unlink chain migration. The chain starts as four
+/// stamped singles `3 → 2 → 1 → 0 → NULL` (commit stamp of single `i` is
+/// `10·(i+1)`). The migrator packs the suffix `[1, 0]` into a packed node
+/// whose `next` copies the suffix tail's `next` (attach), then splices the
+/// node in with one Release store to `single[2].next` (unlink). The
+/// unlinked singles are *not* touched: their stamps and forward links stay
+/// intact until the epoch reclaimer (model 2) frees them. Two readers
+/// check both halves of the safety argument in DESIGN.md §13:
+///
+/// * a head walker always finds every committed stamp `{40, 30, 20, 10}`,
+///   mid-splice included;
+/// * a reader standing on single 1 — the stale position a concurrent walk
+///   can legitimately hold while the splice happens — still reaches every
+///   stamp at or below its position (`{20, 10}`) through the old links.
+#[test]
+fn chain_migration_keeps_every_version_reachable() {
+    loom::model(|| {
+        // Single slots: committed_at preset (all stamped — `migrate_entry`
+        // only moves stamped singles), next links 3→2→1→0→NULL.
+        let singles: Arc<Vec<Slot>> = Arc::new(
+            (0..M_SINGLES)
+                .map(|i| {
+                    let s = Slot::vacant();
+                    s.writer_start.store(i as u64 + 1, Ordering::Relaxed);
+                    s.committed_at.store(10 * (i as u64 + 1), Ordering::Relaxed);
+                    s.next
+                        .store(if i == 0 { NULL } else { i as u64 - 1 }, Ordering::Relaxed);
+                    s
+                })
+                .collect(),
+        );
+        let head = Arc::new(AtomicU64::new(3));
+        // The packed replacement node: stamps sorted descending (the
+        // in-node binary-search order), count, and a chain link.
+        let packed_cts: Arc<Vec<AtomicU64>> = Arc::new((0..2).map(|_| AtomicU64::new(0)).collect());
+        let packed_next = Arc::new(AtomicU64::new(NULL));
+
+        // Walks the chain from `start`, collecting commit stamps.
+        let collect =
+            |start: u64, singles: &[Slot], packed_cts: &[AtomicU64], packed_next: &AtomicU64| {
+                let mut stamps = Vec::new();
+                let mut cur = start;
+                let mut hops = 0;
+                while cur != NULL {
+                    hops += 1;
+                    assert!(hops <= M_SINGLES + 1, "splice created a cycle");
+                    if cur & M_PTAG != 0 {
+                        for c in packed_cts {
+                            let v = c.load(Ordering::Acquire);
+                            assert_ne!(v, 0, "reachable packed entry is initialized");
+                            stamps.push(v);
+                        }
+                        cur = packed_next.load(Ordering::Acquire);
+                    } else {
+                        let slot = &singles[cur as usize];
+                        stamps.push(slot.committed_at.load(Ordering::Acquire));
+                        cur = slot.next.load(Ordering::Acquire);
+                    }
+                }
+                stamps
+            };
+
+        let migrator = {
+            let singles = Arc::clone(&singles);
+            let packed_cts = Arc::clone(&packed_cts);
+            let packed_next = Arc::clone(&packed_next);
+            thread::spawn(move || {
+                // Build the packed node fully before attaching: stamps of
+                // singles 1 and 0, descending, and the suffix tail's next.
+                packed_cts[0].store(20, Ordering::Relaxed);
+                packed_cts[1].store(10, Ordering::Relaxed);
+                packed_next.store(singles[0].next.load(Ordering::Acquire), Ordering::Relaxed);
+                thread::yield_now(); // widen the attach/splice window
+                                     // Splice: one Release store redirects the predecessor. The
+                                     // unlinked singles keep their stamps and links untouched.
+                singles[2].next.store(M_PTAG | 1, Ordering::Release);
+            })
+        };
+
+        let head_walker = {
+            let singles = Arc::clone(&singles);
+            let head = Arc::clone(&head);
+            let packed_cts = Arc::clone(&packed_cts);
+            let packed_next = Arc::clone(&packed_next);
+            thread::spawn(move || {
+                for _ in 0..6 {
+                    let mut stamps = collect(
+                        head.load(Ordering::Acquire),
+                        &singles,
+                        &packed_cts,
+                        &packed_next,
+                    );
+                    stamps.sort_unstable_by(|a, b| b.cmp(a));
+                    assert_eq!(
+                        stamps,
+                        vec![40, 30, 20, 10],
+                        "a committed version vanished mid-migration"
+                    );
+                }
+            })
+        };
+
+        let stale_reader = {
+            let singles = Arc::clone(&singles);
+            let packed_cts = Arc::clone(&packed_cts);
+            let packed_next = Arc::clone(&packed_next);
+            thread::spawn(move || {
+                // Parked on single 1 — captured from a walk that started
+                // before the splice. Its view of the suffix must survive
+                // the restructure.
+                for _ in 0..4 {
+                    let stamps = collect(1, &singles, &packed_cts, &packed_next);
+                    assert_eq!(
+                        stamps,
+                        vec![20, 10],
+                        "an unlinked single lost its forward view"
+                    );
+                    thread::yield_now();
+                }
+            })
+        };
+
+        migrator.join().unwrap();
+        head_walker.join().unwrap();
+        stale_reader.join().unwrap();
+
+        // Quiescent: the spliced chain is 3 → 2 → packed[20,10] → NULL and
+        // the packed node took over exactly the migrated suffix.
+        let stamps = collect(
+            head.load(Ordering::SeqCst),
+            &singles,
+            &packed_cts,
+            &packed_next,
+        );
+        assert_eq!(stamps, vec![40, 30, 20, 10]);
+        assert_eq!(singles[2].next.load(Ordering::SeqCst), M_PTAG | 1);
+        assert_eq!(packed_next.load(Ordering::SeqCst), NULL);
     });
 }

@@ -185,6 +185,64 @@ fn lifecycle_counters_reconcile_across_layers() {
     assert_eq!(parsed, snap);
 }
 
+/// Identity 6: adaptive-layout migration metrics reconcile. A hot-key
+/// workload long enough to cross the migration threshold must export
+/// `store_chain_migrations_total` equal to `ReclamationStats::migrations`,
+/// a non-empty `store_chain_len` histogram (one sample per publish), and —
+/// because every migration's unlinked singles and every emptied packed
+/// node retire through the same limbo list — the retired/freed/limbo
+/// identity must still balance with `packed_retired` folded in.
+#[test]
+fn migration_metrics_reconcile() {
+    let db = Arc::new(Db::open(DbOptions::new(IsolationLevel::WriteSnapshot)));
+    // Single-threaded hot-key hammering: every commit stamps eagerly, so
+    // chains are all-stamped and migrate deterministically.
+    for i in 0u32..300 {
+        let mut txn = db.begin();
+        txn.put(b"hot-a", format!("a{i}").as_bytes());
+        txn.put(b"hot-b", format!("b{i}").as_bytes());
+        txn.commit().expect("single writer commits");
+    }
+    let _ = db.gc();
+
+    let rec = db.reclamation().expect("default layout is the arena");
+    assert!(rec.migrations > 0, "hot chains migrated");
+    assert!(rec.packed_retired > 0, "GC retired emptied packed nodes");
+    assert_eq!(
+        rec.retired,
+        rec.freed + rec.limbo,
+        "migration-unlinked singles and retired packed nodes all flow \
+         through the limbo accounting"
+    );
+
+    let snap = db.obs_snapshot().expect("obs enabled by default");
+    assert_eq!(
+        snap.counters.get("store_chain_migrations_total"),
+        Some(&rec.migrations),
+        "exported migration counter equals ReclamationStats"
+    );
+    assert_eq!(
+        snap.counters.get("store_versions_retired_total"),
+        Some(&rec.retired)
+    );
+    let chain_len = snap
+        .histograms
+        .get("store_chain_len")
+        .expect("chain-length histogram registered");
+    assert_eq!(
+        chain_len.count, 600,
+        "one chain-length sample per published version"
+    );
+    let occupancy = snap
+        .histograms
+        .get("store_packed_node_occupancy")
+        .expect("occupancy histogram registered");
+    assert_eq!(
+        occupancy.count, rec.packed_retired,
+        "one occupancy sample per retired packed node"
+    );
+}
+
 /// Per-kind journal event totals relevant to lifecycle reconciliation.
 #[derive(Debug, Default, PartialEq, Eq)]
 struct JournalTally {

@@ -1,20 +1,22 @@
 //! Observational equivalence across every version-store layout, plus the
 //! eager-stamping replay property.
 //!
-//! Both restructured stores are pure performance work: given the same
+//! All restructured stores are pure performance work: given the same
 //! sequence of transactions, a database on the partitioned store
-//! (`store_shards(16)`) or on the lock-free arena (the default
-//! `StoreLayout::Arena`) must be indistinguishable — every read, every
-//! commit outcome, every scan, before and after GC — from one on the
-//! single-lock layout (`store_shards(1)`, exactly the pre-sharding store).
-//! These properties drive all three databases through identical randomized
-//! interleavings (same shape as `oracle_equivalence.rs` in `wsi-core`) and
-//! compare everything observable.
+//! (`store_shards(16)`), on the flat lock-free arena
+//! (`arena_adaptive(false)`), or on the adaptive arena with packed
+//! multi-version nodes (the default `StoreLayout::Arena`) must be
+//! indistinguishable — every read, every commit outcome, every scan,
+//! before and after GC — from one on the single-lock layout
+//! (`store_shards(1)`, exactly the pre-sharding store). These properties
+//! drive all four databases through identical randomized interleavings
+//! (same shape as `oracle_equivalence.rs` in `wsi-core`) and compare
+//! everything observable.
 //!
 //! The second family covers the eager `committed_at` stamps themselves:
 //! a post-crash WAL replay must re-derive exactly the stamps the live
 //! database had, and aborted writers must never leave a stamp behind — on
-//! all three layouts.
+//! all four layouts.
 
 use proptest::prelude::*;
 use wsi_core::IsolationLevel;
@@ -23,15 +25,22 @@ use wsi_wal::LedgerConfig;
 
 const KEYS: [&[u8]; 7] = [b"a", b"b", b"c", b"d", b"e", b"f", b"g"];
 
-/// The three store layouts every property in this file quantifies over:
-/// single-lock (the seed layout), locked 16-way sharding (PR 4), and the
-/// lock-free chunked arena.
-fn layout_matrix(isolation: IsolationLevel) -> [(&'static str, DbOptions); 3] {
+/// The four store layouts every property in this file quantifies over:
+/// single-lock (the seed layout), locked 16-way sharding (PR 4), the flat
+/// lock-free chunked arena (PR 5), and the adaptive arena whose hot chains
+/// migrate into packed multi-version nodes (the default).
+fn layout_matrix(isolation: IsolationLevel) -> [(&'static str, DbOptions); 4] {
     [
         ("locked-1", DbOptions::new(isolation).store_shards(1)),
         ("locked-16", DbOptions::new(isolation).store_shards(16)),
         (
             "arena",
+            DbOptions::new(isolation)
+                .store_layout(StoreLayout::Arena)
+                .arena_adaptive(false),
+        ),
+        (
+            "arena-adaptive",
             DbOptions::new(isolation).store_layout(StoreLayout::Arena),
         ),
     ]
@@ -157,15 +166,14 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     /// Reads, scans, commit outcomes, GC, and final state are identical on
-    /// the single-lock, sharded, and lock-free arena layouts, under both
-    /// isolation levels.
+    /// the single-lock, sharded, flat-arena, and adaptive-arena layouts,
+    /// under both isolation levels.
     #[test]
     fn all_store_layouts_are_observationally_equivalent(p in plan()) {
         for isolation in [IsolationLevel::WriteSnapshot, IsolationLevel::Snapshot] {
-            let [(_, single), (sharded_name, sharded), (arena_name, arena)] =
-                layout_matrix(isolation);
+            let [(_, single), rest @ ..] = layout_matrix(isolation);
             let reference = run(&Db::open(single), &p);
-            for (name, options) in [(sharded_name, sharded), (arena_name, arena)] {
+            for (name, options) in rest {
                 let t = run(&Db::open(options), &p);
                 prop_assert_eq!(
                     &reference, &t,
@@ -228,6 +236,51 @@ proptest! {
             prop_assert_eq!(live, recovered.version_stamps(),
                 "replay diverged on the {} layout", name);
         }
+    }
+}
+
+/// A hot-key history long enough to cross the migration threshold many
+/// times over: the adaptive arena (packed nodes) must agree with every
+/// other layout on final state, stamps shape, and version accounting.
+/// The proptest plans above are too short to migrate reliably; this pins
+/// the packed-node read/stamp/GC path into the layout matrix explicitly.
+#[test]
+fn hot_key_histories_agree_after_migration() {
+    /// One layout's observable outcome: (name, final contents, keys, versions).
+    type LayoutTrace = (&'static str, Vec<(Vec<u8>, Vec<u8>)>, usize, usize);
+    let mut traces: Vec<LayoutTrace> = Vec::new();
+    for (name, options) in layout_matrix(IsolationLevel::WriteSnapshot) {
+        let db = Db::open(options);
+        for i in 0u32..200 {
+            let mut txn = db.begin();
+            txn.put(b"hot", format!("v{i}").as_bytes());
+            txn.put(format!("cold-{}", i % 5).as_bytes(), b"c");
+            txn.commit().expect("uncontended single writer");
+        }
+        db.gc();
+        let snap = db.snapshot();
+        let finale: Vec<(Vec<u8>, Vec<u8>)> = snap
+            .scan(b"", None, usize::MAX)
+            .into_iter()
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect();
+        drop(snap);
+        let stats = db.stats();
+        if let Some(rec) = db.reclamation() {
+            assert_eq!(rec.retired, rec.freed + rec.limbo, "{name}: reclamation");
+            if name == "arena-adaptive" {
+                assert!(rec.migrations > 0, "the hot chain migrated");
+            } else {
+                assert_eq!(rec.migrations, 0, "{name}: flat arena never migrates");
+            }
+        }
+        traces.push((name, finale, stats.keys, stats.versions));
+    }
+    let (_, finale, keys, versions) = &traces[0];
+    for (name, f, k, v) in &traces[1..] {
+        assert_eq!(finale, f, "{name}: final contents diverged");
+        assert_eq!(keys, k, "{name}: key count diverged");
+        assert_eq!(versions, v, "{name}: version count diverged");
     }
 }
 

@@ -187,10 +187,13 @@ fn single_lock_store_herd_keeps_invariants() {
 
 #[test]
 fn arena_store_herd_keeps_invariants() {
-    // The lock-free arena layout (the default) under the same herd. The
-    // herd's dedicated GC thread sweeps and advances the reclamation epoch
-    // concurrently with every reader and committer throughout the run, so
-    // this also stresses retire/free against pinned chain walks.
+    // The adaptive lock-free arena layout (the default) under the same
+    // herd: hot-counter chains cross the migration threshold mid-run, so
+    // packed-node claim publishes, migrations, and packed retire/free all
+    // race the readers and the GC thread. The herd's dedicated GC thread
+    // sweeps and advances the reclamation epoch concurrently with every
+    // reader and committer throughout, so this also stresses retire/free
+    // against pinned chain walks.
     let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot));
     let hot = run_herd(&db);
     assert_invariants(&db, &hot);
@@ -203,6 +206,10 @@ fn arena_store_herd_keeps_invariants() {
     assert!(rec.retired > 0, "GC retired superseded versions");
     assert!(rec.freed > 0, "epoch advanced enough to free some");
     assert!(rec.epoch >= 3, "concurrent GC advanced the epoch");
+    assert!(
+        rec.migrations > 0,
+        "hot counters crossed the migration threshold under contention"
+    );
 
     let prom = db.render_prometheus().expect("obs on by default");
     for series in [
@@ -215,9 +222,29 @@ fn arena_store_herd_keeps_invariants() {
         "store_arena_versions",
         "store_arena_inline_pruned_total",
         "store_arena_gc_sweeps_total",
+        "store_chain_len",
+        "store_chain_migrations_total",
+        "store_packed_node_occupancy",
     ] {
         assert!(prom.contains(series), "missing series {series}");
     }
+}
+
+#[test]
+fn flat_arena_store_herd_keeps_invariants() {
+    // The flat (non-adaptive) arena under the same herd: the PR 5 layout
+    // stays selectable and must keep every invariant without ever
+    // migrating a chain.
+    let db = Db::open(DbOptions::new(IsolationLevel::WriteSnapshot).arena_adaptive(false));
+    let hot = run_herd(&db);
+    assert_invariants(&db, &hot);
+    let rec = db.reclamation().expect("arena layout");
+    assert_eq!(rec.retired, rec.freed + rec.limbo, "retired=freed+limbo");
+    assert_eq!(rec.migrations, 0, "flat arena never migrates");
+    assert_eq!(
+        rec.packed_retired, 0,
+        "flat arena never retires packed nodes"
+    );
 }
 
 #[test]

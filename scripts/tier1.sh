@@ -39,18 +39,29 @@ batched_scratch="$(mktemp -d)"
 rm -rf "$batched_scratch"
 
 # Partitioned-store gates: every store layout (single-lock, sharded,
-# lock-free arena) must be observationally equivalent (proptest over
-# randomized interleavings, both isolation levels), and the 8-thread
-# invariant herd runs in release mode against all layouts — including the
-# arena with a concurrent GC/reclamation thread — plus the metrics
-# exposition.
+# lock-free arena flat and adaptive) must be observationally equivalent
+# (proptest over randomized interleavings, both isolation levels), and the
+# 8-thread invariant herd runs in release mode against all layouts —
+# including the adaptive arena with a concurrent GC/reclamation thread —
+# plus the metrics exposition.
 cargo test -q -p wsi-store --test store_equivalence
 cargo test -q --release -p wsi-store --test store_shard_stress
 
+# Adaptive-arena bench smoke: the packed-node claim/seal/spill/consolidate
+# protocol must drain a contended multi-thread sweep end-to-end (a
+# liveness bug in seal's claim-drain spin or the consolidation splice
+# hangs here, not in the single-threaded unit tests). Scratch dir so the
+# reduced-scale artifact never clobbers the committed full-scale one.
+mvcc_scaling_bin="$(pwd)/target/release/mvcc_scaling"
+adaptive_scratch="$(mktemp -d)"
+(cd "$adaptive_scratch" && "$mvcc_scaling_bin" 100 5 >/dev/null)
+rm -rf "$adaptive_scratch"
+
 # Lock-free protocol models, fast configuration: chain-head CAS publish
-# vs. concurrent readers, and epoch advance vs. retire/free. 32 fuzzed
-# schedules per model keeps the gate seconds-scale; the default (64) runs
-# when the suite is invoked without LOOM_MAX_ITERS.
+# vs. concurrent readers, epoch advance vs. retire/free, the packed-node
+# claim/seal occupancy protocol, and the migration splice vs. a mid-chain
+# reader. 32 fuzzed schedules per model keeps the gate seconds-scale; the
+# default (64) runs when the suite is invoked without LOOM_MAX_ITERS.
 LOOM_MAX_ITERS=32 cargo test -q --release -p wsi-store --features loom --test loom_protocols
 
 # Deterministic simulation gate: the seeded fault matrix (every engine ×

@@ -234,6 +234,18 @@ pub mod sync {
                         crate::tick();
                         self.0.fetch_max(v, order)
                     }
+
+                    /// Instrumented fetch-or.
+                    pub fn fetch_or(&self, v: $val, order: Ordering) -> $val {
+                        crate::tick();
+                        self.0.fetch_or(v, order)
+                    }
+
+                    /// Instrumented fetch-and.
+                    pub fn fetch_and(&self, v: $val, order: Ordering) -> $val {
+                        crate::tick();
+                        self.0.fetch_and(v, order)
+                    }
                 }
             };
         }
